@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+One benchmark module per paper table/figure (see DESIGN.md's experiment
+index).  Absolute numbers are laptop numbers; every module prints its
+measured values next to the paper's so the *shape* comparison is explicit
+(EXPERIMENTS.md records a full run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import fcc_lattice, water_box
+from repro.dp.model import DeepPot, DPConfig
+from repro.md.neighbor import neighbor_pairs
+
+
+@pytest.fixture(scope="session")
+def water_192():
+    """192-atom water cell — big enough for the paper's 6 Å water cutoff."""
+    return water_box((4, 4, 4), seed=0)
+
+
+@pytest.fixture(scope="session")
+def water_81():
+    return water_box((3, 3, 3), seed=0)
+
+
+@pytest.fixture(scope="session")
+def copper_256():
+    return fcc_lattice((4, 4, 4))
+
+
+@pytest.fixture(scope="session")
+def paper_water_config():
+    """The paper's water hyper-parameters (r_c=6 Å, sel=[46,92], 25/50/100,
+    240^3) — used where fidelity to the paper's op shapes matters."""
+    return DPConfig.paper_water()
+
+
+@pytest.fixture(scope="session")
+def zoo_water_model():
+    from repro.zoo import get_water_model
+
+    return get_water_model()
+
+
+@pytest.fixture(scope="session")
+def zoo_copper_model():
+    from repro.zoo import get_copper_model
+
+    return get_copper_model()
+
+
+def pairs_for(system, cutoff):
+    return neighbor_pairs(system, cutoff)
+
+
+def print_header(title: str) -> None:
+    print("\n" + "=" * 74)
+    print(title)
+    print("=" * 74)

@@ -1,0 +1,106 @@
+"""Fig 5 — strong scaling: water (12.58M atoms, 80-4,560 nodes) and copper
+(25.7M atoms, 570-4,560 nodes), double and mixed precision.
+
+Shape targets from the paper: copper scales to the full machine at >70%
+efficiency (paper: 81.6% double / 70.5% mixed); water scales almost
+perfectly to 640 nodes then decays (36% double at 4,560 nodes); mixed is
+~1.5x double everywhere; headline TtS 9 ms (water) / 22 ms (copper double) /
+15 ms (copper mixed) per step at full machine.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.perfmodel import COPPER_SPEC, WATER_SPEC, strong_scaling
+from repro.perfmodel.scaling import (
+    COPPER_STRONG_ATOMS,
+    FIG5_COPPER_NODES,
+    FIG5_PAPER_COPPER_DOUBLE,
+    FIG5_PAPER_WATER_DOUBLE,
+    FIG5_WATER_NODES,
+    WATER_STRONG_ATOMS,
+)
+
+CURVES = {}
+
+
+def test_water_double(benchmark):
+    CURVES["water_double"] = benchmark(
+        lambda: strong_scaling(WATER_SPEC, WATER_STRONG_ATOMS, FIG5_WATER_NODES)
+    )
+
+
+def test_water_mixed(benchmark):
+    CURVES["water_mixed"] = benchmark(
+        lambda: strong_scaling(
+            WATER_SPEC, WATER_STRONG_ATOMS, FIG5_WATER_NODES, precision="mixed"
+        )
+    )
+
+
+def test_copper_double(benchmark):
+    CURVES["copper_double"] = benchmark(
+        lambda: strong_scaling(COPPER_SPEC, COPPER_STRONG_ATOMS, FIG5_COPPER_NODES)
+    )
+
+
+def test_copper_mixed(benchmark):
+    CURVES["copper_mixed"] = benchmark(
+        lambda: strong_scaling(
+            COPPER_SPEC, COPPER_STRONG_ATOMS, FIG5_COPPER_NODES, precision="mixed"
+        )
+    )
+
+
+def test_zz_report_and_shapes(benchmark):
+    # register as a benchmark so --benchmark-only still runs the report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(CURVES) == 4
+    print_header("Fig 5 — strong scaling (model | paper where available)")
+    print("Water 12,582,912 atoms:")
+    for pd, pm in zip(CURVES["water_double"], CURVES["water_mixed"]):
+        ref = FIG5_PAPER_WATER_DOUBLE[pd.n_nodes]
+        print(
+            f"  {pd.n_nodes:>5} nodes: double {pd.pflops:>5.1f}|{ref[0]:<5.1f}P "
+            f"{pd.t_step*1e3:>4.0f}|{ref[1]:<4d}ms   "
+            f"mixed {pm.pflops:>5.1f}P {pm.t_step*1e3:>4.0f}ms"
+        )
+    print("Copper 25,739,424 atoms:")
+    for pd, pm in zip(CURVES["copper_double"], CURVES["copper_mixed"]):
+        ref = FIG5_PAPER_COPPER_DOUBLE[pd.n_nodes]
+        print(
+            f"  {pd.n_nodes:>5} nodes: double {pd.pflops:>5.1f}|{ref[0]:<5.1f}P "
+            f"{pd.t_step*1e3:>4.0f}|{ref[1]:<4d}ms   "
+            f"mixed {pm.pflops:>5.1f}P {pm.t_step*1e3:>4.0f}ms"
+        )
+
+    wd = CURVES["water_double"]
+    cd = CURVES["copper_double"]
+    # paper values within tolerance
+    for p in wd:
+        ref = FIG5_PAPER_WATER_DOUBLE[p.n_nodes]
+        assert p.pflops == pytest.approx(ref[0], rel=0.20), p.n_nodes
+    for p in cd:
+        ref = FIG5_PAPER_COPPER_DOUBLE[p.n_nodes]
+        assert p.pflops == pytest.approx(ref[0], rel=0.20), p.n_nodes
+
+    # Shape: copper holds efficiency at full machine, water decays harder.
+    assert cd[-1].efficiency > 0.70
+    assert wd[-1].efficiency < 0.55
+    assert wd[2].efficiency > 0.85  # near-perfect early in the curve
+
+    # mixed ~1.5x double at compute-bound points
+    for key_d, key_m in (("water_double", "water_mixed"), ("copper_double", "copper_mixed")):
+        d0, m0 = CURVES[key_d][0], CURVES[key_m][0]
+        assert 1.3 < d0.t_step / m0.t_step < 1.8
+
+    # headline time-to-solution per step at full machine
+    assert wd[-1].t_step * 1e3 == pytest.approx(9.0, rel=0.3)
+    assert cd[-1].t_step * 1e3 == pytest.approx(22.0, rel=0.3)
+    cm = CURVES["copper_mixed"]
+    assert cm[-1].t_step * 1e3 == pytest.approx(15.0, rel=0.35)
+    # "nanosecond simulation within 4.2 / 5.0 hours" claims
+    hours_cu_mixed = cm[-1].t_step * 1e6 / 3600  # 1e6 steps at 1 fs
+    assert hours_cu_mixed == pytest.approx(4.2, rel=0.4)
+    hours_water_double = wd[-1].t_step * 2e6 / 3600  # 2e6 steps at 0.5 fs
+    assert hours_water_double == pytest.approx(5.0, rel=0.4)

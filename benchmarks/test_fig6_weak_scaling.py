@@ -1,0 +1,93 @@
+"""Fig 6 — weak scaling: water 25M -> 403M atoms, copper 7M -> 113M atoms,
+285 -> 4,560 nodes, double and mixed precision.
+
+Shape targets: both systems scale linearly in node count (the paper calls it
+"perfect scaling"); full-machine copper reaches 86.2 PFLOPS double / 137.4
+mixed (43% of peak); water reaches 72.6 / 105.4; mixed ≈ 1.5x double.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.perfmodel import COPPER_SPEC, SUMMIT, WATER_SPEC, weak_scaling
+from repro.perfmodel.scaling import (
+    COPPER_WEAK_ATOMS_PER_NODE,
+    FIG6_PAPER_COPPER_DOUBLE,
+    FIG6_PAPER_WATER_DOUBLE,
+    FIG6_WATER_NODES,
+    WATER_WEAK_ATOMS_PER_NODE,
+)
+
+CURVES = {}
+
+
+@pytest.mark.parametrize(
+    "key,spec,per_node,precision",
+    [
+        ("water_double", WATER_SPEC, WATER_WEAK_ATOMS_PER_NODE, "double"),
+        ("water_mixed", WATER_SPEC, WATER_WEAK_ATOMS_PER_NODE, "mixed"),
+        ("copper_double", COPPER_SPEC, COPPER_WEAK_ATOMS_PER_NODE, "double"),
+        ("copper_mixed", COPPER_SPEC, COPPER_WEAK_ATOMS_PER_NODE, "mixed"),
+    ],
+)
+def test_weak_curves(benchmark, key, spec, per_node, precision):
+    CURVES[key] = benchmark(
+        lambda: weak_scaling(spec, per_node, FIG6_WATER_NODES, precision=precision)
+    )
+
+
+def test_zz_report_and_shapes(benchmark):
+    # register as a benchmark so --benchmark-only still runs the report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(CURVES) == 4
+    print_header("Fig 6 — weak scaling PFLOPS (model | paper, double)")
+    print(f"{'nodes':>6} {'water dbl':>14} {'water mix':>10} "
+          f"{'Cu dbl':>14} {'Cu mix':>10}")
+    for wd, wm, cd, cm in zip(
+        CURVES["water_double"], CURVES["water_mixed"],
+        CURVES["copper_double"], CURVES["copper_mixed"],
+    ):
+        print(
+            f"{wd.n_nodes:>6} "
+            f"{wd.pflops:>6.1f}|{FIG6_PAPER_WATER_DOUBLE[wd.n_nodes]:<5.1f} "
+            f"{wm.pflops:>8.1f}  "
+            f"{cd.pflops:>6.1f}|{FIG6_PAPER_COPPER_DOUBLE[cd.n_nodes]:<5.1f} "
+            f"{cm.pflops:>8.1f}"
+        )
+    cu_full_d = CURVES["copper_double"][-1]
+    cu_full_m = CURVES["copper_mixed"][-1]
+    h2o_full_d = CURVES["water_double"][-1]
+    h2o_full_m = CURVES["water_mixed"][-1]
+    print(f"\nFull machine: copper {cu_full_d.pflops:.1f}P double (paper 86.2), "
+          f"{cu_full_m.pflops:.1f}P mixed (paper 137.4)")
+    print(f"              water {h2o_full_d.pflops:.1f}P double (paper 72.6), "
+          f"{h2o_full_m.pflops:.1f}P mixed (paper 105.4)")
+    print(f"%% of fp64 machine peak (copper double): "
+          f"{cu_full_d.percent_of_peak:.1f}%% (paper: 43%%)")
+    print(f"TtS copper double: {cu_full_d.time_to_solution:.2e} s/step/atom "
+          f"(paper 7.3e-10); water double {h2o_full_d.time_to_solution:.2e} "
+          f"(paper 2.7e-10)")
+
+    # paper values
+    for p in CURVES["water_double"]:
+        assert p.pflops == pytest.approx(FIG6_PAPER_WATER_DOUBLE[p.n_nodes], rel=0.12)
+    for p in CURVES["copper_double"]:
+        assert p.pflops == pytest.approx(FIG6_PAPER_COPPER_DOUBLE[p.n_nodes], rel=0.12)
+    assert cu_full_m.pflops == pytest.approx(137.4, rel=0.12)
+    assert h2o_full_m.pflops == pytest.approx(105.4, rel=0.12)
+
+    # linear (perfect) weak scaling
+    for key in CURVES:
+        for p in CURVES[key]:
+            assert p.efficiency > 0.97, key
+
+    # the abstract's 43%-of-peak claim
+    assert cu_full_d.percent_of_peak == pytest.approx(43.0, rel=0.10)
+
+    # headline time-to-solution
+    assert cu_full_d.time_to_solution == pytest.approx(7.3e-10, rel=0.15)
+    assert h2o_full_d.time_to_solution == pytest.approx(2.7e-10, rel=0.15)
+    # ~1 ns/day for the 113M-atom copper system
+    assert cu_full_d.ns_per_day(COPPER_SPEC.timestep_fs) == pytest.approx(
+        1.0, rel=0.35
+    )

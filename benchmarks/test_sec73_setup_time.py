@@ -1,0 +1,101 @@
+"""Sec 7.3 — setup-time optimization and sustained performance.
+
+Paper: baseline initialisation (rank-0 structure build + scatter; every rank
+reads the model file) takes >240 s for 113M-atom copper on 4,560 nodes;
+the optimized scheme (replicated local build, read-once + broadcast model)
+brings it under 5 s, lifting sustained performance to 85.4 PFLOPS (within
+1% of peak MD-loop performance).
+
+Here both code paths run on simulated ranks with real work and accounted
+traffic; the model also projects the Summit-scale setup ratio.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.structures import water_box
+from repro.dp.serialize import save_model
+from repro.parallel import SimComm, baseline_setup, optimized_setup
+
+N_RANKS = 8
+GRID = (2, 2, 2)
+RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def model_file(zoo_water_model, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("zoo") / "model.npz")
+    save_model(zoo_water_model, path)
+    return path
+
+
+def build():
+    return water_box((6, 6, 6), seed=0)
+
+
+def test_baseline_setup(benchmark, model_file):
+    def run():
+        comm = SimComm(N_RANKS)
+        *_, report = baseline_setup(build, model_file, comm, GRID)
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    RESULTS["baseline"] = report
+
+
+def test_optimized_setup(benchmark, model_file):
+    def run():
+        comm = SimComm(N_RANKS)
+        *_, report = optimized_setup(lambda rank: build(), model_file, comm, GRID)
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    RESULTS["optimized"] = report
+
+
+def test_zz_report(benchmark):
+    # register as a benchmark so --benchmark-only still runs the report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert {"baseline", "optimized"} <= RESULTS.keys()
+    base, opt = RESULTS["baseline"], RESULTS["optimized"]
+
+    print_header("Sec 7.3 — setup staging (8 simulated ranks)")
+    print(f"{'scheme':<12} {'total':>9} {'structure':>10} {'model':>9} "
+          f"{'p2p bytes':>12} {'model reads':>12}")
+    for name, r in (("baseline", base), ("optimized", opt)):
+        print(f"{name:<12} {r.seconds:>8.3f}s {r.structure_seconds:>9.3f}s "
+              f"{r.model_seconds:>8.3f}s {r.p2p_bytes:>12,} {r.model_reads:>12}")
+    print(f"\nmodel-loading speedup: "
+          f"{base.model_seconds / max(opt.model_seconds, 1e-12):.1f}x")
+    print("paper at 4,560 nodes: >240 s -> <5 s (>48x)")
+
+    # Shape assertions: the optimized path eliminates the scatter traffic and
+    # the per-rank model reads.
+    assert opt.p2p_bytes == 0
+    assert base.p2p_bytes > 0
+    assert opt.model_reads == 1
+    assert base.model_reads == N_RANKS
+    # and it is not slower overall
+    assert opt.seconds < base.seconds * 1.2
+
+
+def test_sustained_performance_model(benchmark):
+    # register as a benchmark so --benchmark-only still runs the report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The Sec 7.3 sustained-PFLOPS arithmetic at Summit scale: 5,000 steps
+    of 113M-atom copper with <5 s setup sustains ~99% of loop PFLOPS."""
+    from repro.perfmodel import COPPER_SPEC, strong_scaling
+
+    pt = strong_scaling(COPPER_SPEC, 113_246_208, [4560])[0]
+    loop_seconds = 5000 * pt.t_step
+    sustained_optimized = pt.pflops * loop_seconds / (loop_seconds + 5.0)
+    sustained_baseline = pt.pflops * loop_seconds / (loop_seconds + 240.0)
+    print_header("Sec 7.3 — sustained performance at Summit scale (model)")
+    print(f"loop: {loop_seconds:.0f} s for 5,000 steps; peak {pt.pflops:.1f} PFLOPS")
+    print(f"sustained with <5 s setup:   {sustained_optimized:.1f} PFLOPS "
+          f"(paper: 85.4 vs 86.2 peak)")
+    print(f"sustained with 240 s setup:  {sustained_baseline:.1f} PFLOPS")
+    # optimized setup costs ~1% of sustained performance (paper: 85.4/86.2);
+    # the baseline's 240 s setup would cost tens of percent of a 5 ps run.
+    assert sustained_optimized / pt.pflops > 0.95
+    assert sustained_baseline / pt.pflops < 0.75

@@ -1,0 +1,82 @@
+"""Concurrent learning (DP-GEN) demo — how the paper's models were made.
+
+The water/copper models the paper benchmarks come from the concurrent
+learning scheme of its ref [68]: an ensemble of DP models explores
+configuration space with MD, and configurations where the ensemble
+*disagrees* (force deviation between trust bounds) are sent to the ab initio
+oracle for labeling.  The loop shrinks the model deviation with a minimal
+number of expensive labels.
+
+Run:  python examples/active_learning.py [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.structures import water_box
+from repro.dp import ActiveLearner, Dataset, ModelEnsemble, TrainConfig, label_frames, sample_md_frames
+from repro.dp.model import DPConfig
+from repro.oracles import FlexibleWater
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--models", type=int, default=3)
+    parser.add_argument("--train-steps", type=int, default=200)
+    args = parser.parse_args()
+
+    oracle = FlexibleWater(cutoff=4.0)
+    base = water_box((3, 3, 3), seed=0)
+    config = DPConfig.tiny(rcut=4.0)
+
+    # seed dataset: a handful of oracle-MD frames
+    print("Building the seed dataset (oracle MD)...")
+    seed_frames = sample_md_frames(
+        base, oracle, n_frames=6, stride=10, equilibration=40, seed=0
+    )
+    dataset = label_frames(seed_frames, oracle)
+
+    print(f"Training an ensemble of {args.models} models on {len(dataset)} frames...")
+    ensemble = ModelEnsemble(config, n_models=args.models)
+    train_cfg = TrainConfig(
+        n_steps=args.train_steps, lr_start=3e-3,
+        decay_steps=max(args.train_steps // 5, 1),
+        log_every=args.train_steps,
+    )
+    ensemble.train_all(dataset, train_cfg)
+
+    learner = ActiveLearner(
+        ensemble=ensemble,
+        oracle=oracle,
+        trust_lo=0.08,
+        trust_hi=1.5,
+        md_steps=60,
+        md_stride=12,
+        temperature=330.0,
+    )
+
+    dev0 = ensemble.force_deviation(base)
+    print(f"Initial ensemble force deviation on the seed structure: "
+          f"{dev0:.3f} eV/Å")
+
+    for it in range(args.iterations):
+        stats = learner.iteration(dataset, base, train_cfg)
+        dev = ensemble.force_deviation(base)
+        print(
+            f"iteration {it + 1}: accurate={stats['accurate']} "
+            f"candidate={stats['candidate']} failed={stats['failed']} "
+            f"added={stats['n_added']} dataset={stats['dataset_size']} "
+            f"deviation={dev:.3f} eV/Å"
+        )
+
+    print("\nDP-GEN converges when all explored frames fall below trust_lo "
+          "(the 'accurate' bucket) — at that point the model is uniformly "
+          "accurate over the explored ensemble, the paper's ref [68] criterion.")
+
+
+if __name__ == "__main__":
+    main()

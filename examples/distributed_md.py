@@ -1,0 +1,85 @@
+"""Domain-decomposed DP molecular dynamics on simulated MPI ranks (Sec 5.4).
+
+Demonstrates the parallel machinery the paper scales to 27,360 GPUs:
+
+* spatial partitioning of the box into one sub-domain per rank (Fig 1 (a));
+* ghost-region halo exchange each step (forward communication), ghost-force
+  return (reverse communication);
+* thermodynamic output via non-blocking Iallreduce at reduced frequency;
+* exact agreement with the serial engine, plus the communication ledger.
+
+Run:  python examples/distributed_md.py [--grid 2 2 1] [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.structures import water_box
+from repro.dp.pair import DeepPotPair
+from repro.md import NeighborList, Simulation, boltzmann_velocities
+from repro.parallel import DistributedSimulation
+from repro.zoo import get_water_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, nargs=3, default=(2, 2, 1))
+    parser.add_argument("--steps", type=int, default=20)
+    args = parser.parse_args()
+
+    model = get_water_model()
+    system = water_box((4, 4, 4), seed=0)
+    boltzmann_velocities(system, 330.0, seed=3)
+    grid = tuple(args.grid)
+    n_ranks = int(np.prod(grid))
+    print(f"System: {system.n_atoms} atoms; grid {grid} -> {n_ranks} ranks")
+
+    # --- serial reference ------------------------------------------------------
+    serial_sys = system.copy()
+    serial = Simulation(
+        serial_sys,
+        DeepPotPair(model),
+        dt=0.0005,
+        neighbor=NeighborList(cutoff=model.config.rcut, skin=1.0, rebuild_every=10),
+    )
+    serial.run(args.steps)
+
+    # --- distributed -----------------------------------------------------------
+    dist = DistributedSimulation(
+        system.copy(), model, grid=grid, dt=0.0005, skin=1.0,
+        rebuild_every=10, thermo_every=10,
+    )
+    print("\nRank domains and ghost regions (Fig 1 (a)):")
+    for dom in dist.decomp.domains:
+        print(
+            f"  rank {dom.rank}: {dom.n_own:>4} local atoms, "
+            f"{dom.n_ghost:>4} ghost atoms"
+        )
+    dist.run(args.steps)
+
+    gathered = dist.current_system()
+    diff = gathered.box.minimum_image(
+        gathered.positions - gathered.box.wrap(serial_sys.positions)
+    )
+    print(f"\nMax |distributed - serial| after {args.steps} steps: "
+          f"{np.abs(diff).max():.2e} Å (bitwise-level agreement)")
+
+    s = dist.comm.stats
+    print("\nCommunication ledger:")
+    print(f"  point-to-point messages: {s.p2p_messages}")
+    print(f"  point-to-point bytes:    {s.p2p_bytes:,}")
+    print(f"  non-blocking allreduces: {s.iallreduce_calls} "
+          f"(thermo every {dist.thermo_every} steps — the Sec 5.4 "
+          f"reduced-output-frequency optimization)")
+
+    print("\nThermo log (reduced across ranks):")
+    print(f"{'step':>6} {'E_tot/eV':>12} {'T/K':>8}")
+    for row in dist.thermo:
+        print(f"{row.step:>6} {row.total_energy:>12.4f} {row.temperature:>8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Fig 7 at laptop scale: tensile deformation of nanocrystalline copper.
+
+The paper's flagship application pulls a 10,401,218-atom nanocrystal (64
+grains, 50 nm cell) to 10% strain and identifies stacking faults via common
+neighbor analysis.  This example runs the identical pipeline, scaled down:
+
+1. Voronoi-construction nanocrystal with randomly oriented fcc grains;
+2. thermal annealing at 300 K (the paper: 10,000 steps at 300 K);
+3. constant-strain-rate uniaxial deformation along z (``fix deform``);
+4. CNA classification before/after: atoms in grains are fcc, grain-boundary
+   atoms are "other", and hcp-classified atoms mark stacking faults;
+5. the strain-stress curve.
+
+By default the Deep Potential copper model drives the dynamics (as in the
+paper); ``--potential eam`` uses the oracle directly (faster).
+
+Run:  python examples/nanocrystal_tensile.py [--box 28] [--grains 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.cna import cna_fractions, common_neighbor_analysis, fcc_cna_cutoff
+from repro.analysis.stress import StressStrainRecorder
+from repro.analysis.structures import CU_LATTICE, nanocrystal_fcc
+from repro.dp.pair import DeepPotPair
+from repro.md import Berendsen, Deform, Simulation, boltzmann_velocities
+from repro.md.neighbor import fitted_neighbor_list
+
+
+def report_cna(system, tag: str) -> dict:
+    labels = common_neighbor_analysis(system, fcc_cna_cutoff(CU_LATTICE))
+    frac = cna_fractions(labels)
+    print(
+        f"CNA [{tag}]: fcc {frac['fcc']:.1%}  hcp(stacking-fault) "
+        f"{frac['hcp']:.1%}  other(grain-boundary) {frac['other']:.1%}"
+    )
+    return frac
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--box", type=float, default=28.0, help="cell edge (Å)")
+    parser.add_argument("--grains", type=int, default=4)
+    parser.add_argument("--anneal-steps", type=int, default=120)
+    parser.add_argument("--deform-steps", type=int, default=300)
+    parser.add_argument("--strain", type=float, default=0.08, help="total strain")
+    parser.add_argument("--potential", choices=("dp", "eam"), default="dp")
+    args = parser.parse_args()
+
+    system = nanocrystal_fcc(
+        box_length=args.box, n_grains=args.grains, seed=3, min_separation=2.1
+    )
+    print(
+        f"Nanocrystal: {system.n_atoms} atoms, {args.grains} grains, "
+        f"{args.box} Å cell (paper: 10.4M atoms, 64 grains, 500 Å)"
+    )
+    frac0 = report_cna(system, "as built")
+
+    if args.potential == "dp":
+        from repro.zoo import get_copper_model
+
+        print("Loading the zoo copper DP model (trains once, then cached)...")
+        potential = DeepPotPair(get_copper_model())
+    else:
+        from repro.zoo import copper_oracle
+
+        potential = copper_oracle()
+
+    dt = 0.002  # ps
+    boltzmann_velocities(system, 300.0, seed=5)
+
+    # --- anneal at 300 K ----------------------------------------------------
+    sim = Simulation(
+        system,
+        potential,
+        dt=dt,
+        integrator=Berendsen(temperature=300.0, tau=0.05),
+        neighbor=fitted_neighbor_list(system, potential.cutoff),
+        thermo_every=40,
+    )
+    print(f"\nAnnealing {args.anneal_steps} steps at 300 K...")
+    sim.run(args.anneal_steps)
+    frac_annealed = report_cna(system, "annealed")
+
+    # --- tensile deformation -------------------------------------------------
+    strain_rate = args.strain / (args.deform_steps * dt)
+    deform = Deform(axis=2, strain_rate=strain_rate, start_step=sim.step_count)
+    sim.deform = deform
+    recorder = StressStrainRecorder(axis=2)
+
+    def record(s):
+        if s.step_count % 20 == 0:
+            strain = deform.strain_at(s.step_count, dt)
+            recorder.record(s.system, s.last_result().virial, strain)
+
+    print(
+        f"Deforming to {args.strain:.0%} strain over {args.deform_steps} steps "
+        f"(rate {strain_rate * 1e12:.2e} s^-1; paper: 5e8 s^-1)..."
+    )
+    sim.run(args.deform_steps, callback=record)
+    frac_final = report_cna(system, f"after {args.strain:.0%} strain")
+
+    print("\nStrain-stress curve (z axis):")
+    print(f"{'strain':>8} {'stress/GPa':>12}")
+    for strain, stress in zip(*recorder.arrays()):
+        print(f"{strain:>8.3f} {stress:>12.3f}")
+    print(f"\nPeak tensile stress: {recorder.peak_stress():.2f} GPa")
+    print(
+        f"Defect evolution: fcc {frac_annealed['fcc']:.1%} -> "
+        f"{frac_final['fcc']:.1%}, hcp (stacking faults) "
+        f"{frac_annealed['hcp']:.1%} -> {frac_final['hcp']:.1%}, "
+        f"other (boundaries/disorder) {frac_annealed['other']:.1%} -> "
+        f"{frac_final['other']:.1%}"
+    )
+    print(
+        "\nNote on scale: with ~1.5 nm grains, plasticity is grain-boundary-"
+        "mediated (the inverse Hall-Petch regime of the paper's ref [49]), so "
+        "deformation grows the disordered fraction; the clean hcp stacking-"
+        "fault planes of Fig 7 emerge at the paper's 15 nm grain size, which "
+        "needs the full 10M-atom cell.  Increase --box/--grains to approach it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Collision-cascade (irradiation damage) demo — a motivating application.
+
+The paper's introduction lists irradiation damage (its ref [25], 50 keV Si
+cascades; also ref [59], a DP model for irradiation) among the problems
+demanding large-scale MD with ab initio accuracy.  This laptop-scale demo
+runs the same protocol on copper:
+
+1. equilibrate a crystal at low temperature;
+2. launch a primary knock-on atom (PKA) with a large kinetic energy;
+3. integrate through the ballistic phase with a small timestep;
+4. count displaced atoms / surviving defects by common neighbor analysis.
+
+The EAM oracle drives the dynamics by default (the DP zoo model's cutoff
+handles near-equilibrium physics, while a cascade probes the repulsive
+core, which a production DP model would need dedicated training data for —
+the concurrent-learning loop of examples/active_learning.py is exactly how
+DP-GEN covers such configurations).
+
+Run:  python examples/radiation_damage.py [--pka-ev 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.cna import CNA_FCC, common_neighbor_analysis, fcc_cna_cutoff
+from repro.analysis.structures import CU_LATTICE, fcc_lattice
+from repro.md import Berendsen, Simulation, boltzmann_velocities, fitted_neighbor_list
+from repro.oracles import SuttonChenEAM
+from repro.units import MVV_TO_EV
+
+
+def defect_count(system) -> int:
+    labels = common_neighbor_analysis(system, fcc_cna_cutoff(CU_LATTICE))
+    return int(np.count_nonzero(labels != CNA_FCC))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pka-ev", type=float, default=80.0,
+                        help="kinetic energy of the primary knock-on atom")
+    parser.add_argument("--cells", type=int, default=6)
+    parser.add_argument("--steps", type=int, default=500)
+    args = parser.parse_args()
+
+    system = fcc_lattice((args.cells,) * 3)
+    boltzmann_velocities(system, 30.0, seed=1)
+    potential = SuttonChenEAM()
+    print(f"Crystal: {system.n_atoms} atoms at 30 K "
+          f"(paper's ref [25]: 50 keV cascades in SiC)")
+    print(f"Initial non-fcc defects: {defect_count(system)}")
+
+    # pick the central atom as the PKA, firing along an off-axis direction
+    center = system.box.lengths / 2
+    pka = int(np.argmin(np.linalg.norm(system.positions - center, axis=1)))
+    direction = np.array([1.0, 0.35, 0.15])
+    direction /= np.linalg.norm(direction)
+    mass = system.atom_masses()[pka]
+    speed = np.sqrt(2.0 * args.pka_ev / (mass * MVV_TO_EV))
+    system.velocities[pka] = speed * direction
+    print(f"PKA atom {pka}: {args.pka_ev:.0f} eV -> {speed:.1f} Å/ps")
+
+    # ballistic phase: fs-scale timestep, frequent reneighboring, mild
+    # thermostat soaking up the deposited heat (poor-man's electron bath)
+    neighbor = fitted_neighbor_list(system, potential.cutoff, skin=1.0)
+    neighbor.rebuild_every = 2
+    sim = Simulation(
+        system,
+        potential,
+        dt=0.0002,
+        integrator=Berendsen(temperature=30.0, tau=0.1),
+        neighbor=neighbor,
+        thermo_every=25,
+    )
+    peak_defects = 0
+    checkpoints = []
+
+    def watch(s):
+        nonlocal peak_defects
+        if s.step_count % 25 == 0:
+            n = defect_count(s.system)
+            peak_defects = max(peak_defects, n)
+            checkpoints.append((s.step_count, n, s.system.temperature()))
+
+    sim.run(args.steps, callback=watch)
+
+    print(f"\n{'step':>6} {'defects':>8} {'T/K':>8}")
+    for step, n, t in checkpoints:
+        print(f"{step:>6} {n:>8} {t:>8.0f}")
+    final = defect_count(system)
+    print(f"\nThermal-spike defect count: {peak_defects} displaced atoms "
+          f"({final} at the last frame, T still cooling)")
+    print("Shape: a single energetic recoil converts a perfect crystal into "
+          "a damaged core whose CNA-defect count tracks the thermal spike; "
+          "full recombination/recovery needs ps-scale anneals (extend "
+          "--steps) — and production-quality cascades need the 100M-atom "
+          "scale the paper unlocks, since a 50 keV cascade spans ~50 nm.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Regenerate the paper's Summit-scale results from the performance model.
+
+Prints, side by side with the paper's measured values:
+
+* Table 4 — water strong scaling (atoms/GPU, ghosts, loop time, efficiency,
+  PFLOPS, %peak);
+* Fig 5 — strong scaling for water (12.58M atoms) and copper (25.7M atoms),
+  double and mixed precision;
+* Fig 6 — weak scaling to 403M (water) / 113M (copper) atoms;
+* Table 1 — the headline time-to-solution rows;
+* the abstract's claims (86/137 PFLOPS, 1 ns/day for 100M+ atoms).
+
+Run:  python examples/summit_scaling.py
+"""
+
+from repro.perfmodel.report import print_all
+
+if __name__ == "__main__":
+    print_all()

@@ -1,0 +1,85 @@
+"""Train a Deep Potential water model from "ab initio" data, end to end.
+
+Reproduces the DeePMD-kit training pipeline the paper builds on:
+
+1. reference MD with the oracle potential (the DFT stand-in) generates
+   configurations — the "AIMD trajectory";
+2. each frame is labeled with energy/forces — the "ab initio data";
+3. descriptor statistics (davg/dstd) and the per-type energy bias are
+   computed from the data, exactly DeePMD-kit's data_stat stage;
+4. Adam + exponentially decaying learning rate minimizes the combined
+   energy+force loss (force matching requires gradients *of gradients*,
+   which the tfmini graph engine provides);
+5. held-out validation reports energy/force RMSE vs the reference.
+
+Run:  python examples/train_water_deep_potential.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.structures import water_box
+from repro.dp import DeepPot, DPConfig, Trainer, TrainConfig, label_frames, sample_md_frames
+from repro.oracles import FlexibleWater
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=800, help="training steps")
+    parser.add_argument("--frames", type=int, default=24, help="training frames")
+    args = parser.parse_args()
+
+    oracle = FlexibleWater(cutoff=4.0)
+    base = water_box((3, 3, 3), seed=0)
+    print(f"Sampling {args.frames} frames of oracle MD ({base.n_atoms} atoms)...")
+    frames = sample_md_frames(
+        base, oracle, n_frames=args.frames, stride=10, equilibration=60, seed=0
+    )
+    dataset = label_frames(frames, oracle)
+    train_set, valid_set = dataset.split(0.75, seed=1)
+    print(f"Labeled: {len(train_set)} training / {len(valid_set)} validation frames")
+
+    force_std = float(
+        np.std(np.concatenate([f.forces.ravel() for f in train_set.frames]))
+    )
+    print(f"Force standard deviation of the data: {force_std:.3f} eV/Å")
+
+    config = DPConfig.tiny(rcut=4.0)
+    model = DeepPot(config)
+    train_set.apply_stats(model)
+    print(
+        f"Model: {model.param_count()} parameters, sel={config.sel}, "
+        f"r_c={config.rcut} Å, embedding={config.embedding_layers}, "
+        f"fitting={config.fitting_layers}"
+    )
+
+    trainer = Trainer(
+        model,
+        train_set,
+        TrainConfig(
+            n_steps=args.steps,
+            lr_start=3e-3,
+            lr_stop=5e-6,
+            decay_steps=max(args.steps // 6, 1),
+            log_every=max(args.steps // 8, 1),
+        ),
+    )
+    print(f"\n{'step':>6} {'lr':>10} {'loss':>12} {'rmse_E/atom':>12} {'rmse_F':>10}")
+    trainer.train(verbose=False)
+    for rec in trainer.history:
+        print(
+            f"{rec.step:>6} {rec.lr:>10.2e} {rec.loss:>12.3e} "
+            f"{rec.rmse_e_per_atom:>12.3e} {rec.rmse_f:>10.3f}"
+        )
+
+    rmse_e, rmse_f = trainer.evaluate_errors(valid_set)
+    print(f"\nValidation: RMSE(E)/atom = {rmse_e:.3e} eV, RMSE(F) = {rmse_f:.3f} eV/Å")
+    print(f"Force RMSE / data std: {rmse_f / force_std:.2f} "
+          f"(< 1 means the model learned structure beyond the mean)")
+
+
+if __name__ == "__main__":
+    main()

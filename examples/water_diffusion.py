@@ -1,0 +1,79 @@
+"""Self-diffusion of DP water — the validation observable of the DP papers.
+
+The water models behind the paper (its refs [33, 66]) are validated on
+dynamical properties like the self-diffusion coefficient.  This example runs
+NVT MD with the zoo DP water model, unwraps the trajectory, and extracts D
+from the Einstein relation (MSD slope / 6), for oxygen atoms.
+
+Experimental water at 300 K: D ≈ 0.23 Å²/ps.  A briefly trained tiny model
+won't hit that number, but the pipeline — and the liquid-vs-solid contrast —
+is the point.
+
+Run:  python examples/water_diffusion.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.dynamics import (
+    UnwrappedTrajectory,
+    diffusion_coefficient,
+    mean_squared_displacement,
+)
+from repro.analysis.structures import water_box
+from repro.dp.pair import DeepPotPair
+from repro.md import Langevin, Simulation, boltzmann_velocities, fitted_neighbor_list
+from repro.zoo import get_water_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=400)
+    parser.add_argument("--temperature", type=float, default=330.0)
+    parser.add_argument("--stride", type=int, default=10)
+    args = parser.parse_args()
+
+    model = get_water_model()
+    system = water_box((3, 3, 3), seed=2)
+    boltzmann_velocities(system, args.temperature, seed=3)
+    pair = DeepPotPair(model)
+    sim = Simulation(
+        system,
+        pair,
+        dt=0.0005,
+        integrator=Langevin(temperature=args.temperature, damp=0.1, seed=5),
+        neighbor=fitted_neighbor_list(system, pair.cutoff),
+    )
+
+    traj = UnwrappedTrajectory(system.box)
+    traj.add(system.positions)
+
+    def grab(s):
+        if s.step_count % args.stride == 0:
+            traj.add(s.system.positions)
+
+    print(f"Running {args.steps} NVT steps at {args.temperature} K "
+          f"({system.n_atoms} atoms)...")
+    sim.run(args.steps, callback=grab)
+
+    frames = traj.as_array()
+    oxygen = system.types == 0
+    msd = mean_squared_displacement(frames, atom_mask=oxygen)
+    dt_frames = args.stride * 0.0005
+    d_coef = diffusion_coefficient(msd, dt_frames)
+
+    print(f"\n{'t/ps':>8} {'MSD_O/Å²':>10}")
+    for k in range(0, len(msd), max(len(msd) // 12, 1)):
+        print(f"{k * dt_frames:>8.3f} {msd[k]:>10.4f}")
+    print(f"\nD(oxygen) = {d_coef:.4f} Å²/ps "
+          f"(experimental water @300K: ~0.23; a tiny briefly-trained model "
+          f"will differ)")
+    temps = sim.thermo.column("temperature")
+    print(f"mean T over run: {temps.mean():.0f} K")
+
+
+if __name__ == "__main__":
+    main()

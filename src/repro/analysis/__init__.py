@@ -1,0 +1,30 @@
+"""repro.analysis — structure builders and observables.
+
+* :mod:`repro.analysis.structures` — fcc crystals, water boxes, Voronoi
+  nanocrystals (the Fig 7 microstructure);
+* :mod:`repro.analysis.rdf` — radial distribution functions (Fig 4);
+* :mod:`repro.analysis.cna` — common neighbor analysis for fcc/hcp/other
+  classification and stacking-fault identification (Fig 7);
+* :mod:`repro.analysis.stress` — strain-stress recording for tensile runs.
+"""
+
+from repro.analysis.structures import (
+    fcc_lattice,
+    nanocrystal_fcc,
+    water_box,
+)
+from repro.analysis.rdf import radial_distribution
+from repro.analysis.cna import common_neighbor_analysis, CNA_FCC, CNA_HCP, CNA_OTHER
+from repro.analysis.stress import StressStrainRecorder
+
+__all__ = [
+    "fcc_lattice",
+    "nanocrystal_fcc",
+    "water_box",
+    "radial_distribution",
+    "common_neighbor_analysis",
+    "CNA_FCC",
+    "CNA_HCP",
+    "CNA_OTHER",
+    "StressStrainRecorder",
+]

@@ -1,0 +1,52 @@
+"""Strain–stress recording for tensile deformation runs (Fig 7).
+
+The Cauchy stress tensor is computed from the kinetic + virial contributions:
+σ = (Σ m v⊗v + W) / V, reported in GPa with the solid-mechanics sign
+convention (tension positive along the pulled axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.system import System
+from repro.units import EVA3_TO_BAR, MVV_TO_EV
+
+BAR_TO_GPA = 1e-4
+
+
+def stress_tensor(system: System, virial: np.ndarray) -> np.ndarray:
+    """Cauchy stress tensor in GPa (tension positive)."""
+    m = system.atom_masses()
+    kinetic = MVV_TO_EV * np.einsum(
+        "n,ni,nj->ij", m, system.velocities, system.velocities
+    )
+    sigma_ev_a3 = (kinetic + np.asarray(virial).reshape(3, 3)) / system.box.volume
+    # Pressure convention: positive virial trace = outward push = compression
+    # resisted; tensile stress along an axis is the negative of that pressure
+    # component.
+    return -sigma_ev_a3 * EVA3_TO_BAR * BAR_TO_GPA
+
+
+@dataclass
+class StressStrainRecorder:
+    """Accumulates (strain, stress_axis) samples during a deformation run."""
+
+    axis: int = 2
+    strains: list[float] = field(default_factory=list)
+    stresses: list[float] = field(default_factory=list)
+
+    def record(self, system: System, virial: np.ndarray, strain: float) -> float:
+        sigma = stress_tensor(system, virial)
+        s_axis = float(sigma[self.axis, self.axis])
+        self.strains.append(float(strain))
+        self.stresses.append(s_axis)
+        return s_axis
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.strains), np.asarray(self.stresses)
+
+    def peak_stress(self) -> float:
+        return max(self.stresses) if self.stresses else float("nan")

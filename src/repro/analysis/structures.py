@@ -1,0 +1,222 @@
+"""Builders for the paper's benchmark systems.
+
+* :func:`fcc_lattice` — perfect fcc copper cells (strong/weak scaling runs);
+* :func:`water_box` — liquid-water cells of O,H,H molecules on a perturbed
+  lattice (the 4096-molecule system of Secs 5.2.3/7.1, at any size);
+* :func:`nanocrystal_fcc` — Voronoi-construction nanocrystalline metal with
+  randomly oriented grains (the Fig 7 microstructure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.system import System
+from repro.units import MASSES
+
+# fcc basis in fractional coordinates.
+_FCC_BASIS = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ]
+)
+
+#: Experimental fcc lattice constant of copper (Å).
+CU_LATTICE = 3.615
+
+
+def fcc_positions(n_cells: tuple[int, int, int], lattice: float) -> np.ndarray:
+    """Cartesian positions of an fcc lattice with ``n_cells`` unit cells."""
+    nx, ny, nz = n_cells
+    grid = np.stack(
+        np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    pos = (grid[:, None, :] + _FCC_BASIS[None, :, :]).reshape(-1, 3) * lattice
+    return pos
+
+
+def fcc_lattice(
+    n_cells: tuple[int, int, int] = (3, 3, 3),
+    lattice: float = CU_LATTICE,
+    element: str = "Cu",
+) -> System:
+    """A perfect single-crystal fcc system (4 atoms per unit cell)."""
+    pos = fcc_positions(n_cells, lattice)
+    box = Box(np.array(n_cells, dtype=float) * lattice)
+    return System(
+        box=box,
+        positions=pos,
+        types=np.zeros(len(pos), dtype=np.int64),
+        masses=np.array([MASSES.get(element, 63.546)]),
+        type_names=[element],
+    )
+
+
+def water_box(
+    n_molecules_per_dim: tuple[int, int, int] = (4, 4, 4),
+    density_spacing: float = 3.104,
+    jitter: float = 0.05,
+    seed: int = 0,
+) -> System:
+    """Liquid-water cell: molecules on a cubic lattice with random orientations.
+
+    ``density_spacing`` = 3.104 Å per molecule-lattice edge reproduces ambient
+    density (0.997 g/cm^3).  Atoms are ordered O,H,H per molecule with
+    ``mol_ids`` set, as the oracle requires.  A short equilibration run melts
+    the lattice into a liquid.
+    """
+    rng = np.random.default_rng(seed)
+    nx, ny, nz = n_molecules_per_dim
+    n_mol = nx * ny * nz
+    grid = np.stack(
+        np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    centers = (grid + 0.5) * density_spacing
+    centers += rng.normal(scale=jitter, size=centers.shape)
+
+    # SPC/E monomer geometry: O at origin, H at 1.0 Å, 109.47° apart.
+    r_oh = 1.0
+    half = np.deg2rad(109.47 / 2)
+    monomer = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [r_oh * np.sin(half), 0.0, r_oh * np.cos(half)],
+            [-r_oh * np.sin(half), 0.0, r_oh * np.cos(half)],
+        ]
+    )
+
+    positions = np.empty((n_mol * 3, 3))
+    for m in range(n_mol):
+        # Random rotation via QR of a Gaussian matrix (Haar-ish; adequate).
+        q, _ = np.linalg.qr(rng.normal(size=(3, 3)))
+        if np.linalg.det(q) < 0:
+            q[:, 0] *= -1
+        positions[3 * m : 3 * m + 3] = centers[m] + monomer @ q.T
+
+    types = np.tile([0, 1, 1], n_mol)
+    mol_ids = np.repeat(np.arange(n_mol), 3)
+    box = Box(np.array([nx, ny, nz], dtype=float) * density_spacing)
+    sys = System(
+        box=box,
+        positions=positions,
+        types=types,
+        masses=np.array([MASSES["O"], MASSES["H"]]),
+        type_names=["O", "H"],
+        mol_ids=mol_ids,
+    )
+    sys.wrap()
+    return sys
+
+
+def _random_rotations(n: int, rng: np.random.Generator) -> np.ndarray:
+    mats = np.empty((n, 3, 3))
+    for k in range(n):
+        q, _ = np.linalg.qr(rng.normal(size=(3, 3)))
+        if np.linalg.det(q) < 0:
+            q[:, 0] *= -1
+        mats[k] = q
+    return mats
+
+
+def nanocrystal_fcc(
+    box_length: float,
+    n_grains: int = 8,
+    lattice: float = CU_LATTICE,
+    element: str = "Cu",
+    min_separation: float = 2.0,
+    seed: int = 0,
+) -> System:
+    """Voronoi-construction nanocrystal (Fig 7 (a)), Schiøtz-style.
+
+    Random grain centers are drawn in the periodic box; each center and each
+    of its 26 periodic images is an *anchor* carrying the grain's randomly
+    oriented fcc lattice.  A candidate atom (anchor + rotated lattice vector,
+    landing inside the primary box) is kept only when its own anchor is the
+    nearest of all anchors — the periodic Voronoi condition with seamless
+    wrap-around.  Cross-grain contacts closer than ``min_separation`` are
+    then removed, leaving physical grain-boundary gaps.
+    """
+    rng = np.random.default_rng(seed)
+    box = Box([box_length] * 3)
+    centers = rng.uniform(0, box_length, size=(n_grains, 3))
+    rotations = _random_rotations(n_grains, rng)
+
+    # All anchors: grain centers plus their 26 periodic images.
+    shifts = np.array(
+        [
+            [sx, sy, sz]
+            for sx in (-1, 0, 1)
+            for sy in (-1, 0, 1)
+            for sz in (-1, 0, 1)
+        ],
+        dtype=np.float64,
+    ) * box_length
+    anchors = (centers[:, None, :] + shifts[None, :, :]).reshape(-1, 3)
+    anchor_grain = np.repeat(np.arange(n_grains), len(shifts))
+
+    # Lattice block big enough that each anchor's Voronoi region (bounded by
+    # the box size) is fully covered.
+    n_rep = int(np.ceil(2.0 * box_length / lattice)) + 2
+    base = fcc_positions((n_rep, n_rep, n_rep), lattice)
+    base -= base.mean(axis=0)
+
+    kept: list[np.ndarray] = []
+    grain_of: list[np.ndarray] = []
+    anchor_of: list[np.ndarray] = []
+    for a_idx in range(len(anchors)):
+        g = anchor_grain[a_idx]
+        pts = anchors[a_idx] + base @ rotations[g].T
+        inside = np.all((pts >= 0.0) & (pts < box_length), axis=1)
+        pts = pts[inside]
+        if not len(pts):
+            continue
+        # own anchor must be the nearest of all anchors (plain Euclidean —
+        # images are explicit)
+        d2 = ((pts[:, None, :] - anchors[None, :, :]) ** 2).sum(axis=2)
+        mine = d2.argmin(axis=1) == a_idx
+        pts = pts[mine]
+        if len(pts):
+            kept.append(pts)
+            grain_of.append(np.full(len(pts), g))
+            anchor_of.append(np.full(len(pts), a_idx))
+
+    positions = np.concatenate(kept)
+    grains = np.concatenate(grain_of)
+    anchor_ids = np.concatenate(anchor_of)
+
+    # Remove too-close contacts at boundaries.  Anchor identity (not grain id)
+    # distinguishes a grain from its own periodic image, whose lattices meet
+    # at a genuine boundary.
+    from repro.md.neighbor import neighbor_pairs
+
+    tmp = System(
+        box=box,
+        positions=positions,
+        types=np.zeros(len(positions), dtype=np.int64),
+        masses=np.array([MASSES.get(element, 63.546)]),
+    )
+    pi, pj = neighbor_pairs(tmp, min_separation)
+    cross = anchor_ids[pi] != anchor_ids[pj]
+    drop = np.zeros(len(positions), dtype=bool)
+    # Greedy: for each offending boundary pair, drop the later atom.
+    for a, b in zip(pi[cross], pj[cross]):
+        if not drop[a] and not drop[b]:
+            drop[max(a, b)] = True
+    positions = positions[~drop]
+    grains = grains[~drop]
+
+    sys = System(
+        box=box,
+        positions=positions,
+        types=np.zeros(len(positions), dtype=np.int64),
+        masses=np.array([MASSES.get(element, 63.546)]),
+        type_names=[element],
+    )
+    sys.grain_ids = grains  # extra annotation used by tests/examples
+    return sys

@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info      — package/system inventory and model-zoo status
+scaling   — regenerate the Summit scaling tables (Tables 1/4, Figs 5/6)
+validate  — quick self-check: DP forces vs finite differences and
+            distributed-vs-serial agreement (seconds, not the full suite)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    import numpy
+
+    import repro
+    from repro.zoo import DEFAULT_CACHE
+
+    print("repro — reproduction of Jia et al., SC '20 (Gordon Bell)")
+    print(f"package: {repro.__file__}")
+    print(f"numpy:   {numpy.__version__}")
+    print("\nsubsystems:")
+    for name, what in [
+        ("repro.tfmini", "graph tensor engine (TensorFlow substitute)"),
+        ("repro.md", "LAMMPS-like MD substrate"),
+        ("repro.oracles", "ab-initio stand-in potentials"),
+        ("repro.dp", "Deep Potential core (the paper's contribution)"),
+        ("repro.parallel", "simulated MPI + domain decomposition"),
+        ("repro.perfmodel", "calibrated Summit performance model"),
+        ("repro.analysis", "RDF / CNA / structures / stress"),
+    ]:
+        print(f"  {name:<18} {what}")
+    print(f"\nmodel zoo cache: {DEFAULT_CACHE}")
+    if DEFAULT_CACHE.exists():
+        for p in sorted(DEFAULT_CACHE.glob("*.npz")):
+            print(f"  cached: {p.name}")
+    else:
+        print("  (empty — first example run will train the tiny models)")
+    return 0
+
+
+def cmd_scaling(_args) -> int:
+    from repro.perfmodel.report import print_all
+
+    print_all()
+    return 0
+
+
+def cmd_validate(_args) -> int:
+    import numpy as np
+
+    from repro.analysis.structures import water_box
+    from repro.dp.model import DeepPot, DPConfig
+    from repro.md import boltzmann_velocities
+    from repro.md.neighbor import neighbor_pairs
+    from repro.parallel import DistributedSimulation
+
+    print("1/3 building a tiny DP model and a 81-atom water cell...")
+    model = DeepPot(DPConfig.tiny())
+    sys = water_box((3, 3, 3), seed=0)
+    pi, pj = neighbor_pairs(sys, model.config.rcut)
+    res = model.evaluate(sys, pi, pj)
+
+    print("2/3 checking forces against finite differences...")
+    eps, worst = 1e-5, 0.0
+    for atom, comp in ((0, 0), (10, 1), (40, 2)):
+        p0 = sys.positions[atom, comp]
+        sys.positions[atom, comp] = p0 + eps
+        a, b = neighbor_pairs(sys, model.config.rcut)
+        e_plus = model.evaluate(sys, a, b).energy
+        sys.positions[atom, comp] = p0 - eps
+        a, b = neighbor_pairs(sys, model.config.rcut)
+        e_minus = model.evaluate(sys, a, b).energy
+        sys.positions[atom, comp] = p0
+        num = -(e_plus - e_minus) / (2 * eps)
+        worst = max(worst, abs(num - res.forces[atom, comp]))
+    print(f"    max |F_analytic - F_fd| = {worst:.2e} eV/Å")
+    ok_fd = worst < 1e-7
+
+    print("3/3 checking distributed == serial...")
+    big = water_box((4, 4, 4), seed=1)
+    boltzmann_velocities(big, 300.0, seed=2)
+    a, b = neighbor_pairs(big, model.config.rcut)
+    serial_forces = model.evaluate(big, a, b).forces
+    dist = DistributedSimulation(big.copy(), model, grid=(2, 1, 1), dt=5e-4, skin=1.0)
+    diff = float(np.abs(dist.forces_now() - serial_forces).max())
+    print(f"    max |F_dist - F_serial| = {diff:.2e} eV/Å")
+    ok_dist = diff < 1e-10
+
+    if ok_fd and ok_dist:
+        print("\nvalidation PASSED")
+        return 0
+    print("\nvalidation FAILED")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package inventory and zoo status")
+    sub.add_parser("scaling", help="regenerate the Summit scaling tables")
+    sub.add_parser("validate", help="quick end-to-end self check")
+    args = parser.parse_args(argv)
+    return {"info": cmd_info, "scaling": cmd_scaling, "validate": cmd_validate}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

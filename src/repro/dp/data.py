@@ -1,0 +1,170 @@
+"""Labeled datasets for DP training, generated from the oracle potentials.
+
+The pipeline mirrors the paper's: reference (ab initio, here: oracle) MD
+produces configurations; each is labeled with energy/forces/virial; the
+dataset also supplies the descriptor normalization statistics (davg/dstd) and
+the per-type energy bias — exactly DeePMD-kit's ``data_stat`` stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dp.env_mat import env_rows
+from repro.dp.nlist_fmt import format_neighbors
+from repro.dp.ops_optimized import environment_op
+from repro.md.integrators import Langevin
+from repro.md.neighbor import neighbor_pairs
+from repro.md.potential import Potential
+from repro.md.simulation import Simulation
+from repro.md.system import System
+from repro.md.velocity import boltzmann_velocities
+
+
+@dataclass
+class LabeledFrame:
+    """One training configuration with its reference labels."""
+
+    system: System
+    energy: float
+    forces: np.ndarray
+    virial: np.ndarray
+
+    @property
+    def n_atoms(self) -> int:
+        return self.system.n_atoms
+
+
+@dataclass
+class Dataset:
+    """A list of labeled frames plus bookkeeping."""
+
+    frames: list[LabeledFrame] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, i: int) -> LabeledFrame:
+        return self.frames[i]
+
+    def add(self, frame: LabeledFrame) -> None:
+        self.frames.append(frame)
+
+    def split(self, fraction: float, seed: int = 0) -> tuple["Dataset", "Dataset"]:
+        """Random train/validation split."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.frames))
+        n_train = int(round(fraction * len(self.frames)))
+        train = Dataset([self.frames[i] for i in order[:n_train]])
+        valid = Dataset([self.frames[i] for i in order[n_train:]])
+        return train, valid
+
+    # ------------------------------------------------------------------ stats
+
+    def energy_bias(self, n_types: int) -> np.ndarray:
+        """Least-squares per-type atomic energy bias (DeePMD's e0 stats)."""
+        counts = np.array(
+            [np.bincount(f.system.types, minlength=n_types) for f in self.frames],
+            dtype=np.float64,
+        )
+        energies = np.array([f.energy for f in self.frames])
+        bias, *_ = np.linalg.lstsq(counts, energies, rcond=None)
+        return bias
+
+    def descriptor_stats(self, config) -> tuple[np.ndarray, np.ndarray]:
+        """davg/dstd of the environment matrix per neighbor type.
+
+        Statistics include padded slots, matching how normalization is applied
+        at run time (padded rows map to the same constant the real rows
+        approach as r -> r_cut, preserving continuity).
+        """
+        n_types = config.n_types
+        sum_s = np.zeros(n_types)
+        sum_s2 = np.zeros(n_types)
+        sum_r2 = np.zeros(n_types)
+        count = np.zeros(n_types)
+        for frame in self.frames:
+            sysf = frame.system
+            pi, pj = neighbor_pairs(sysf, config.rcut)
+            fmt = format_neighbors(sysf, pi, pj, config.rcut, config.sel)
+            em, _ed, _rij = environment_op(sysf, fmt, config.rcut_smth, config.rcut)
+            slot_t = fmt.slot_types()
+            for t in range(n_types):
+                block = em[:, slot_t == t, :]
+                sum_s[t] += block[..., 0].sum()
+                sum_s2[t] += (block[..., 0] ** 2).sum()
+                sum_r2[t] += (block[..., 1:] ** 2).sum()
+                count[t] += block[..., 0].size
+        count = np.maximum(count, 1)
+        mean_s = sum_s / count
+        std_s = np.sqrt(np.maximum(sum_s2 / count - mean_s**2, 0.0))
+        std_r = np.sqrt(sum_r2 / (3 * count))
+        protect = 1e-2
+        davg = np.zeros((n_types, 4))
+        davg[:, 0] = mean_s
+        dstd = np.empty((n_types, 4))
+        dstd[:, 0] = np.maximum(std_s, protect)
+        dstd[:, 1:] = np.maximum(std_r, protect)[:, None]
+        return davg, dstd
+
+    def apply_stats(self, model) -> None:
+        """Install davg/dstd/e0 computed from this dataset into ``model``."""
+        davg, dstd = self.descriptor_stats(model.config)
+        e0 = self.energy_bias(model.config.n_types)
+        model.set_stats(davg, dstd, e0)
+
+
+def label_frames(systems: Sequence[System], oracle: Potential) -> Dataset:
+    """Evaluate the oracle on each configuration to produce labels."""
+    ds = Dataset()
+    for sysf in systems:
+        res = oracle.compute_dense(sysf)
+        ds.add(
+            LabeledFrame(
+                system=sysf.copy(),
+                energy=res.energy,
+                forces=res.forces.copy(),
+                virial=res.virial.copy(),
+            )
+        )
+    return ds
+
+
+def sample_md_frames(
+    system: System,
+    potential: Potential,
+    n_frames: int,
+    stride: int = 20,
+    dt: float = 0.0005,
+    temperature: float = 330.0,
+    equilibration: int = 50,
+    seed: int = 0,
+) -> list[System]:
+    """Run oracle MD and harvest snapshots — the "AIMD trajectory" stage.
+
+    Langevin dynamics at the paper's 330 K keeps short sampling runs stable
+    regardless of the starting configuration.
+    """
+    from repro.md.neighbor import fitted_neighbor_list
+
+    sysw = system.copy()
+    boltzmann_velocities(sysw, temperature, seed=seed)
+    neighbor = fitted_neighbor_list(sysw, potential.cutoff)
+    sim = Simulation(
+        sysw,
+        potential,
+        dt=dt,
+        integrator=Langevin(temperature=temperature, damp=0.1, seed=seed),
+        thermo_every=max(stride, 1),
+        neighbor=neighbor,
+    )
+    if equilibration:
+        sim.run(equilibration)
+    frames: list[System] = []
+    for _ in range(n_frames):
+        sim.run(stride)
+        frames.append(sysw.copy())
+    return frames

@@ -1,0 +1,90 @@
+"""The smoothed environment matrix R~ — the DP descriptor's raw input.
+
+For center atom i and neighbor j at displacement d = r_j - r_i, |d| = r:
+
+    s(r) = 1/r                            r <  r_smth
+         = (1/r) * S(u)                   r_smth <= r < r_cut
+         = 0                              r >= r_cut
+
+with u = (r - r_smth)/(r_cut - r_smth) and the quintic switch
+S(u) = u^3(-6u^2 + 15u - 10) + 1 (C^2 at both ends).  The row of R~ is
+
+    (s(r),  s(r)·x/r,  s(r)·y/r,  s(r)·z/r).
+
+:func:`env_row_and_deriv` also returns dR~/dd — the (4, 3) Jacobian w.r.t.
+the *neighbor* position — which ProdForce/ProdVirial consume.  Everything
+here is plain math shared by the baseline and optimized operator sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def smooth_weight(r: np.ndarray, r_smth: float, r_cut: float):
+    """s(r) and ds/dr, vectorized; r may contain zeros (padded slots)."""
+    r = np.asarray(r, dtype=np.float64)
+    safe_r = np.where(r > 0, r, 1.0)
+    inv_r = np.where(r > 0, 1.0 / safe_r, 0.0)
+
+    s = inv_r.copy()
+    ds = -inv_r * inv_r  # d(1/r)/dr
+
+    mid = (r >= r_smth) & (r < r_cut)
+    u = (r[mid] - r_smth) / (r_cut - r_smth)
+    sw = u**3 * (-6.0 * u**2 + 15.0 * u - 10.0) + 1.0
+    dsw = -30.0 * u**2 * (u - 1.0) ** 2 / (r_cut - r_smth)
+    s[mid] = inv_r[mid] * sw
+    ds[mid] = -inv_r[mid] ** 2 * sw + inv_r[mid] * dsw
+
+    out = r >= r_cut
+    s[out] = 0.0
+    ds[out] = 0.0
+    zero = r <= 0
+    s[zero] = 0.0
+    ds[zero] = 0.0
+    return s, ds
+
+
+def env_rows(disp: np.ndarray, r_smth: float, r_cut: float):
+    """Environment rows and derivatives for displacement vectors.
+
+    Parameters
+    ----------
+    disp:
+        (..., 3) displacements d = r_j - r_i; zero rows mean padded slots.
+
+    Returns
+    -------
+    rows:
+        (..., 4) — the R~ rows.
+    deriv:
+        (..., 4, 3) — d rows / d d (derivative w.r.t. neighbor position).
+    r:
+        (...,) distances.
+    """
+    disp = np.asarray(disp, dtype=np.float64)
+    r = np.sqrt(np.einsum("...i,...i->...", disp, disp))
+    s, ds = smooth_weight(r, r_smth, r_cut)
+
+    safe_r = np.where(r > 0, r, 1.0)
+    u = disp / safe_r[..., None]  # unit vectors; zero rows stay finite
+    u = np.where(r[..., None] > 0, u, 0.0)
+
+    rows = np.empty(disp.shape[:-1] + (4,))
+    rows[..., 0] = s
+    rows[..., 1:] = s[..., None] * u
+
+    # dR0/dd_k = ds/dr * u_k
+    # dRc/dd_k = ds/dr u_k u_c + s (δ_ck - u_c u_k)/r
+    deriv = np.zeros(disp.shape[:-1] + (4, 3))
+    deriv[..., 0, :] = ds[..., None] * u
+    eye = np.eye(3)
+    s_over_r = np.where(r > 0, s / safe_r, 0.0)
+    deriv[..., 1:, :] = (
+        ds[..., None, None] * u[..., :, None] * u[..., None, :]
+        + s_over_r[..., None, None] * (eye - u[..., :, None] * u[..., None, :])
+    )
+    mask = (r > 0) & (r < r_cut)
+    deriv *= mask[..., None, None]
+    return rows, deriv, r

@@ -1,0 +1,114 @@
+"""Embedding and fitting networks with the paper's skip connections (Fig 1).
+
+* Dense layer (Fig 1 (e)): y = tanh(x·W + b).
+* Embedding skip layer (Fig 1 (f)): when out = 2·in, y = (x, x) + tanh(x·W + b)
+  — the CONCAT+SUM pattern the Sec 5.3.2 pass fuses into a GEMM.
+* Fitting skip layer (Fig 1 (g)): when out = in, y = x + tanh(x·W + b).
+
+Weights are created as tfmini Variables in the dtype of the precision policy
+(fp64 or fp32 for the mixed mode of Sec 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+import repro.tfmini as tf
+from repro.tfmini.graph import Node, Variable
+
+
+@dataclass
+class NetworkParams:
+    """Weight container for one MLP; ordered [(W, b), ...] plus final layer."""
+
+    weights: list[Variable] = field(default_factory=list)
+    biases: list[Variable] = field(default_factory=list)
+
+    def variables(self) -> list[Variable]:
+        out: list[Variable] = []
+        for w, b in zip(self.weights, self.biases):
+            out.append(w)
+            out.append(b)
+        return out
+
+
+def _init_layer(rng, n_in: int, n_out: int, dtype, name: str):
+    w = tf.variable(
+        (rng.normal(size=(n_in, n_out)) / np.sqrt(n_in + n_out)).astype(dtype),
+        name=f"{name}_W",
+    )
+    b = tf.variable((rng.normal(size=n_out) * 0.001).astype(dtype), name=f"{name}_b")
+    return w, b
+
+
+def build_embedding_params(
+    rng: np.random.Generator,
+    layers: Sequence[int],
+    dtype=np.float64,
+    name: str = "embed",
+) -> NetworkParams:
+    """Parameters for an embedding net mapping s(r) (dim 1) -> layers[-1]."""
+    params = NetworkParams()
+    n_in = 1
+    for k, n_out in enumerate(layers):
+        w, b = _init_layer(rng, n_in, n_out, dtype, f"{name}_l{k}")
+        params.weights.append(w)
+        params.biases.append(b)
+        n_in = n_out
+    return params
+
+
+def apply_embedding(params: NetworkParams, x: Node, layers: Sequence[int]) -> Node:
+    """Embedding net forward: dense first layer, then doubling skip layers."""
+    n_in = 1
+    h = x
+    for k, n_out in enumerate(layers):
+        pre = tf.add(tf.matmul(h, params.weights[k]), params.biases[k])
+        act = tf.tanh(pre)
+        if n_out == 2 * n_in:
+            h = tf.add(tf.concat(h, h, axis=1), act)  # Fig 1 (f)
+        elif n_out == n_in:
+            h = tf.add(h, act)
+        else:
+            h = act  # Fig 1 (e), e.g. the 1 -> 25 input layer
+        n_in = n_out
+    return h
+
+
+def build_fitting_params(
+    rng: np.random.Generator,
+    n_input: int,
+    layers: Sequence[int],
+    dtype=np.float64,
+    name: str = "fit",
+) -> NetworkParams:
+    """Parameters for a fitting net mapping descriptor -> scalar energy."""
+    params = NetworkParams()
+    n_in = n_input
+    for k, n_out in enumerate(layers):
+        w, b = _init_layer(rng, n_in, n_out, dtype, f"{name}_l{k}")
+        params.weights.append(w)
+        params.biases.append(b)
+        n_in = n_out
+    w, b = _init_layer(rng, n_in, 1, dtype, f"{name}_out")
+    params.weights.append(w)
+    params.biases.append(b)
+    return params
+
+
+def apply_fitting(params: NetworkParams, d: Node, layers: Sequence[int]) -> Node:
+    """Fitting net forward: residual skip layers + linear output (Fig 1 (d,g))."""
+    h = d
+    n_in = None
+    for k, n_out in enumerate(layers):
+        pre = tf.add(tf.matmul(h, params.weights[k]), params.biases[k])
+        act = tf.tanh(pre)
+        if n_in == n_out:
+            h = tf.add(h, act)  # Fig 1 (g) residual
+        else:
+            h = act
+        n_in = n_out
+    return tf.add(tf.matmul(h, params.weights[-1]), params.biases[-1])

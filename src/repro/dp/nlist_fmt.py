@@ -1,0 +1,251 @@
+"""Neighbor-list formatting: the paper's Sec 5.2.1 layout and Sec 5.2.2 codec.
+
+The DP descriptor is permutationally invariant, so any neighbor order is
+physically equivalent.  The optimized DeePMD-kit exploits this by fixing a
+*canonical* order per atom:
+
+1. sort neighbors by atomic type;
+2. within each type, sort by distance (nearest first);
+3. pad each type block to its cutoff count ``sel[t]`` with empty slots.
+
+The padding removes per-neighbor type branching from the embedding-matrix
+computation (every slot in a block has the same type), and distance sorting
+guarantees that when an atom briefly has more neighbors of a type than
+``sel[t]``, the *farthest* ones are dropped — avoiding the unphysical
+artifacts Sec 5.2.1 warns about.
+
+The 64-bit codec packs one neighbor record into an unsigned integer
+
+    key = type * 10^15 + floor(dist * 10^8) * 10^5 + index
+
+(4 digits of type, 10 of distance, 5 of index), so a single scalar sort
+replaces a struct sort.  Field-range violations (index >= 10^5, distance >=
+100 Å) raise instead of silently corrupting keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.neighbor import full_pairs
+from repro.md.system import System
+
+# Codec field scales (paper Sec 5.2.2).
+_TYPE_SCALE = np.uint64(10**15)
+_DIST_SCALE = np.uint64(10**5)
+_DIST_QUANTUM = 1.0e8  # distance resolution: 1e-8 Å
+_MAX_INDEX = 10**5
+_MAX_DIST = 100.0  # Å, 10 digits of quantized distance
+_MAX_TYPE = 10**4  # 4 digits
+
+#: Marker for padded (empty) neighbor slots.
+PAD = -1
+
+
+def compress_entries(
+    types: np.ndarray, dists: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Pack (type, distance, index) records into uint64 sort keys."""
+    types = np.asarray(types)
+    dists = np.asarray(dists, dtype=np.float64)
+    indices = np.asarray(indices)
+    if indices.size and indices.max() >= _MAX_INDEX:
+        raise ValueError(
+            f"neighbor index {indices.max()} exceeds the codec's 5-digit field "
+            f"(>= {_MAX_INDEX}); the paper notes this range is 'rarely exceeded' "
+            f"per MPI sub-domain — shrink the sub-domain"
+        )
+    if indices.size and indices.min() < 0:
+        raise ValueError("negative neighbor index cannot be encoded")
+    if dists.size and dists.max() >= _MAX_DIST:
+        raise ValueError(
+            f"distance {dists.max():.3f} Å exceeds the codec's 10-digit field"
+        )
+    if types.size and (types.max() >= _MAX_TYPE or types.min() < 0):
+        raise ValueError("atomic type outside the codec's 4-digit field")
+    key = (
+        types.astype(np.uint64) * _TYPE_SCALE
+        + np.floor(dists * _DIST_QUANTUM).astype(np.uint64) * _DIST_SCALE
+        + indices.astype(np.uint64)
+    )
+    return key
+
+
+def decompress_entries(keys: np.ndarray):
+    """Unpack uint64 keys back to (type, quantized distance, index)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    types = (keys // _TYPE_SCALE).astype(np.int64)
+    rem = keys % _TYPE_SCALE
+    dists = (rem // _DIST_SCALE).astype(np.float64) / _DIST_QUANTUM
+    indices = (rem % _DIST_SCALE).astype(np.int64)
+    return types, dists, indices
+
+
+@dataclass
+class FormattedNeighbors:
+    """The padded, canonical neighbor layout consumed by the DP operators.
+
+    Attributes
+    ----------
+    nlist:
+        (nloc, nnei) int array of neighbor atom indices, PAD (-1) in empty
+        slots.  Slot ranges [sel_start[t], sel_start[t+1]) hold type-t
+        neighbors sorted by distance.
+    sel:
+        Neighbors retained per type (the paper: water [46, 92], Cu [500]).
+    sel_start:
+        Prefix offsets of the type blocks within a row.
+    n_dropped:
+        Number of true neighbors discarded because a type block overflowed
+        ``sel[t]`` (distance sorting guarantees these are the farthest).
+    """
+
+    nlist: np.ndarray
+    sel: tuple[int, ...]
+    sel_start: tuple[int, ...]
+    n_dropped: int = 0
+
+    @property
+    def nloc(self) -> int:
+        return self.nlist.shape[0]
+
+    @property
+    def nnei(self) -> int:
+        return self.nlist.shape[1]
+
+    def mask(self) -> np.ndarray:
+        """Boolean (nloc, nnei): True where a real neighbor occupies the slot."""
+        return self.nlist != PAD
+
+    def slot_types(self) -> np.ndarray:
+        """(nnei,) type index of each slot in the canonical layout."""
+        out = np.empty(self.nnei, dtype=np.int64)
+        for t, s in enumerate(self.sel):
+            out[self.sel_start[t] : self.sel_start[t] + s] = t
+        return out
+
+
+def _gather_raw(
+    system: System,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    rcut: float,
+    nloc: int,
+    pbc: bool,
+):
+    """Per-pair (i, j, dist) within rcut, directed, centers restricted to
+    the first ``nloc`` atoms (locals; the rest are ghosts)."""
+    fi, fj = full_pairs(pair_i, pair_j)
+    disp = system.positions[fj] - system.positions[fi]
+    if pbc:
+        disp = system.box.minimum_image(disp)
+    r = np.sqrt(np.einsum("ij,ij->i", disp, disp))
+    keep = (r <= rcut) & (fi < nloc)
+    return fi[keep], fj[keep], r[keep]
+
+
+def format_neighbors(
+    system: System,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    rcut: float,
+    sel: Sequence[int],
+    use_compression: bool = True,
+    nloc: Optional[int] = None,
+    pbc: bool = True,
+) -> FormattedNeighbors:
+    """Build the canonical padded neighbor layout (the optimized path).
+
+    ``pair_i/pair_j`` is a half list that may include skin pairs; distances
+    are re-measured and filtered to ``rcut``.  When ``use_compression`` is
+    True, the (type, dist, index) sort uses the 64-bit scalar keys; otherwise
+    an equivalent lexicographic record sort is used.  Both produce the same
+    canonical order — the codec exists for speed, not semantics (keys quantize
+    distance to 1e-8 Å, so exact ties may order differently; physically
+    equivalent by permutation invariance).
+
+    ``nloc`` restricts descriptor rows to the first nloc atoms (the MPI-local
+    atoms of Fig 1 (a)); neighbor indices may point into the ghost region.
+    """
+    sel = tuple(int(s) for s in sel)
+    if len(sel) != system.n_types:
+        raise ValueError(f"sel has {len(sel)} entries for {system.n_types} types")
+    nloc = system.n_atoms if nloc is None else int(nloc)
+    nnei = int(sum(sel))
+    sel_start = tuple(int(x) for x in np.concatenate([[0], np.cumsum(sel)[:-1]]))
+
+    fi, fj, r = _gather_raw(system, pair_i, pair_j, rcut, nloc, pbc)
+    tj = system.types[fj]
+
+    if use_compression:
+        keys = compress_entries(tj, r, fj)
+        order = np.lexsort((keys, fi))
+    else:
+        order = np.lexsort((fj, r, tj, fi))
+    fi, fj, r, tj = fi[order], fj[order], r[order], tj[order]
+
+    nlist = np.full((nloc, nnei), PAD, dtype=np.int64)
+    n_dropped = 0
+    if fi.size:
+        # Rank of each entry within its (atom, type) group — vectorized via
+        # sorted-run arithmetic: entries are grouped by (fi, tj) after sorting.
+        group_change = np.empty(fi.size, dtype=bool)
+        group_change[0] = True
+        group_change[1:] = (fi[1:] != fi[:-1]) | (tj[1:] != tj[:-1])
+        group_id = np.cumsum(group_change) - 1
+        group_first = np.flatnonzero(group_change)
+        rank = np.arange(fi.size) - group_first[group_id]
+
+        sel_arr = np.asarray(sel)
+        start_arr = np.asarray(sel_start)
+        keep = rank < sel_arr[tj]
+        n_dropped = int(np.count_nonzero(~keep))
+        cols = start_arr[tj[keep]] + rank[keep]
+        nlist[fi[keep], cols] = fj[keep]
+
+    return FormattedNeighbors(nlist=nlist, sel=sel, sel_start=sel_start, n_dropped=n_dropped)
+
+
+def format_neighbors_baseline(
+    system: System,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    rcut: float,
+    sel: Sequence[int],
+    nloc: Optional[int] = None,
+    pbc: bool = True,
+) -> FormattedNeighbors:
+    """Reference AoS implementation: per-atom Python lists of (type, dist, j)
+    records sorted with tuple comparison — the pre-optimization data path.
+
+    Exists for Table 3 / Sec 5.2 benchmarking and as a differential-testing
+    oracle for :func:`format_neighbors`.
+    """
+    sel = tuple(int(s) for s in sel)
+    nloc = system.n_atoms if nloc is None else int(nloc)
+    nnei = int(sum(sel))
+    sel_start = list(np.concatenate([[0], np.cumsum(sel)[:-1]]).astype(int))
+
+    fi, fj, r = _gather_raw(system, pair_i, pair_j, rcut, nloc, pbc)
+    records: list[list[tuple]] = [[] for _ in range(nloc)]
+    for a, b, dist in zip(fi.tolist(), fj.tolist(), r.tolist()):
+        records[a].append((int(system.types[b]), dist, b))
+
+    nlist = np.full((nloc, nnei), PAD, dtype=np.int64)
+    n_dropped = 0
+    for a in range(nloc):
+        records[a].sort()
+        fill = [0] * len(sel)
+        for t, _dist, b in records[a]:
+            if fill[t] < sel[t]:
+                nlist[a, sel_start[t] + fill[t]] = b
+                fill[t] += 1
+            else:
+                n_dropped += 1
+    return FormattedNeighbors(
+        nlist=nlist, sel=sel, sel_start=tuple(sel_start), n_dropped=n_dropped
+    )

@@ -1,0 +1,104 @@
+"""Baseline customized operators — the pre-optimization DeePMD-kit CPU path.
+
+These mirror the original serial implementation the paper benchmarks against
+in Table 3: per-atom Python loops over AoS neighbor records, with explicit
+per-neighbor branching on the atomic type when locating the slot in the
+embedding layout.  They produce *bit-comparable* results to the optimized
+operators (differential-tested), and exist so the Table 3 speedups can be
+measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dp.env_mat import smooth_weight
+from repro.dp.nlist_fmt import PAD, FormattedNeighbors
+from repro.md.system import System
+
+
+def environment_baseline(
+    system: System,
+    fmt: FormattedNeighbors,
+    r_smth: float,
+    r_cut: float,
+    pbc: bool = True,
+):
+    """Loop/branch implementation of the Environment operator."""
+    nloc, nnei = fmt.nlist.shape
+    em = np.zeros((nloc, nnei, 4))
+    em_deriv = np.zeros((nloc, nnei, 4, 3))
+    rij = np.zeros((nloc, nnei, 3))
+    lengths = system.box.lengths
+    pos = system.positions
+    eye = np.eye(3)
+
+    for i in range(nloc):
+        for jj in range(nnei):
+            j = fmt.nlist[i, jj]
+            if j == PAD:
+                continue  # the branch the optimized layout removes
+            d = pos[j] - pos[i]
+            if pbc:
+                # minimum image, scalar form
+                d = d - lengths * np.round(d / lengths)
+            r = math.sqrt(d @ d)
+            rij[i, jj] = d
+            s_arr, ds_arr = smooth_weight(np.array([r]), r_smth, r_cut)
+            s, ds = float(s_arr[0]), float(ds_arr[0])
+            if s == 0.0 and ds == 0.0:
+                continue
+            u = d / r
+            em[i, jj, 0] = s
+            em[i, jj, 1:] = s * u
+            em_deriv[i, jj, 0, :] = ds * u
+            em_deriv[i, jj, 1:, :] = ds * np.outer(u, u) + (s / r) * (
+                eye - np.outer(u, u)
+            )
+    return em, em_deriv, rij
+
+
+def prod_force_baseline(
+    net_deriv: np.ndarray,
+    em_deriv: np.ndarray,
+    nlist: np.ndarray,
+    atom_idx: np.ndarray,
+    natoms: int,
+) -> np.ndarray:
+    """Loop implementation of ProdForce."""
+    forces = np.zeros((natoms, 3))
+    nloc, nnei = nlist.shape
+    for row in range(nloc):
+        i = atom_idx[row]
+        for jj in range(nnei):
+            j = nlist[row, jj]
+            if j == PAD:
+                continue
+            contrib = np.zeros(3)
+            for c in range(4):
+                contrib += net_deriv[row, jj, c] * em_deriv[row, jj, c]
+            forces[i] += contrib
+            forces[j] -= contrib
+    return forces
+
+
+def prod_virial_baseline(
+    net_deriv: np.ndarray,
+    em_deriv: np.ndarray,
+    rij: np.ndarray,
+    nlist: np.ndarray,
+) -> np.ndarray:
+    """Loop implementation of ProdVirial."""
+    virial = np.zeros((3, 3))
+    nloc, nnei = nlist.shape
+    for row in range(nloc):
+        for jj in range(nnei):
+            if nlist[row, jj] == PAD:
+                continue
+            de_dd = np.zeros(3)
+            for c in range(4):
+                de_dd += net_deriv[row, jj, c] * em_deriv[row, jj, c]
+            virial -= np.outer(rij[row, jj], de_dd)
+    return virial

@@ -1,0 +1,161 @@
+"""Optimized customized operators: Environment, ProdForce, ProdVirial.
+
+These are the GPU kernels of Sec 5.2.2, reproduced as fully vectorized NumPy
+on the padded canonical layout from :mod:`repro.dp.nlist_fmt` — no
+per-neighbor branching, contiguous SoA arrays, scatter-adds for force
+accumulation.  They are also registered as tfmini graph operators (with
+VJPs w.r.t. the network derivative) so force-matching training can backprop
+through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dp.env_mat import env_rows
+from repro.dp.nlist_fmt import PAD, FormattedNeighbors
+from repro.md.system import System
+from repro.tfmini.graph import Node
+from repro.tfmini.ops import register_op
+
+
+def environment_op(
+    system: System,
+    fmt: FormattedNeighbors,
+    r_smth: float,
+    r_cut: float,
+    pbc: bool = True,
+):
+    """Compute R~, dR~/dd, and rij for every (atom, slot).
+
+    Returns
+    -------
+    em:       (nloc, nnei, 4)
+    em_deriv: (nloc, nnei, 4, 3)
+    rij:      (nloc, nnei, 3)   displacements r_j - r_i (zero in padded slots)
+    """
+    nlist = fmt.nlist
+    nloc = nlist.shape[0]
+    mask = nlist != PAD
+    safe = np.where(mask, nlist, 0)
+    disp = system.positions[safe] - system.positions[:nloc, None, :]
+    if pbc:
+        disp = system.box.minimum_image(disp)
+    disp = np.where(mask[..., None], disp, 0.0)
+    em, em_deriv, _r = env_rows(disp, r_smth, r_cut)
+    return em, em_deriv, disp
+
+
+def prod_force_op(
+    net_deriv: np.ndarray,
+    em_deriv: np.ndarray,
+    nlist: np.ndarray,
+    atom_idx: np.ndarray,
+    natoms: int,
+) -> np.ndarray:
+    """Assemble forces from dE/dR~ (Sec 5.2.2's ProdForce).
+
+    ``net_deriv`` rows are in the model's (type-sorted) atom order;
+    ``atom_idx`` maps each row back to its original atom index.  For slot
+    (i, jj) with neighbor j:  F_i += Σ_c nd[i,jj,c]·ed[i,jj,c,:]  and
+    F_j -= the same (since dR~/dr_i = -dR~/dr_j).
+    """
+    forces = np.zeros((natoms, 3))
+    # Σ_c nd * ed  -> per-slot 3-vector: dE/d r_j  (before sign)
+    slot = np.einsum("ijc,ijck->ijk", net_deriv, em_deriv)
+    # center-atom accumulation
+    np.add.at(forces, atom_idx, slot.sum(axis=1))
+    # neighbor scatter
+    mask = nlist != PAD
+    np.add.at(forces, nlist[mask], -slot[mask])
+    return forces
+
+
+def prod_virial_op(
+    net_deriv: np.ndarray,
+    em_deriv: np.ndarray,
+    rij: np.ndarray,
+    nlist: np.ndarray,
+) -> np.ndarray:
+    """Assemble the virial tensor from dE/dR~ (Sec 5.2.2's ProdVirial).
+
+    W = -Σ_slots d_ij ⊗ (dE/dd_ij) with d_ij = r_j - r_i.
+    """
+    slot = np.einsum("ijc,ijck->ijk", net_deriv, em_deriv)  # dE/dd per slot
+    return -np.einsum("ija,ijb->ab", rij, slot)
+
+
+# ---------------------------------------------------------------------------
+# tfmini graph registration (training path)
+# ---------------------------------------------------------------------------
+
+
+def _fwd_prod_force(inputs, attrs):
+    net_deriv, em_deriv, nlist, atom_idx, natoms_vec = inputs
+    return prod_force_op(
+        net_deriv, em_deriv, nlist.astype(np.int64), atom_idx.astype(np.int64),
+        int(natoms_vec.reshape(-1)[0]),
+    )
+
+
+def _vjp_prod_force(node, g):
+    # Only the network derivative is a differentiation path; geometry inputs
+    # (em_deriv, nlist, atom_idx) are constants w.r.t. model parameters.
+    nd, ed, nlist, aidx, nvec = node.inputs
+    return [Node("prod_force_grad", (g, ed, nlist, aidx)), None, None, None, None]
+
+
+def _fwd_prod_force_grad(inputs, attrs):
+    g, em_deriv, nlist, atom_idx = inputs
+    nlist = nlist.astype(np.int64)
+    atom_idx = atom_idx.astype(np.int64)
+    # dL/dnd[i,jj,c] = Σ_k ed[i,jj,c,k] (g[center_i,k] - g[j,k])
+    mask = nlist != PAD
+    safe = np.where(mask, nlist, 0)
+    g_nb = np.where(mask[..., None], g[safe], 0.0)
+    diff = g[atom_idx][:, None, :] - g_nb  # (nloc, nnei, 3)
+    return np.einsum("ijck,ijk->ijc", em_deriv, diff)
+
+
+register_op(
+    "prod_force",
+    _fwd_prod_force,
+    vjp=_vjp_prod_force,
+    flops=lambda node, ins, out: ins[0].size * 3 * 2,
+)
+register_op(
+    "prod_force_grad",
+    _fwd_prod_force_grad,
+    # Second-order: linear in g, so its VJP is prod_force applied to the
+    # cotangent — but training never needs third derivatives; omit.
+    flops=lambda node, ins, out: out.size * 3 * 2,
+)
+
+
+def _fwd_prod_virial(inputs, attrs):
+    net_deriv, em_deriv, rij, nlist = inputs
+    return prod_virial_op(net_deriv, em_deriv, rij, nlist.astype(np.int64))
+
+
+def _vjp_prod_virial(node, g):
+    nd, ed, rij, nlist = node.inputs
+    return [Node("prod_virial_grad", (g, ed, rij)), None, None, None]
+
+
+def _fwd_prod_virial_grad(inputs, attrs):
+    g, em_deriv, rij = inputs
+    # dL/dnd[i,jj,c] = -Σ_{a,b} g[a,b] rij[i,jj,a] ed[i,jj,c,b]
+    return -np.einsum("ab,ija,ijcb->ijc", g, rij, em_deriv)
+
+
+register_op(
+    "prod_virial",
+    _fwd_prod_virial,
+    vjp=_vjp_prod_virial,
+    flops=lambda node, ins, out: ins[0].size * 9 * 2,
+)
+register_op(
+    "prod_virial_grad",
+    _fwd_prod_virial_grad,
+    flops=lambda node, ins, out: out.size * 9 * 2,
+)

@@ -1,0 +1,31 @@
+"""``pair_style deepmd`` — the adapter that plugs DeepPot into repro.md.
+
+Mirrors the paper's Sec 5.4 design: LAMMPS (repro.md) owns the atoms and the
+spatial bookkeeping; the DP model replaces the EFF force computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.model import DeepPot
+from repro.md.potential import Potential, PotentialResult
+from repro.md.system import System
+
+
+@dataclass
+class DeepPotPair(Potential):
+    """Potential interface around a DeepPot model."""
+
+    model: DeepPot
+    backend: str = "optimized"
+
+    def __post_init__(self):
+        self.cutoff = self.model.config.rcut
+
+    def compute(
+        self, system: System, pair_i: np.ndarray, pair_j: np.ndarray
+    ) -> PotentialResult:
+        return self.model.evaluate(system, pair_i, pair_j, backend=self.backend)

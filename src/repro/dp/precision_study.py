@@ -1,0 +1,77 @@
+"""Precision study: why the paper uses fp32 but rejects fp16 (Sec 5.2.3).
+
+"We remark that although half precision is more power efficient on the
+NVIDIA V100 GPU than single precision (120 TFLOPS against 14 TFLOPS), our
+tests show that, due to the limited representation range with 16 binary
+bits, the corresponding DP model cannot preserve the required accuracy of
+the energy and forces."
+
+:func:`precision_sweep` reproduces that test: the same trained model is
+evaluated with its network parameters and activations cast to fp64, fp32,
+and fp16, and the deviations from the fp64 reference are reported.  The
+expected shape: fp32 deviations are negligible (orders of magnitude below
+the training error), fp16 deviations are orders of magnitude larger than
+fp32 — disqualifying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.dp.model import DeepPot
+from repro.md.neighbor import neighbor_pairs
+from repro.md.system import System
+
+
+@dataclass
+class PrecisionResult:
+    precision: str
+    energy_dev_per_atom: float  # |ΔE|/N vs fp64, eV
+    force_rmsd: float  # eV/Å
+    force_max_dev: float  # eV/Å
+
+
+def _clone_at_dtype(model: DeepPot, dtype) -> DeepPot:
+    """Clone a model with network parameters stored/executed at ``dtype``."""
+    precision = {np.float64: "double", np.float32: "mixed"}.get(dtype)
+    if precision is not None:
+        cfg = replace(model.config, precision=precision)
+        clone = DeepPot(cfg)
+        for vs, vd in zip(model.trainable_variables(), clone.trainable_variables()):
+            vd.assign(vs.value.astype(vd.value.dtype))
+        clone.set_stats(model.davg, model.dstd, model.e0)
+        return clone
+    # fp16 has no engine mode (the paper rejects it); emulate by rounding the
+    # parameters through fp16 inside the fp32 engine — this captures the
+    # 10-bit mantissa's representation error, the paper's stated failure mode.
+    cfg = replace(model.config, precision="mixed")
+    clone = DeepPot(cfg)
+    for vs, vd in zip(model.trainable_variables(), clone.trainable_variables()):
+        vd.assign(vs.value.astype(np.float16).astype(np.float32))
+    davg = model.davg.astype(np.float16).astype(np.float64)
+    dstd = model.dstd.astype(np.float16).astype(np.float64)
+    clone.set_stats(davg, np.maximum(dstd, 1e-2), model.e0)
+    return clone
+
+
+def precision_sweep(model: DeepPot, system: System) -> list[PrecisionResult]:
+    """Evaluate ``system`` at fp64 / fp32 / fp16-emulated parameter precision."""
+    pi, pj = neighbor_pairs(system, model.config.rcut)
+    reference = _clone_at_dtype(model, np.float64).evaluate(system, pi, pj)
+
+    out: list[PrecisionResult] = []
+    for name, dtype in (("fp64", np.float64), ("fp32", np.float32), ("fp16", np.float16)):
+        res = _clone_at_dtype(model, dtype).evaluate(system, pi, pj)
+        df = res.forces - reference.forces
+        out.append(
+            PrecisionResult(
+                precision=name,
+                energy_dev_per_atom=abs(res.energy - reference.energy)
+                / system.n_atoms,
+                force_rmsd=float(np.sqrt(np.mean(df**2))),
+                force_max_dev=float(np.abs(df).max()),
+            )
+        )
+    return out

@@ -1,0 +1,79 @@
+"""Model persistence: DPConfig + statistics + weights in a single .npz.
+
+The optimized setup path of Sec 7.3 reads the model file once and broadcasts
+it; :func:`model_bytes`/:func:`model_from_bytes` expose the serialized blob
+for :mod:`repro.parallel.staging`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.dp.model import DeepPot, DPConfig
+
+
+def _pack(model: DeepPot) -> dict:
+    arrays = {
+        "davg": model.davg,
+        "dstd": model.dstd,
+        "e0": model.e0,
+    }
+    for kind, plist in (
+        ("embed", model.embedding_params),
+        ("fit", model.fitting_params),
+    ):
+        for t, params in enumerate(plist):
+            for k, (w, b) in enumerate(zip(params.weights, params.biases)):
+                arrays[f"{kind}_{t}_{k}_W"] = w.value
+                arrays[f"{kind}_{t}_{k}_b"] = b.value
+    cfg = asdict(model.config)
+    arrays["config_json"] = np.frombuffer(
+        json.dumps(cfg).encode("utf-8"), dtype=np.uint8
+    )
+    return arrays
+
+
+def _unpack(arrays) -> DeepPot:
+    cfg_dict = json.loads(bytes(arrays["config_json"]).decode("utf-8"))
+    for key in ("type_names", "sel", "embedding_layers", "fitting_layers"):
+        cfg_dict[key] = tuple(cfg_dict[key])
+    config = DPConfig(**cfg_dict)
+    model = DeepPot(config)
+    model.set_stats(arrays["davg"], arrays["dstd"], arrays["e0"])
+    for kind, plist in (
+        ("embed", model.embedding_params),
+        ("fit", model.fitting_params),
+    ):
+        for t, params in enumerate(plist):
+            for k, (w, b) in enumerate(zip(params.weights, params.biases)):
+                w.assign(arrays[f"{kind}_{t}_{k}_W"])
+                b.assign(arrays[f"{kind}_{t}_{k}_b"])
+    return model
+
+
+def save_model(model: DeepPot, path: str) -> None:
+    """Write the model to ``path`` (.npz)."""
+    np.savez_compressed(path, **_pack(model))
+
+
+def load_model(path: str) -> DeepPot:
+    """Reconstruct a model saved with :func:`save_model`."""
+    with np.load(path) as data:
+        return _unpack(dict(data))
+
+
+def model_bytes(model: DeepPot) -> bytes:
+    """Serialize to an in-memory blob (for simulated-MPI broadcast)."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **_pack(model))
+    return buf.getvalue()
+
+
+def model_from_bytes(blob: bytes) -> DeepPot:
+    """Inverse of :func:`model_bytes`."""
+    with np.load(io.BytesIO(blob)) as data:
+        return _unpack(dict(data))

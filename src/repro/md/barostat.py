@@ -1,0 +1,50 @@
+"""Berendsen pressure coupling — weak isotropic barostat (LAMMPS ``fix
+press/berendsen``).
+
+Rescales the box (and atom coordinates affinely) toward a target pressure
+each step: mu = (1 - dt/tau_p * kappa * (P0 - P))^(1/3).  Used to relax
+residual pressure in as-built or deformed cells before production runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.system import System
+from repro.md.thermo import compute_pressure
+
+
+@dataclass
+class BerendsenBarostat:
+    """Isotropic Berendsen pressure coupling.
+
+    Parameters
+    ----------
+    pressure:
+        Target pressure in bar.
+    tau:
+        Coupling time in ps.
+    compressibility:
+        kappa in 1/bar (default: liquid water's 4.6e-5).
+    max_scale:
+        Per-step clamp on the linear scale factor, for stability.
+    """
+
+    pressure: float = 1.0
+    tau: float = 1.0
+    compressibility: float = 4.6e-5
+    max_scale: float = 0.01
+
+    def apply(self, system: System, virial: np.ndarray, dt: float) -> float:
+        """Rescale box+positions toward the target; returns the scale used."""
+        p_now = compute_pressure(system, virial)
+        factor = 1.0 - (dt / self.tau) * self.compressibility * (
+            self.pressure - p_now
+        )
+        mu = factor ** (1.0 / 3.0)
+        mu = float(np.clip(mu, 1.0 - self.max_scale, 1.0 + self.max_scale))
+        system.box.lengths *= mu
+        system.positions *= mu
+        return mu

@@ -1,0 +1,64 @@
+"""Box deformation fix for the Fig 7 tensile run (LAMMPS ``fix deform``).
+
+The paper strains a nanocrystalline copper cell along z at 5e8 s^-1 for
+40,000 steps (10% total engineering strain).  :class:`Deform` applies the
+same protocol: each step the chosen box edge is stretched by the engineering
+strain increment and atom coordinates are remapped affinely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.system import System
+
+
+@dataclass
+class Deform:
+    """Constant engineering-strain-rate uniaxial deformation.
+
+    Parameters
+    ----------
+    axis:
+        0, 1 or 2 — the strained direction (paper: z).
+    strain_rate:
+        Engineering strain rate in 1/ps (5e8 s^-1 == 5e-4 / ps).
+    start_step:
+        Steps before this one leave the box untouched (annealing stage).
+    """
+
+    axis: int = 2
+    strain_rate: float = 5e-4
+    start_step: int = 0
+
+    def __post_init__(self):
+        if self.axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1, or 2")
+        self._initial_length = None
+
+    def strain_at(self, step: int, dt: float) -> float:
+        """Accumulated engineering strain after ``step`` steps."""
+        active = max(step - self.start_step, 0)
+        return self.strain_rate * active * dt
+
+    def apply(self, system: System, step: int, dt: float) -> float:
+        """Stretch the box to match the target strain; returns current strain.
+
+        The box length is set from the *initial* length so strain is exactly
+        linear in time (no compounding error), and atom coordinates are
+        remapped affinely along the strained axis.
+        """
+        if self._initial_length is None:
+            self._initial_length = float(system.box.lengths[self.axis])
+        if step < self.start_step:
+            return 0.0
+        strain = self.strain_at(step, dt)
+        target = self._initial_length * (1.0 + strain)
+        current = float(system.box.lengths[self.axis])
+        if target != current:
+            factor = target / current
+            system.box.lengths[self.axis] = target
+            system.positions[:, self.axis] *= factor
+        return strain

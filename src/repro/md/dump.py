@@ -1,0 +1,102 @@
+"""Trajectory and structure I/O: extended-XYZ and LAMMPS data formats.
+
+The paper's runs write LAMMPS dumps; downstream analysis (OVITO-style CNA
+coloring of Fig 7) consumes them.  This module provides the equivalents:
+
+* :func:`write_xyz` / :func:`read_xyz` — extended XYZ with a lattice header,
+  round-trip safe;
+* :func:`write_lammps_data` — a minimal ``atomic``-style LAMMPS data file
+  so structures built here can be fed to a real LAMMPS+DeePMD-kit install.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.system import System
+
+
+def write_xyz(system: System, path: str, comment: str = "", append: bool = False) -> None:
+    """Write one extended-XYZ frame (Lattice + species + positions)."""
+    lx, ly, lz = system.box.lengths
+    lattice = f'Lattice="{lx} 0 0 0 {ly} 0 0 0 {lz}"'
+    props = "Properties=species:S:1:pos:R:3"
+    names = list(system.type_names)
+    mode = "a" if append else "w"
+    with open(path, mode) as fh:
+        fh.write(f"{system.n_atoms}\n")
+        fh.write(f"{lattice} {props} {comment}".strip() + "\n")
+        for t, (x, y, z) in zip(system.types, system.positions):
+            fh.write(f"{names[t]} {x:.10f} {y:.10f} {z:.10f}\n")
+
+
+def read_xyz(path: str, masses: Optional[dict] = None) -> list[System]:
+    """Read all frames of an (extended) XYZ file written by :func:`write_xyz`."""
+    from repro.units import MASSES
+
+    masses = masses or MASSES
+    frames: list[System] = []
+    lines = Path(path).read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        if not lines[i].strip():
+            i += 1
+            continue
+        n = int(lines[i].strip())
+        header = lines[i + 1]
+        lengths = None
+        if 'Lattice="' in header:
+            cell = header.split('Lattice="')[1].split('"')[0].split()
+            mat = np.array([float(v) for v in cell]).reshape(3, 3)
+            lengths = np.diag(mat)
+        species: list[str] = []
+        pos = np.empty((n, 3))
+        for k in range(n):
+            parts = lines[i + 2 + k].split()
+            species.append(parts[0])
+            pos[k] = [float(v) for v in parts[1:4]]
+        names = sorted(set(species), key=species.index)
+        type_of = {s: j for j, s in enumerate(names)}
+        types = np.array([type_of[s] for s in species], dtype=np.int64)
+        if lengths is None:
+            span = pos.max(axis=0) - pos.min(axis=0) + 10.0
+            lengths = span
+        frames.append(
+            System(
+                box=Box(lengths),
+                positions=pos,
+                types=types,
+                masses=np.array([masses.get(s, 1.0) for s in names]),
+                type_names=names,
+            )
+        )
+        i += 2 + n
+    return frames
+
+
+def write_lammps_data(system: System, path: str, comment: str = "repro export") -> None:
+    """Write a minimal LAMMPS ``atomic`` data file (types are 1-based)."""
+    with open(path, "w") as fh:
+        fh.write(f"# {comment}\n\n")
+        fh.write(f"{system.n_atoms} atoms\n")
+        fh.write(f"{system.n_types} atom types\n\n")
+        lx, ly, lz = system.box.lengths
+        fh.write(f"0.0 {lx:.10f} xlo xhi\n")
+        fh.write(f"0.0 {ly:.10f} ylo yhi\n")
+        fh.write(f"0.0 {lz:.10f} zlo zhi\n\n")
+        fh.write("Masses\n\n")
+        for t, m in enumerate(system.masses, start=1):
+            fh.write(f"{t} {m:.6f}\n")
+        fh.write("\nAtoms # atomic\n\n")
+        for idx, (t, (x, y, z)) in enumerate(
+            zip(system.types, system.positions), start=1
+        ):
+            fh.write(f"{idx} {t + 1} {x:.10f} {y:.10f} {z:.10f}\n")
+        if np.any(system.velocities):
+            fh.write("\nVelocities\n\n")
+            for idx, (vx, vy, vz) in enumerate(system.velocities, start=1):
+                fh.write(f"{idx} {vx:.10f} {vy:.10f} {vz:.10f}\n")

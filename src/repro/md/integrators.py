@@ -1,0 +1,125 @@
+"""Time integrators: velocity-Verlet (NVE) and NVT thermostats.
+
+The paper integrates with velocity-Verlet (Sec 6.1); Langevin and Berendsen
+thermostats are provided for the annealing stage of the Fig 7 nanocrystal run
+and for equilibrating training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.md.system import System
+from repro.units import KB, MVV_TO_EV
+
+
+class Integrator:
+    """Split-step interface used by the MD driver.
+
+    ``first_half`` advances velocities by dt/2 and positions by dt;
+    ``second_half`` finishes the velocity update once new forces are known.
+    """
+
+    def first_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        raise NotImplementedError
+
+    def second_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class VelocityVerlet(Integrator):
+    """Symplectic velocity-Verlet; conserves energy in NVE."""
+
+    def first_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        inv_m = 1.0 / (system.atom_masses() * MVV_TO_EV)
+        system.velocities += 0.5 * dt * forces * inv_m[:, None]
+        system.positions += dt * system.velocities
+
+    def second_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        inv_m = 1.0 / (system.atom_masses() * MVV_TO_EV)
+        system.velocities += 0.5 * dt * forces * inv_m[:, None]
+
+
+@dataclass
+class Langevin(Integrator):
+    """Velocity-Verlet with a Langevin thermostat (BAOAB-like splitting).
+
+    The friction+noise (O) step is applied between the two velocity half
+    kicks, using damping time ``damp`` (ps).
+    """
+
+    temperature: float
+    damp: float = 0.1
+    seed: Optional[int] = None
+    _vv: VelocityVerlet = field(default_factory=VelocityVerlet)
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def first_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._vv.first_half(system, forces, dt)
+
+    def second_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._vv.second_half(system, forces, dt)
+        # O-step: exact Ornstein-Uhlenbeck update of velocities.
+        c1 = np.exp(-dt / self.damp)
+        masses = system.atom_masses() * MVV_TO_EV
+        sigma = np.sqrt(KB * self.temperature * (1.0 - c1 * c1) / masses)
+        system.velocities = c1 * system.velocities + sigma[:, None] * self._rng.normal(
+            size=system.velocities.shape
+        )
+
+
+@dataclass
+class NoseHoover(Integrator):
+    """Velocity-Verlet with a single Nosé-Hoover thermostat chain link.
+
+    LAMMPS's default NVT.  The thermostat degree of freedom xi evolves as
+    d(xi)/dt = (T/T0 - 1)/tau^2 and scales velocities each half step; unlike
+    Berendsen it samples the true canonical ensemble (for ergodic systems).
+    """
+
+    temperature: float
+    tau: float = 0.1  # ps, thermostat period
+    _vv: VelocityVerlet = field(default_factory=VelocityVerlet)
+    xi: float = field(default=0.0, init=False)
+
+    def _thermostat_half(self, system: System, dt: float) -> None:
+        current = system.temperature()
+        if current <= 0:
+            return
+        self.xi += 0.5 * dt * (current / self.temperature - 1.0) / self.tau**2
+        system.velocities *= np.exp(-0.5 * dt * self.xi)
+
+    def first_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._thermostat_half(system, dt)
+        self._vv.first_half(system, forces, dt)
+
+    def second_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._vv.second_half(system, forces, dt)
+        self._thermostat_half(system, dt)
+
+
+@dataclass
+class Berendsen(Integrator):
+    """Velocity-Verlet with Berendsen velocity rescaling toward ``temperature``."""
+
+    temperature: float
+    tau: float = 0.1
+    _vv: VelocityVerlet = field(default_factory=VelocityVerlet)
+
+    def first_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._vv.first_half(system, forces, dt)
+
+    def second_half(self, system: System, forces: np.ndarray, dt: float) -> None:
+        self._vv.second_half(system, forces, dt)
+        current = system.temperature()
+        if current > 0:
+            lam = np.sqrt(1.0 + (dt / self.tau) * (self.temperature / current - 1.0))
+            # Clamp to avoid violent rescaling far from equilibrium.
+            lam = min(max(lam, 0.8), 1.25)
+            system.velocities *= lam

@@ -1,0 +1,81 @@
+"""Lennard-Jones pair potential — the empirical-force-field (EFF) baseline.
+
+The paper contrasts DP with EFF-based MD (Sec 3.1); LJ is the canonical EFF
+and also serves as a fast, exactly-solvable potential for integrator and
+neighbor-list tests.  Energies are cut-and-shifted so the potential is
+continuous at the cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.potential import Potential, PotentialResult, pair_virial
+from repro.md.system import System
+
+
+@dataclass
+class LennardJones(Potential):
+    """LJ with per-type-pair parameters.
+
+    ``epsilon`` and ``sigma`` are (ntypes, ntypes) arrays (eV, Å); scalars are
+    broadcast for single-type systems.
+    """
+
+    epsilon: np.ndarray
+    sigma: np.ndarray
+    cutoff: float
+
+    def __post_init__(self):
+        self.epsilon = np.atleast_2d(np.asarray(self.epsilon, dtype=np.float64))
+        self.sigma = np.atleast_2d(np.asarray(self.sigma, dtype=np.float64))
+        if self.epsilon.shape != self.sigma.shape:
+            raise ValueError("epsilon and sigma must have matching shapes")
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+
+    def compute(
+        self, system: System, pair_i: np.ndarray, pair_j: np.ndarray
+    ) -> PotentialResult:
+        n = system.n_atoms
+        forces = np.zeros((n, 3))
+        if pair_i.size == 0:
+            return PotentialResult(0.0, forces, np.zeros((3, 3)))
+
+        disp = system.box.minimum_image(
+            system.positions[pair_j] - system.positions[pair_i]
+        )
+        r2 = np.einsum("ij,ij->i", disp, disp)
+        within = r2 <= self.cutoff * self.cutoff
+        pair_i, pair_j, disp, r2 = pair_i[within], pair_j[within], disp[within], r2[within]
+
+        eps = self.epsilon[system.types[pair_i], system.types[pair_j]]
+        sig = self.sigma[system.types[pair_i], system.types[pair_j]]
+
+        inv_r2 = sig * sig / r2
+        inv_r6 = inv_r2**3
+        inv_r12 = inv_r6**2
+        # Shift so e(r_c) = 0 for each type pair.
+        src = (sig / self.cutoff) ** 2
+        shift = 4.0 * (src**6 - src**3)
+        e_pair = 4.0 * eps * (inv_r12 - inv_r6) - eps * shift
+        energy = float(e_pair.sum())
+
+        # f_i = -dE/dr_i ; dE/dr = (-48 e12 + 24 e6)/r along r̂.
+        f_scalar = (48.0 * inv_r12 - 24.0 * inv_r6) * eps / r2  # multiplies -disp
+        fij = -f_scalar[:, None] * disp  # force on atom i from j
+        np.add.at(forces, pair_i, fij)
+        np.add.at(forces, pair_j, -fij)
+        virial = pair_virial(disp, fij)
+
+        atom_e = np.zeros(n)
+        np.add.at(atom_e, pair_i, 0.5 * e_pair)
+        np.add.at(atom_e, pair_j, 0.5 * e_pair)
+        return PotentialResult(energy, forces, virial, atom_energies=atom_e)
+
+
+def argon() -> LennardJones:
+    """LJ argon (ε=0.0104 eV, σ=3.4 Å) — a standard test fluid."""
+    return LennardJones(epsilon=0.0104, sigma=3.4, cutoff=8.5)

@@ -1,0 +1,103 @@
+"""Mutable atomic state: positions, velocities, types, masses, topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.units import MVV_TO_EV, kinetic_temperature
+
+
+@dataclass
+class System:
+    """The full dynamical state of a simulation.
+
+    Attributes
+    ----------
+    box:
+        The periodic cell.
+    positions:
+        (N, 3) float64 coordinates in Å.
+    types:
+        (N,) int type indices into ``masses``/``type_names``.
+    masses:
+        (ntypes,) atomic masses in amu.
+    type_names:
+        Element label per type index, e.g. ``["O", "H"]``.
+    velocities:
+        (N, 3) float64 velocities in Å/ps; zeros if not set.
+    mol_ids:
+        Optional (N,) molecule ids — used by the water oracle for
+        intramolecular exclusions; the DP model never sees them.
+    """
+
+    box: Box
+    positions: np.ndarray
+    types: np.ndarray
+    masses: np.ndarray
+    type_names: Sequence[str] = ()
+    velocities: Optional[np.ndarray] = None
+    mol_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be (N,3), got {self.positions.shape}")
+        self.types = np.ascontiguousarray(self.types, dtype=np.int64)
+        if self.types.shape != (self.n_atoms,):
+            raise ValueError("types must have shape (N,)")
+        self.masses = np.asarray(self.masses, dtype=np.float64).reshape(-1)
+        if self.types.size and self.types.max() >= self.masses.size:
+            raise ValueError("type index exceeds number of masses")
+        if self.velocities is None:
+            self.velocities = np.zeros_like(self.positions)
+        else:
+            self.velocities = np.ascontiguousarray(self.velocities, dtype=np.float64)
+            if self.velocities.shape != self.positions.shape:
+                raise ValueError("velocities must match positions shape")
+        if self.mol_ids is not None:
+            self.mol_ids = np.ascontiguousarray(self.mol_ids, dtype=np.int64)
+        if not self.type_names:
+            self.type_names = [f"T{i}" for i in range(self.masses.size)]
+
+    @property
+    def n_atoms(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def n_types(self) -> int:
+        return self.masses.size
+
+    def atom_masses(self) -> np.ndarray:
+        """Per-atom masses, shape (N,)."""
+        return self.masses[self.types]
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy in eV."""
+        m = self.atom_masses()
+        return float(0.5 * MVV_TO_EV * np.sum(m[:, None] * self.velocities**2))
+
+    def temperature(self) -> float:
+        """Instantaneous temperature (K) with 3N-3 degrees of freedom."""
+        return kinetic_temperature(self.kinetic_energy(), max(3 * self.n_atoms - 3, 1))
+
+    def wrap(self) -> None:
+        """Wrap positions into the primary cell in place."""
+        self.positions = self.box.wrap(self.positions)
+
+    def copy(self) -> "System":
+        return System(
+            box=self.box.copy(),
+            positions=self.positions.copy(),
+            types=self.types.copy(),
+            masses=self.masses.copy(),
+            type_names=list(self.type_names),
+            velocities=self.velocities.copy(),
+            mol_ids=None if self.mol_ids is None else self.mol_ids.copy(),
+        )
+
+    def type_counts(self) -> np.ndarray:
+        return np.bincount(self.types, minlength=self.n_types)

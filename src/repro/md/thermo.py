@@ -1,0 +1,84 @@
+"""Thermodynamic observables and the every-N-steps thermo log (Sec 6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.md.system import System
+from repro.units import EVA3_TO_BAR, kinetic_temperature
+
+
+@dataclass
+class ThermoState:
+    """One row of the thermodynamic log."""
+
+    step: int
+    time_ps: float
+    kinetic_energy: float  # eV
+    potential_energy: float  # eV
+    total_energy: float  # eV
+    temperature: float  # K
+    pressure: float  # bar
+
+    def as_tuple(self):
+        return (
+            self.step,
+            self.time_ps,
+            self.kinetic_energy,
+            self.potential_energy,
+            self.total_energy,
+            self.temperature,
+            self.pressure,
+        )
+
+
+def compute_pressure(system: System, virial: np.ndarray) -> float:
+    """Pressure in bar: P = (2 KE + tr W) / (3 V)."""
+    ke = system.kinetic_energy()
+    w_trace = float(np.trace(np.asarray(virial).reshape(3, 3)))
+    p_ev_a3 = (2.0 * ke + w_trace) / (3.0 * system.box.volume)
+    return p_ev_a3 * EVA3_TO_BAR
+
+
+def compute_thermo(
+    system: System, potential_energy: float, virial: np.ndarray, step: int, dt: float
+) -> ThermoState:
+    ke = system.kinetic_energy()
+    n_dof = max(3 * system.n_atoms - 3, 1)
+    return ThermoState(
+        step=step,
+        time_ps=step * dt,
+        kinetic_energy=ke,
+        potential_energy=float(potential_energy),
+        total_energy=ke + float(potential_energy),
+        temperature=kinetic_temperature(ke, n_dof),
+        pressure=compute_pressure(system, virial),
+    )
+
+
+@dataclass
+class ThermoLog:
+    """Collects ThermoState rows at a fixed cadence (paper: every 20 steps)."""
+
+    every: int = 20
+    rows: list[ThermoState] = field(default_factory=list)
+
+    def maybe_record(
+        self,
+        system: System,
+        potential_energy: float,
+        virial: np.ndarray,
+        step: int,
+        dt: float,
+    ) -> Optional[ThermoState]:
+        if step % self.every != 0:
+            return None
+        row = compute_thermo(system, potential_energy, virial, step, dt)
+        self.rows.append(row)
+        return row
+
+    def column(self, name: str) -> np.ndarray:
+        return np.array([getattr(r, name) for r in self.rows])

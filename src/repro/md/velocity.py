@@ -1,0 +1,44 @@
+"""Boltzmann velocity initialisation (paper Sec 6.1: 330 K, random seeds)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.system import System
+from repro.units import MVV_TO_EV, KB
+
+
+def boltzmann_velocities(
+    system: System,
+    temperature: float,
+    seed: int | None = None,
+    remove_drift: bool = True,
+    rescale_exact: bool = True,
+) -> None:
+    """Draw velocities from the Maxwell–Boltzmann distribution, in place.
+
+    Parameters
+    ----------
+    temperature:
+        Target temperature in K.
+    remove_drift:
+        Zero the center-of-mass momentum (as LAMMPS ``velocity ... mom yes``).
+    rescale_exact:
+        Rescale so the instantaneous temperature equals ``temperature``
+        exactly, which makes short benchmark runs reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    masses = system.atom_masses()
+    sigma = np.sqrt(KB * temperature / (masses * MVV_TO_EV))
+    vel = rng.normal(size=(system.n_atoms, 3)) * sigma[:, None]
+
+    if remove_drift and system.n_atoms > 0:
+        total_mass = masses.sum()
+        com_v = (masses[:, None] * vel).sum(axis=0) / total_mass
+        vel -= com_v
+
+    system.velocities = vel
+    if rescale_exact and temperature > 0 and system.n_atoms > 1:
+        current = system.temperature()
+        if current > 0:
+            system.velocities *= np.sqrt(temperature / current)

@@ -1,0 +1,176 @@
+"""Flexible 3-site water — the "ab initio" oracle for the H2O system.
+
+A smooth classical PES with all the couplings the DP water model must learn:
+
+* intramolecular harmonic O-H bonds and H-O-H angle (flexible water);
+* intermolecular O-O Lennard-Jones (SPC/E parameters);
+* intermolecular damped-shifted-force (DSF/Wolf) electrostatics, which is
+  strictly short-ranged with energy and force both going to zero at the
+  cutoff — exactly what a neighbor-list pair style needs.
+
+Atoms must be ordered O,H,H per molecule (the builders in
+``repro.analysis.structures`` guarantee this) with matching ``mol_ids``;
+intramolecular pairs are excluded from the nonbonded terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.md.potential import Potential, PotentialResult, pair_virial
+from repro.md.system import System
+
+# Coulomb constant e^2/(4 pi eps0) in eV*Å.
+COULOMB = 14.399645
+
+# Type convention for water systems: 0 = O, 1 = H.
+TYPE_O = 0
+TYPE_H = 1
+
+
+@dataclass
+class FlexibleWater(Potential):
+    """Flexible SPC/E-like water with DSF electrostatics."""
+
+    # intramolecular
+    k_bond: float = 22.0  # eV/Å^2
+    r0: float = 1.0  # Å (SPC/E geometry)
+    k_angle: float = 1.8  # eV/rad^2
+    theta0: float = np.deg2rad(109.47)
+    # intermolecular
+    q_o: float = -0.8476
+    q_h: float = 0.4238
+    lj_epsilon: float = 0.006738  # eV (SPC/E O-O)
+    lj_sigma: float = 3.166  # Å
+    alpha: float = 0.3  # DSF damping, 1/Å
+    cutoff: float = 6.0  # Å (the paper's water r_c)
+
+    # ------------------------------------------------------------------ bonded
+
+    def _bonded(self, system: System):
+        """Energy/forces/virial of bonds and angles, from O,H,H ordering."""
+        n = system.n_atoms
+        if n % 3 != 0:
+            raise ValueError("water system must have 3 atoms per molecule (O,H,H)")
+        o_idx = np.arange(0, n, 3)
+        h1_idx = o_idx + 1
+        h2_idx = o_idx + 2
+        if not (
+            np.all(system.types[o_idx] == TYPE_O)
+            and np.all(system.types[h1_idx] == TYPE_H)
+            and np.all(system.types[h2_idx] == TYPE_H)
+        ):
+            raise ValueError("atoms must be ordered O,H,H per molecule")
+
+        box = system.box
+        pos = system.positions
+        forces = np.zeros((n, 3))
+        virial = np.zeros((3, 3))
+        energy = 0.0
+
+        # --- bonds (O-H1 and O-H2)
+        for h_idx in (h1_idx, h2_idx):
+            d = box.minimum_image(pos[h_idx] - pos[o_idx])  # O -> H
+            r = np.sqrt(np.einsum("ij,ij->i", d, d))
+            stretch = r - self.r0
+            energy += float(self.k_bond * np.sum(stretch**2))
+            # force on H = -dE/dr_H = -2k(r-r0) * r̂
+            f_h = (-2.0 * self.k_bond * stretch / r)[:, None] * d
+            np.add.at(forces, h_idx, f_h)
+            np.add.at(forces, o_idx, -f_h)
+            # force on the atom at displacement d from O is f_h:
+            virial += -np.einsum("ni,nj->ij", d, f_h)
+
+        # --- angles (H1-O-H2)
+        u = box.minimum_image(pos[h1_idx] - pos[o_idx])
+        v = box.minimum_image(pos[h2_idx] - pos[o_idx])
+        ru = np.sqrt(np.einsum("ij,ij->i", u, u))
+        rv = np.sqrt(np.einsum("ij,ij->i", v, v))
+        cos_t = np.einsum("ij,ij->i", u, v) / (ru * rv)
+        cos_t = np.clip(cos_t, -1.0 + 1e-12, 1.0 - 1e-12)
+        theta = np.arccos(cos_t)
+        sin_t = np.sqrt(1.0 - cos_t**2)
+        energy += float(self.k_angle * np.sum((theta - self.theta0) ** 2))
+
+        # dE/dθ, then dθ/du = -(1/sinθ) dcosθ/du
+        de_dt = 2.0 * self.k_angle * (theta - self.theta0)
+        dcos_du = v / (ru * rv)[:, None] - (cos_t / ru**2)[:, None] * u
+        dcos_dv = u / (ru * rv)[:, None] - (cos_t / rv**2)[:, None] * v
+        coeff = (-de_dt / sin_t)[:, None]
+        f_h1 = -coeff * dcos_du  # force on H1 = -dE/dr_H1
+        f_h2 = -coeff * dcos_dv
+        np.add.at(forces, h1_idx, f_h1)
+        np.add.at(forces, h2_idx, f_h2)
+        np.add.at(forces, o_idx, -(f_h1 + f_h2))
+        virial += -np.einsum("ni,nj->ij", u, f_h1) - np.einsum("ni,nj->ij", v, f_h2)
+
+        return energy, forces, virial
+
+    # --------------------------------------------------------------- nonbonded
+
+    def _nonbonded(self, system: System, pair_i: np.ndarray, pair_j: np.ndarray):
+        n = system.n_atoms
+        forces = np.zeros((n, 3))
+        if pair_i.size == 0:
+            return 0.0, forces, np.zeros((3, 3))
+        if system.mol_ids is None:
+            raise ValueError("water system requires mol_ids for exclusions")
+
+        # Exclude intramolecular pairs.
+        keep = system.mol_ids[pair_i] != system.mol_ids[pair_j]
+        pair_i, pair_j = pair_i[keep], pair_j[keep]
+
+        disp = system.box.minimum_image(
+            system.positions[pair_j] - system.positions[pair_i]
+        )
+        r2 = np.einsum("ij,ij->i", disp, disp)
+        within = r2 <= self.cutoff * self.cutoff
+        pair_i, pair_j, disp, r2 = pair_i[within], pair_j[within], disp[within], r2[within]
+        r = np.sqrt(r2)
+
+        # --- DSF Coulomb
+        q = np.where(system.types == TYPE_O, self.q_o, self.q_h)
+        qq = COULOMB * q[pair_i] * q[pair_j]
+        a, rc = self.alpha, self.cutoff
+        erfc_rc = erfc(a * rc)
+        gauss_rc = 2.0 * a / np.sqrt(np.pi) * np.exp(-((a * rc) ** 2))
+        f_shift = erfc_rc / rc**2 + gauss_rc / rc
+        e_shift = erfc_rc / rc
+        erfc_r = erfc(a * r)
+        gauss_r = 2.0 * a / np.sqrt(np.pi) * np.exp(-((a * r) ** 2))
+        e_coul = qq * (erfc_r / r - e_shift + f_shift * (r - rc))
+        # -dE/dr
+        f_coul = qq * (erfc_r / r2 + gauss_r / r - f_shift)
+
+        # --- LJ on O-O pairs only
+        is_oo = (system.types[pair_i] == TYPE_O) & (system.types[pair_j] == TYPE_O)
+        inv = np.zeros_like(r)
+        inv[is_oo] = (self.lj_sigma**2) / r2[is_oo]
+        inv6 = inv**3
+        inv12 = inv6**2
+        src = (self.lj_sigma / rc) ** 2
+        lj_shift = 4.0 * self.lj_epsilon * (src**6 - src**3)
+        e_lj = np.where(is_oo, 4.0 * self.lj_epsilon * (inv12 - inv6) - lj_shift, 0.0)
+        f_lj = np.where(is_oo, (48.0 * inv12 - 24.0 * inv6) * self.lj_epsilon / r, 0.0)
+
+        energy = float(e_coul.sum() + e_lj.sum())
+        # force on i from j: magnitude (f_coul+f_lj) along -r̂ ... sign:
+        # -dE/dr > 0 means repulsive; force on i points opposite to disp.
+        f_mag = f_coul + f_lj
+        fij = -(f_mag / r)[:, None] * disp
+        np.add.at(forces, pair_i, fij)
+        np.add.at(forces, pair_j, -fij)
+        virial = pair_virial(disp, fij)
+        return energy, forces, virial
+
+    # -------------------------------------------------------------------- API
+
+    def compute(
+        self, system: System, pair_i: np.ndarray, pair_j: np.ndarray
+    ) -> PotentialResult:
+        e_b, f_b, w_b = self._bonded(system)
+        e_nb, f_nb, w_nb = self._nonbonded(system, pair_i, pair_j)
+        return PotentialResult(e_b + e_nb, f_b + f_nb, w_b + w_nb)

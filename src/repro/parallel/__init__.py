@@ -1,0 +1,31 @@
+"""repro.parallel — simulated MPI and spatial domain decomposition.
+
+The paper runs DeePMD-kit across 27,360 GPUs with one MPI rank per GPU,
+LAMMPS-style spatial partitioning, ghost-region halo exchange, and
+(I)allreduce for thermodynamic output (Sec 5.4).  This package reproduces the
+*algorithm* in-process:
+
+* :class:`repro.parallel.comm.SimComm` — rank-addressed message passing with
+  byte/call accounting (the numbers the perfmodel consumes);
+* :class:`repro.parallel.decomp.DomainDecomposition` — 3D spatial partition
+  with geometric ghost-region construction;
+* :class:`repro.parallel.driver.DistributedSimulation` — lockstep SPMD MD
+  driver whose trajectories match the serial engine exactly;
+* :mod:`repro.parallel.staging` — the Sec 7.3 setup-time optimization
+  (read-once + broadcast model loading, replicated structure build).
+"""
+
+from repro.parallel.comm import SimComm, CommStats
+from repro.parallel.decomp import DomainDecomposition, RankDomain
+from repro.parallel.driver import DistributedSimulation
+from repro.parallel.staging import baseline_setup, optimized_setup
+
+__all__ = [
+    "SimComm",
+    "CommStats",
+    "DomainDecomposition",
+    "RankDomain",
+    "DistributedSimulation",
+    "baseline_setup",
+    "optimized_setup",
+]

@@ -1,0 +1,152 @@
+"""SimComm — in-process message passing with MPI semantics and accounting.
+
+Ranks execute in lockstep inside one Python process (SPMD emulation), so
+"communication" is mailbox delivery — but every call is accounted exactly as
+its MPI counterpart would be (message counts, payload bytes, collective
+sizes), which is what the Summit cost model consumes.  The Iallreduce
+handle reproduces the paper's Sec 5.4 optimization of overlapping the
+global thermo reduction with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication accounting across all ranks."""
+
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    allreduce_calls: int = 0
+    iallreduce_calls: int = 0
+    bcast_calls: int = 0
+    bcast_bytes: int = 0
+    barrier_calls: int = 0
+
+    def reset(self) -> None:
+        self.p2p_messages = 0
+        self.p2p_bytes = 0
+        self.allreduce_calls = 0
+        self.iallreduce_calls = 0
+        self.bcast_calls = 0
+        self.bcast_bytes = 0
+        self.barrier_calls = 0
+
+
+def _payload_bytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_bytes(p) for p in payload)
+    if isinstance(payload, (int, float, np.floating, np.integer)):
+        return 8
+    return 0
+
+
+class PendingReduce:
+    """Handle returned by iallreduce; ``wait()`` yields the reduced value."""
+
+    def __init__(self, value):
+        self._value = value
+        self.completed = False
+
+    def wait(self):
+        self.completed = True
+        return self._value
+
+
+class SimComm:
+    """A communicator over ``size`` simulated ranks.
+
+    Point-to-point messages are addressed (src, dst, tag); collectives take
+    the per-rank contributions at once since ranks run in lockstep.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.size = size
+        self.stats = CommStats()
+        self._mail: dict[tuple[int, int, Any], list] = {}
+
+    # -------------------------------------------------------------- point-to-point
+
+    def send(self, src: int, dst: int, payload, tag=0) -> None:
+        self._check(src)
+        self._check(dst)
+        self._mail.setdefault((src, dst, tag), []).append(payload)
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += _payload_bytes(payload)
+
+    def recv(self, dst: int, src: int, tag=0):
+        queue = self._mail.get((src, dst, tag))
+        if not queue:
+            raise RuntimeError(
+                f"recv deadlock: no message from rank {src} to {dst} (tag {tag})"
+            )
+        return queue.pop(0)
+
+    def sendrecv(self, src: int, dst: int, payload, tag=0):
+        """Convenience for the lockstep driver: immediate delivery."""
+        self.send(src, dst, payload, tag)
+        return self.recv(dst, src, tag)
+
+    # ---------------------------------------------------------------- collectives
+
+    def bcast(self, root: int, payload):
+        """Broadcast from root; returns the payload every rank sees."""
+        self._check(root)
+        self.stats.bcast_calls += 1
+        # A tree broadcast moves ~(P-1) copies in log2(P) latency stages.
+        self.stats.bcast_bytes += _payload_bytes(payload) * max(self.size - 1, 0)
+        return payload
+
+    def allreduce(self, contributions: list, op: Callable = None):
+        """Blocking allreduce over per-rank contributions (default: sum)."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"allreduce needs {self.size} contributions, got {len(contributions)}"
+            )
+        self.stats.allreduce_calls += 1
+        return self._reduce(contributions, op)
+
+    def iallreduce(self, contributions: list, op: Callable = None) -> PendingReduce:
+        """Non-blocking allreduce (the paper's MPI_Iallreduce swap, Sec 5.4)."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"iallreduce needs {self.size} contributions, got {len(contributions)}"
+            )
+        self.stats.iallreduce_calls += 1
+        return PendingReduce(self._reduce(contributions, op))
+
+    def barrier(self) -> None:
+        self.stats.barrier_calls += 1
+
+    # ------------------------------------------------------------------ helpers
+
+    def _reduce(self, contributions, op):
+        if op is not None:
+            out = contributions[0]
+            for c in contributions[1:]:
+                out = op(out, c)
+            return out
+        total = contributions[0]
+        if isinstance(total, np.ndarray):
+            total = total.copy()
+        for c in contributions[1:]:
+            total = total + c
+        return total
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    def pending_messages(self) -> int:
+        return sum(len(q) for q in self._mail.values())

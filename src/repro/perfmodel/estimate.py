@@ -1,0 +1,74 @@
+"""Project a real (laptop) distributed run onto Summit — the cross-check
+between the measured communication pattern and the analytic cost model.
+
+Given a :class:`repro.parallel.driver.DistributedSimulation` that actually
+ran, this estimates what the same decomposition would cost per step on
+Summit: per-rank DP FLOPs through the roofline, the *measured* ghost counts
+through the per-ghost cost, and the *accounted* message counts/bytes through
+the latency/bandwidth terms.  Unlike :mod:`repro.perfmodel.costmodel`, no
+geometric idealization is involved — the inputs come from the run itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.flops import dp_flops_per_atom
+from repro.perfmodel.machine import SUMMIT, SummitMachine
+
+
+@dataclass
+class SummitEstimate:
+    atoms_per_rank_max: float
+    ghosts_per_rank_max: float
+    t_compute: float
+    t_ghost: float
+    t_comm: float
+    t_fixed: float
+
+    @property
+    def t_step(self) -> float:
+        return self.t_compute + self.t_ghost + self.t_comm + self.t_fixed
+
+
+def estimate_summit_step(
+    dist_sim,
+    gemm_efficiency: float = 0.42,
+    precision: str = "double",
+    machine: SummitMachine = SUMMIT,
+) -> SummitEstimate:
+    """Estimate Summit seconds/step for a DistributedSimulation's layout.
+
+    The slowest rank (most atoms) sets the pace, as in any bulk-synchronous
+    step.  Message counts per step are averaged from the run's accounted
+    totals.
+    """
+    domains = dist_sim.decomp.domains
+    atoms_max = max((d.n_own for d in domains), default=0)
+    ghosts_max = max((d.n_ghost for d in domains), default=0)
+
+    flops_atom = dp_flops_per_atom(dist_sim.model.config).per_step()
+    peak = machine.gpu_peak(precision)
+    t_compute = flops_atom * atoms_max / (peak * gemm_efficiency)
+    t_ghost = machine.ghost_env_seconds * ghosts_max
+
+    stats = dist_sim.comm.stats
+    steps = max(dist_sim.step_count, 1)
+    ranks = dist_sim.comm.size
+    msgs_per_rank_step = stats.p2p_messages / steps / ranks
+    bytes_per_rank_step = stats.p2p_bytes / steps / ranks
+    nic_per_gpu = machine.nic_bandwidth / machine.gpus_per_node
+    t_comm = (
+        msgs_per_rank_step * machine.mpi_latency
+        + bytes_per_rank_step / nic_per_gpu
+    )
+    return SummitEstimate(
+        atoms_per_rank_max=atoms_max,
+        ghosts_per_rank_max=ghosts_max,
+        t_compute=t_compute,
+        t_ghost=t_ghost,
+        t_comm=t_comm,
+        t_fixed=machine.fixed_step_seconds,
+    )

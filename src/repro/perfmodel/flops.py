@@ -1,0 +1,100 @@
+"""Analytic FLOP counts for the DP model.
+
+Counts the forward pass exactly (per atom), then applies a backward factor
+(forces require full backprop, ~2x forward) and an instruction-mix
+calibration factor that maps "algebraic" FLOPs onto the NVPROF-counted FLOPs
+the paper reports (FMA accounting, tanh instruction sequences, masked padded
+lanes).  With the default calibration, the paper's water model lands at the
+2.0e7 FLOPs/atom/step implied by Sec 6.1's "124.83 PFLOPs for 500 steps of
+12,582,912 atoms", and the copper/water ratio (~3.3-3.5x) emerges from the
+neighbor counts rather than being pinned by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tfmini.ops import TANH_FLOPS_PER_ELEM
+
+#: forces need dE/dR~ via backprop: roughly one reverse pass per forward.
+BACKWARD_FACTOR = 2.0
+
+#: algebraic->counted FLOPs (FMA/instruction-mix); calibrated so the paper's
+#: water model reproduces the quoted 124.83 PFLOPs / 500 steps / 12.58M atoms.
+INSTRUCTION_MIX_FACTOR = 2.28
+
+
+@dataclass
+class FlopBreakdown:
+    """Per-atom forward FLOPs by component."""
+
+    embedding: float
+    descriptor: float
+    fitting: float
+    custom_ops: float
+
+    @property
+    def forward(self) -> float:
+        return self.embedding + self.descriptor + self.fitting + self.custom_ops
+
+    def per_step(
+        self,
+        backward_factor: float = BACKWARD_FACTOR,
+        calibration: float = INSTRUCTION_MIX_FACTOR,
+    ) -> float:
+        """Total counted FLOPs per atom per MD step (forward + backward)."""
+        return self.forward * (1.0 + backward_factor) * calibration
+
+
+def _mlp_flops(n_in: int, layers: Sequence[int], rows: float) -> float:
+    """Forward FLOPs of an MLP over ``rows`` rows: GEMM + bias + tanh + skip."""
+    total = 0.0
+    prev = n_in
+    for width in layers:
+        total += rows * (2.0 * prev * width + width)  # GEMM + bias
+        total += rows * width * TANH_FLOPS_PER_ELEM  # activation
+        if width in (prev, 2 * prev):
+            total += rows * width  # skip-connection add
+        prev = width
+    return total
+
+
+def dp_flops_per_atom(config) -> FlopBreakdown:
+    """Forward FLOPs per atom for a :class:`repro.dp.model.DPConfig`."""
+    nnei = config.nnei
+    m1 = config.embedding_layers[-1]
+    m2 = config.axis_neuron
+
+    embedding = _mlp_flops(1, config.embedding_layers, rows=float(nnei))
+    # T = R~^T G (4 x nnei x m1), D = T^T T2 (m1 x 4 x m2)
+    descriptor = 2.0 * 4 * nnei * m1 + 2.0 * m1 * 4 * m2
+    fitting = _mlp_flops(m1 * m2, config.fitting_layers, rows=1.0)
+    fitting += 2.0 * config.fitting_layers[-1] + 1  # final linear layer
+    # environment rows (4 + 12 deriv components, ~8 flops each) + force/virial
+    custom = nnei * (16.0 * 8 + 4 * 3 * 2 + 4 * 9 * 2)
+    return FlopBreakdown(
+        embedding=embedding,
+        descriptor=descriptor,
+        fitting=fitting,
+        custom_ops=custom,
+    )
+
+
+def gemm_fraction(config) -> float:
+    """Fraction of forward FLOPs in GEMM-like ops — the Fig 3 GEMM share."""
+    b = dp_flops_per_atom(config)
+    nnei = config.nnei
+    m1 = config.embedding_layers[-1]
+    gemm = 0.0
+    prev = 1
+    for width in config.embedding_layers:
+        gemm += nnei * 2.0 * prev * width
+        prev = width
+    gemm += 2.0 * 4 * nnei * m1 + 2.0 * m1 * 4 * config.axis_neuron
+    prev = m1 * config.axis_neuron
+    for width in config.fitting_layers:
+        gemm += 2.0 * prev * width
+        prev = width
+    gemm += 2.0 * prev
+    return gemm / b.forward

@@ -1,0 +1,62 @@
+"""Summit machine constants (paper Sec 6.2) and model calibration.
+
+Hardware numbers are taken verbatim from the paper: 4,608 nodes; per node
+two POWER9 sockets (515 GFLOPS each) + 6 V100 GPUs (7 TFLOPS fp64 /
+14 TFLOPS fp32 each, 900 GB/s HBM); NVLink intra-node; dual-rail EDR
+InfiniBand at 25 GB/s per node; non-blocking fat tree.
+
+Three constants calibrate the cost model (see costmodel.py):
+
+* ``gemm_efficiency`` — sustained fraction of GPU peak for the DP network's
+  tall-skinny GEMM mix.  The paper reports 52.9-71.2 % per-GEMM efficiency
+  for the fitting layers and 38.5 % whole-step %peak at 26K atoms/GPU;
+  0.42 (water) / 0.49 (copper, more GEMM-heavy per Fig 3) reproduce Table 4
+  and Fig 5.
+* ``fixed_step_seconds`` — per-step latency floor (kernel launches, small
+  bandwidth-bound ops, MPI latency), anchored on Table 4's smallest
+  atoms/GPU row.
+* ``ghost_env_seconds`` — per-ghost-atom cost (environment build, format,
+  halo traffic), anchored on Table 4's largest row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SummitMachine:
+    """Per-GPU and network characteristics of Summit."""
+
+    n_nodes_total: int = 4608
+    gpus_per_node: int = 6
+    gpu_fp64_flops: float = 7.0e12
+    gpu_fp32_flops: float = 14.0e12
+    gpu_membw: float = 900.0e9  # B/s
+    cpu_socket_flops: float = 515.0e9
+    sockets_per_node: int = 2
+    nic_bandwidth: float = 25.0e9  # B/s per node, dual-rail EDR
+    mpi_latency: float = 1.5e-6  # s per message
+    # calibration constants (see module docstring)
+    fixed_step_seconds: float = 5.5e-3
+    ghost_env_seconds: float = 1.05e-7
+
+    def node_peak_fp64(self) -> float:
+        """43 TFLOPS/node in double precision, as quoted in Sec 6.2."""
+        return (
+            self.gpus_per_node * self.gpu_fp64_flops
+            + self.sockets_per_node * self.cpu_socket_flops
+        )
+
+    def peak_fp64(self, n_nodes: int) -> float:
+        return n_nodes * self.node_peak_fp64()
+
+    def gpu_peak(self, precision: str) -> float:
+        if precision == "double":
+            return self.gpu_fp64_flops
+        if precision == "mixed":
+            return self.gpu_fp32_flops
+        raise ValueError(f"unknown precision {precision!r}")
+
+
+SUMMIT = SummitMachine()

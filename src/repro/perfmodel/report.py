@@ -1,0 +1,137 @@
+"""Report printers for the Summit-scale results (Tables 1/4, Figs 5/6).
+
+Shared by ``examples/summit_scaling.py`` and ``python -m repro scaling``.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel import (
+    COPPER_SPEC,
+    WATER_SPEC,
+    strong_scaling,
+    table1_rows,
+    table4_rows,
+    weak_scaling,
+)
+from repro.perfmodel.scaling import (
+    COPPER_STRONG_ATOMS,
+    COPPER_WEAK_ATOMS_PER_NODE,
+    FIG5_COPPER_NODES,
+    FIG5_PAPER_COPPER_DOUBLE,
+    FIG5_PAPER_WATER_DOUBLE,
+    FIG5_WATER_NODES,
+    FIG6_PAPER_COPPER_DOUBLE,
+    FIG6_PAPER_WATER_DOUBLE,
+    FIG6_WATER_NODES,
+    TABLE1_LITERATURE,
+    WATER_STRONG_ATOMS,
+    WATER_WEAK_ATOMS_PER_NODE,
+)
+
+
+def print_table4() -> None:
+    print("=" * 78)
+    print("Table 4 — water strong scaling, 12,582,912 atoms  (model | paper)")
+    print("=" * 78)
+    print(f"{'#GPUs':>6} {'atoms/GPU':>10} {'ghosts':>14} {'loop/s':>15} "
+          f"{'eff':>11} {'PFLOPS':>13} {'%peak':>13}")
+    for r in table4_rows():
+        p = r["paper"]
+        print(
+            f"{r['gpus']:>6} {r['atoms_per_gpu']:>10.0f} "
+            f"{r['ghosts_per_gpu']:>7.0f}|{p[1]:<6} "
+            f"{r['md_loop_time']:>7.1f}|{p[2]:<7.2f} "
+            f"{r['efficiency']:>5.2f}|{p[3]:<5.2f} "
+            f"{r['pflops']:>6.2f}|{p[4]:<6.2f} "
+            f"{r['percent_peak']:>6.1f}|{p[5]:<6.2f}"
+        )
+
+
+def print_fig5() -> None:
+    print("\n" + "=" * 78)
+    print("Fig 5 — strong scaling (double precision)  (model | paper)")
+    print("=" * 78)
+    print("Water, 12,582,912 atoms:")
+    pts = strong_scaling(WATER_SPEC, WATER_STRONG_ATOMS, FIG5_WATER_NODES)
+    for p in pts:
+        ref = FIG5_PAPER_WATER_DOUBLE[p.n_nodes]
+        print(
+            f"  {p.n_nodes:>5} nodes: {p.pflops:>5.1f}|{ref[0]:<5.1f} PFLOPS   "
+            f"{p.t_step * 1e3:>5.0f}|{ref[1]:<4d} ms/step   eff {p.efficiency:.2f}"
+        )
+    print("Copper, 25,739,424 atoms:")
+    for p in strong_scaling(COPPER_SPEC, COPPER_STRONG_ATOMS, FIG5_COPPER_NODES):
+        ref = FIG5_PAPER_COPPER_DOUBLE[p.n_nodes]
+        print(
+            f"  {p.n_nodes:>5} nodes: {p.pflops:>5.1f}|{ref[0]:<5.1f} PFLOPS   "
+            f"{p.t_step * 1e3:>5.0f}|{ref[1]:<4d} ms/step   eff {p.efficiency:.2f}"
+        )
+    print("Copper, mixed precision:")
+    for p in strong_scaling(
+        COPPER_SPEC, COPPER_STRONG_ATOMS, FIG5_COPPER_NODES, precision="mixed"
+    ):
+        print(f"  {p.n_nodes:>5} nodes: {p.pflops:>5.1f} PFLOPS   "
+              f"{p.t_step * 1e3:>5.0f} ms/step")
+
+
+def print_fig6() -> None:
+    print("\n" + "=" * 78)
+    print("Fig 6 — weak scaling  (model | paper, PFLOPS, double)")
+    print("=" * 78)
+    water = weak_scaling(WATER_SPEC, WATER_WEAK_ATOMS_PER_NODE, FIG6_WATER_NODES)
+    copper = weak_scaling(COPPER_SPEC, COPPER_WEAK_ATOMS_PER_NODE, FIG6_WATER_NODES)
+    print(f"{'nodes':>6} {'water atoms':>12} {'PFLOPS':>13} "
+          f"{'Cu atoms':>12} {'PFLOPS':>13}")
+    for pw, pc in zip(water, copper):
+        print(
+            f"{pw.n_nodes:>6} {pw.n_atoms:>12,} "
+            f"{pw.pflops:>6.1f}|{FIG6_PAPER_WATER_DOUBLE[pw.n_nodes]:<6.1f} "
+            f"{pc.n_atoms:>12,} "
+            f"{pc.pflops:>6.1f}|{FIG6_PAPER_COPPER_DOUBLE[pc.n_nodes]:<6.1f}"
+        )
+    mixed = weak_scaling(
+        COPPER_SPEC, COPPER_WEAK_ATOMS_PER_NODE, [4560], precision="mixed"
+    )[0]
+    print(f"\nFull-machine copper, mixed precision: {mixed.pflops:.1f} PFLOPS "
+          f"(paper: 137.4)")
+
+
+def print_table1() -> None:
+    print("\n" + "=" * 78)
+    print("Table 1 — time-to-solution survey (s/step/atom)")
+    print("=" * 78)
+    print(f"{'work':<26} {'system':<7} {'#atoms':>12} {'TtS':>10}")
+    for name, year, pot, system, n_atoms, where, tts in TABLE1_LITERATURE:
+        print(f"{name:<26} {system:<7} {n_atoms:>12,} {tts:>10.1e}")
+    for r in table1_rows():
+        print(
+            f"{r['work']:<26} {r['system']:<7} {r['n_atoms']:>12,} "
+            f"{r['tts_model']:>10.1e}  (paper: {r['tts_paper']:.1e})"
+        )
+
+
+def print_headline() -> None:
+    print("\n" + "=" * 78)
+    print("Headline claims")
+    print("=" * 78)
+    cu = strong_scaling(COPPER_SPEC, 113_246_208, [4560])[0]
+    cu_m = strong_scaling(COPPER_SPEC, 113_246_208, [4560], precision="mixed")[0]
+    print(
+        f"113M-atom copper on 4,560 nodes: {cu.pflops:.1f} PFLOPS double "
+        f"(paper: 86.2), {cu_m.pflops:.1f} mixed (paper: 137.4)"
+    )
+    hours = cu.t_step * 1e6 / 3600
+    print(f"  1 ns (1e6 steps @ 1 fs) in {hours:.0f} h double "
+          f"(paper: 23 h), {cu_m.t_step * 1e6 / 3600:.0f} h mixed (paper: 14 h)")
+    print(f"  -> {cu.ns_per_day(COPPER_SPEC.timestep_fs):.2f} ns/day double — "
+          f"the '1 nanosecond/day for 100M atoms' claim")
+
+
+
+def print_all() -> None:
+    """Print every Summit-scale comparison table."""
+    print_table4()
+    print_fig5()
+    print_fig6()
+    print_table1()
+    print_headline()

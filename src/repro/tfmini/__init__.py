@@ -1,0 +1,78 @@
+"""tfmini — a miniature graph-based tensor framework with reverse-mode autodiff.
+
+This package is the reproduction's stand-in for TensorFlow 1.x, which the
+original DeePMD-kit builds on.  It provides exactly the machinery the paper's
+"Neural Network Innovation" section (Sec 5.3) manipulates:
+
+* a static computation graph of named operators (:mod:`repro.tfmini.graph`),
+* reverse-mode automatic differentiation that *builds graph nodes*, so
+  gradients of gradients work (needed for force-matching training,
+  :mod:`repro.tfmini.autodiff`),
+* an instrumented executor with per-operator wall time, FLOP and byte
+  accounting (:mod:`repro.tfmini.executor`) — the source of the Fig-3 style
+  operator breakdowns,
+* graph rewrite passes implementing the paper's fusions:
+  MATMUL+SUM -> GEMM, CONCAT+SUM -> GEMM with an (I,I) right factor, and
+  TANH/TANHGrad kernel fusion (:mod:`repro.tfmini.passes`),
+* an Adam optimizer with exponential learning-rate decay
+  (:mod:`repro.tfmini.optimizer`).
+
+Custom operators (the DP model's ``Environment``, ``ProdForce``,
+``ProdVirial``) register themselves through :func:`repro.tfmini.ops.register_op`.
+"""
+
+from repro.tfmini.graph import Node, Variable, constant, placeholder, variable
+from repro.tfmini.ops import (
+    add,
+    bmm,
+    cast,
+    concat,
+    gemm,
+    matmul,
+    mul,
+    neg,
+    reduce_mean,
+    reduce_sum,
+    reshape,
+    slice_axis,
+    slice_cols,
+    square,
+    sub,
+    tanh,
+    transpose,
+)
+from repro.tfmini.autodiff import grad
+from repro.tfmini.executor import Session, OpStats
+from repro.tfmini.passes import optimize_graph
+from repro.tfmini.optimizer import Adam, ExponentialDecay
+
+__all__ = [
+    "Node",
+    "Variable",
+    "constant",
+    "placeholder",
+    "variable",
+    "add",
+    "sub",
+    "mul",
+    "neg",
+    "square",
+    "matmul",
+    "gemm",
+    "bmm",
+    "concat",
+    "slice_cols",
+    "slice_axis",
+    "reshape",
+    "transpose",
+    "reduce_sum",
+    "reduce_mean",
+    "tanh",
+    "cast",
+    "grad",
+    "Session",
+    "OpStats",
+    "optimize_graph",
+    "Adam",
+    "ExponentialDecay",
+]

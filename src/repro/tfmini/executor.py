@@ -1,0 +1,123 @@
+"""Instrumented graph executor for tfmini.
+
+``Session.run`` evaluates fetches in topological order with per-run value
+caching.  When profiling is enabled it records, per operator *name*, the
+cumulative wall time, call count, FLOPs and bytes touched — the measurements
+behind the paper's Fig 3 operator breakdown and the Table 3 / Sec 7.1.2
+speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.tfmini.graph import Node, Variable, topo_sort
+from repro.tfmini.ops import get_op, op_category, op_flops
+
+
+@dataclass
+class OpStats:
+    """Accumulated per-operator statistics across ``Session.run`` calls."""
+
+    seconds: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    flops: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, op: str, seconds: float, flops: int, nbytes: int) -> None:
+        self.seconds[op] += seconds
+        self.calls[op] += 1
+        self.flops[op] += flops
+        self.bytes[op] += nbytes
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def total_flops(self) -> int:
+        return sum(self.flops.values())
+
+    def by_category(self) -> dict[str, float]:
+        """Wall time grouped into the Fig-3 legend categories."""
+        out: dict[str, float] = defaultdict(float)
+        for op, sec in self.seconds.items():
+            out[op_category(op)] += sec
+        return dict(out)
+
+    def category_percentages(self) -> dict[str, float]:
+        total = self.total_seconds()
+        if total <= 0:
+            return {}
+        return {k: 100.0 * v / total for k, v in self.by_category().items()}
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+        self.flops.clear()
+        self.bytes.clear()
+
+
+def _result_nbytes(value) -> int:
+    if isinstance(value, tuple):
+        return sum(v.nbytes for v in value if isinstance(v, np.ndarray))
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    return 0
+
+
+class Session:
+    """Evaluates graph fetches with feed substitution and optional profiling."""
+
+    def __init__(self, profile: bool = False):
+        self.profile = profile
+        self.stats = OpStats()
+
+    def run(
+        self,
+        fetches: Sequence[Node] | Node,
+        feeds: Optional[dict[Node, np.ndarray]] = None,
+    ):
+        """Evaluate ``fetches``; returns a single array or a list of arrays.
+
+        ``feeds`` maps placeholder nodes to concrete numpy arrays.
+        """
+        single = isinstance(fetches, Node)
+        fetch_list: list[Node] = [fetches] if single else list(fetches)
+        feeds = feeds or {}
+        feed_vals = {id(k): np.asarray(v) for k, v in feeds.items()}
+
+        values: dict[int, np.ndarray] = {}
+        order = topo_sort(fetch_list)
+        profile = self.profile
+        for node in order:
+            nid = id(node)
+            if nid in feed_vals:
+                values[nid] = feed_vals[nid]
+                continue
+            if isinstance(node, Variable):
+                values[nid] = node.value
+                continue
+            if node.op == "constant":
+                values[nid] = node.attrs["value"]
+                continue
+            if node.op == "placeholder":
+                raise KeyError(f"placeholder '{node.name}' was not fed")
+            opdef = get_op(node.op)
+            inputs = [values[id(i)] for i in node.inputs]
+            if profile:
+                t0 = time.perf_counter()
+                out = opdef.forward(inputs, node.attrs)
+                dt = time.perf_counter() - t0
+                self.stats.record(
+                    node.op, dt, op_flops(node, inputs, out), _result_nbytes(out)
+                )
+            else:
+                out = opdef.forward(inputs, node.attrs)
+            values[nid] = out
+
+        results = [values[id(f)] for f in fetch_list]
+        return results[0] if single else results

@@ -1,0 +1,165 @@
+"""Computation-graph node types for tfmini.
+
+A graph is an immutable DAG of :class:`Node` objects.  Nodes are created by
+the functional operator API in :mod:`repro.tfmini.ops`; leaves are constants,
+placeholders, and variables.  Execution and differentiation never mutate
+nodes, which is what makes graph rewriting (:mod:`repro.tfmini.passes`) safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """One operator application in the computation graph.
+
+    Attributes
+    ----------
+    op:
+        Operator name, e.g. ``"matmul"``; must exist in the op registry for
+        execution.  Leaf ops are ``"constant"``, ``"placeholder"`` and
+        ``"variable"``.
+    inputs:
+        Tuple of upstream :class:`Node` objects.
+    attrs:
+        Static operator attributes (axis numbers, target dtypes, ...).
+    shape:
+        Statically known shape or ``None``; used only by rewrite passes as a
+        safety check, never required for execution.
+    """
+
+    __slots__ = ("op", "inputs", "attrs", "name", "uid", "shape", "dtype")
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Iterable["Node"] = (),
+        attrs: Optional[dict] = None,
+        name: str = "",
+        shape: Optional[tuple] = None,
+        dtype: Optional[np.dtype] = None,
+    ):
+        self.op = op
+        self.inputs = tuple(inputs)
+        self.attrs = attrs or {}
+        self.uid = next(_node_counter)
+        self.name = name or f"{op}_{self.uid}"
+        self.shape = shape
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} op={self.op} inputs={[i.name for i in self.inputs]}>"
+
+    # Operator sugar so model code reads like math.  Imports are deferred to
+    # avoid a circular import with repro.tfmini.ops.
+    def __add__(self, other: "Node") -> "Node":
+        from repro.tfmini import ops
+
+        return ops.add(self, other)
+
+    def __sub__(self, other: "Node") -> "Node":
+        from repro.tfmini import ops
+
+        return ops.sub(self, other)
+
+    def __mul__(self, other: "Node") -> "Node":
+        from repro.tfmini import ops
+
+        return ops.mul(self, other)
+
+    def __neg__(self) -> "Node":
+        from repro.tfmini import ops
+
+        return ops.neg(self)
+
+    def __matmul__(self, other: "Node") -> "Node":
+        from repro.tfmini import ops
+
+        return ops.matmul(self, other)
+
+
+class Variable(Node):
+    """A trainable leaf holding a mutable numpy array.
+
+    The executor reads ``self.value`` at run time, so optimizer updates are a
+    plain in-place assignment — mirroring TF1 variables.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        value = np.asarray(value)
+        super().__init__(
+            "variable", (), name=name, shape=value.shape, dtype=value.dtype
+        )
+        self.value = value
+
+    def assign(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=self.value.dtype)
+        if value.shape != self.value.shape:
+            raise ValueError(
+                f"variable {self.name}: shape {value.shape} != {self.value.shape}"
+            )
+        self.value = value
+
+
+def constant(value, name: str = "", dtype=None) -> Node:
+    """Create a constant leaf node wrapping ``value``."""
+    arr = np.asarray(value, dtype=dtype)
+    node = Node("constant", (), {"value": arr}, name=name, shape=arr.shape, dtype=arr.dtype)
+    return node
+
+
+def placeholder(name: str, shape: Optional[tuple] = None, dtype=np.float64) -> Node:
+    """Create an input leaf to be fed at run time via ``Session.run(feeds=...)``."""
+    return Node("placeholder", (), name=name, shape=shape, dtype=dtype)
+
+
+def variable(value, name: str = "") -> Variable:
+    """Create a trainable :class:`Variable` initialised to ``value``."""
+    return Variable(np.asarray(value), name=name)
+
+
+def topo_sort(fetches: Iterable[Node]) -> list[Node]:
+    """Return all nodes reachable from ``fetches`` in topological order.
+
+    Iterative DFS — graphs from deep backprop chains overflow Python's
+    recursion limit otherwise.
+    """
+    order: list[Node] = []
+    seen: set[int] = set()
+    stack: list[tuple[Node, bool]] = [(f, False) for f in fetches]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for inp in node.inputs:
+            if id(inp) not in seen:
+                stack.append((inp, False))
+    return order
+
+
+def all_variables(fetches: Iterable[Node]) -> list[Variable]:
+    """Collect every :class:`Variable` reachable from ``fetches``."""
+    return [n for n in topo_sort(fetches) if isinstance(n, Variable)]
+
+
+def count_params(fetches: Iterable[Node]) -> int:
+    """Total number of scalar parameters reachable from ``fetches``."""
+    return sum(v.value.size for v in all_variables(fetches))
+
+
+def param_nbytes(fetches: Iterable[Node]) -> int:
+    """Total parameter memory in bytes — used for the Sec 7.1.3 memory claim."""
+    return sum(v.value.nbytes for v in all_variables(fetches))

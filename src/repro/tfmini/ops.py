@@ -1,0 +1,752 @@
+"""Operator registry and functional API for tfmini.
+
+Each operator provides:
+
+* ``forward(inputs, attrs) -> np.ndarray`` — the kernel;
+* ``vjp(node, grad) -> list[Node | None]`` — builds *graph nodes* for the
+  vector-Jacobian product w.r.t. each input (``None`` = no gradient), which is
+  what makes gradients of gradients possible;
+* ``flops(node, inputs, output) -> int`` — the FLOP estimate used by the
+  instrumented executor and validated against :mod:`repro.perfmodel.flops`.
+
+The operator set is intentionally the same vocabulary the paper profiles:
+MATMUL, SUM (broadcast add), CONCAT, TANH (+TANHGrad), SLICE, plus the fused
+GEMM and fused-TANH kernels that the Sec 5.3 rewrite passes introduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.tfmini.graph import Node, constant
+
+# Estimated FLOPs per element for a transcendental tanh evaluation; NVPROF
+# counts real instruction mixes, we use a fixed conventional weight.
+TANH_FLOPS_PER_ELEM = 10
+
+
+@dataclass
+class OpDef:
+    forward: Callable
+    vjp: Optional[Callable] = None
+    flops: Optional[Callable] = None
+
+
+_REGISTRY: dict[str, OpDef] = {}
+
+
+def register_op(name: str, forward, vjp=None, flops=None) -> None:
+    """Register an operator.  Used by DP custom ops as well as the built-ins."""
+    _REGISTRY[name] = OpDef(forward, vjp, flops)
+
+
+def get_op(name: str) -> OpDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown op '{name}'; registered: {sorted(_REGISTRY)}") from None
+
+
+def op_flops(node: Node, inputs: Sequence[np.ndarray], output) -> int:
+    fn = get_op(node.op).flops
+    if fn is None:
+        return 0
+    return int(fn(node, inputs, output))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _unbroadcast_shape(shape_in: tuple, shape_out: tuple):
+    """Axes that were broadcast when going from shape_in to shape_out."""
+    ndiff = len(shape_out) - len(shape_in)
+    axes = list(range(ndiff))
+    for i, s in enumerate(shape_in):
+        if s == 1 and shape_out[ndiff + i] != 1:
+            axes.append(ndiff + i)
+    return tuple(axes), ndiff
+
+
+def reduce_to_shape(node: Node, like: Node) -> Node:
+    """Sum ``node`` down to the (runtime) shape of ``like``.
+
+    This is the standard unbroadcasting step in the VJP of broadcasting ops.
+    The target shape is resolved at execution time from ``like``'s value.
+    """
+    return Node("reduce_to_shape", (node, like), shape=like.shape)
+
+
+def _fwd_reduce_to_shape(inputs, attrs):
+    x, like = inputs
+    target = like.shape
+    if x.shape == target:
+        return x
+    axes, ndiff = _unbroadcast_shape(target, x.shape)
+    out = x.sum(axis=axes, keepdims=True) if axes else x
+    return np.asarray(out).reshape(target)
+
+
+register_op(
+    "reduce_to_shape",
+    _fwd_reduce_to_shape,
+    vjp=lambda node, g: [Node("broadcast_like", (g, node.inputs[0])), None],
+    flops=lambda node, ins, out: ins[0].size,
+)
+
+register_op(
+    "broadcast_like",
+    lambda inputs, attrs: np.broadcast_to(inputs[0], inputs[1].shape).copy(),
+    vjp=lambda node, g: [reduce_to_shape(g, node.inputs[0]), None],
+    flops=lambda node, ins, out: 0,
+)
+
+
+# ---------------------------------------------------------------------------
+# leaves
+# ---------------------------------------------------------------------------
+
+register_op("constant", lambda inputs, attrs: attrs["value"])
+register_op("placeholder", lambda inputs, attrs: _missing_feed(attrs))
+register_op("variable", lambda inputs, attrs: _missing_feed(attrs))
+
+
+def _missing_feed(attrs):  # pragma: no cover - executor intercepts leaves
+    raise RuntimeError("leaf nodes must be resolved by the executor")
+
+
+# ---------------------------------------------------------------------------
+# elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add(a: Node, b: Node) -> Node:
+    return Node("add", (a, b))
+
+
+def sub(a: Node, b: Node) -> Node:
+    return Node("sub", (a, b))
+
+
+def mul(a: Node, b: Node) -> Node:
+    return Node("mul", (a, b))
+
+
+def neg(a: Node) -> Node:
+    return Node("neg", (a,))
+
+
+def square(a: Node) -> Node:
+    return Node("square", (a,))
+
+
+def scale(a: Node, s: float) -> Node:
+    """Multiply by a python scalar (kept as an attr, not a graph input)."""
+    return Node("scale", (a,), {"s": float(s)})
+
+
+register_op(
+    "add",
+    lambda inputs, attrs: inputs[0] + inputs[1],
+    vjp=lambda node, g: [
+        reduce_to_shape(g, node.inputs[0]),
+        reduce_to_shape(g, node.inputs[1]),
+    ],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "sub",
+    lambda inputs, attrs: inputs[0] - inputs[1],
+    vjp=lambda node, g: [
+        reduce_to_shape(g, node.inputs[0]),
+        reduce_to_shape(neg(g), node.inputs[1]),
+    ],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "mul",
+    lambda inputs, attrs: inputs[0] * inputs[1],
+    vjp=lambda node, g: [
+        reduce_to_shape(mul(g, node.inputs[1]), node.inputs[0]),
+        reduce_to_shape(mul(g, node.inputs[0]), node.inputs[1]),
+    ],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "neg",
+    lambda inputs, attrs: -inputs[0],
+    vjp=lambda node, g: [neg(g)],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "square",
+    lambda inputs, attrs: inputs[0] * inputs[0],
+    vjp=lambda node, g: [mul(g, scale(node.inputs[0], 2.0))],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "scale",
+    lambda inputs, attrs: inputs[0] * attrs["s"],
+    vjp=lambda node, g: [scale(g, node.attrs["s"])],
+    flops=lambda node, ins, out: out.size,
+)
+
+
+# ---------------------------------------------------------------------------
+# matrix products
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: Node, b: Node) -> Node:
+    """2-D matrix product — the TF MATMUL operator."""
+    return Node("matmul", (a, b))
+
+
+def gemm(a: Node, b: Node, c: Node, beta: float = 1.0) -> Node:
+    """Fused ``a @ b + beta * c`` with broadcasting on ``c`` — one CUBLAS call.
+
+    This is the operator the Sec 5.3.1/5.3.2 rewrites produce.
+    """
+    return Node("gemm", (a, b, c), {"beta": float(beta)})
+
+
+def bmm(a: Node, b: Node) -> Node:
+    """Batched matmul over leading dimension: (B,m,k) @ (B,k,n) -> (B,m,n)."""
+    return Node("bmm", (a, b))
+
+
+register_op(
+    "matmul",
+    lambda inputs, attrs: inputs[0] @ inputs[1],
+    vjp=lambda node, g: [
+        matmul(g, transpose(node.inputs[1])),
+        matmul(transpose(node.inputs[0]), g),
+    ],
+    flops=lambda node, ins, out: 2 * ins[0].shape[0] * ins[0].shape[1] * ins[1].shape[1],
+)
+
+
+def _fwd_gemm(inputs, attrs):
+    a, b, c = inputs
+    beta = attrs.get("beta", 1.0)
+    out = a @ b
+    if beta == 1.0:
+        out += c
+    elif beta != 0.0:
+        out += beta * c
+    return out
+
+
+register_op(
+    "gemm",
+    _fwd_gemm,
+    vjp=lambda node, g: [
+        matmul(g, transpose(node.inputs[1])),
+        matmul(transpose(node.inputs[0]), g),
+        reduce_to_shape(scale(g, node.attrs.get("beta", 1.0)), node.inputs[2]),
+    ],
+    flops=lambda node, ins, out: 2 * ins[0].shape[0] * ins[0].shape[1] * ins[1].shape[1]
+    + out.size,
+)
+
+register_op(
+    "bmm",
+    lambda inputs, attrs: np.matmul(inputs[0], inputs[1]),
+    vjp=lambda node, g: [
+        bmm(g, transpose(node.inputs[1], (0, 2, 1))),
+        bmm(transpose(node.inputs[0], (0, 2, 1)), g),
+    ],
+    flops=lambda node, ins, out: 2
+    * ins[0].shape[0]
+    * ins[0].shape[1]
+    * ins[0].shape[2]
+    * ins[1].shape[2],
+)
+
+
+# ---------------------------------------------------------------------------
+# shape ops (the paper's SLICE/CONCAT category)
+# ---------------------------------------------------------------------------
+
+
+def concat(a: Node, b: Node, axis: int = -1) -> Node:
+    return Node("concat", (a, b), {"axis": int(axis)})
+
+
+def slice_cols(a: Node, start: int, stop: int) -> Node:
+    """Slice along the last axis: ``a[..., start:stop]`` — the TF SLICE op."""
+    return Node("slice", (a,), {"start": int(start), "stop": int(stop)})
+
+
+def slice_axis(a: Node, axis: int, start: int, stop: int) -> Node:
+    """Slice ``a[..., start:stop, ...]`` along an arbitrary axis."""
+    return Node(
+        "slice_axis", (a,), {"axis": int(axis), "start": int(start), "stop": int(stop)}
+    )
+
+
+def _slicer(ndim: int, axis: int, start: int, stop: int):
+    sl = [slice(None)] * ndim
+    sl[axis] = slice(start, stop)
+    return tuple(sl)
+
+
+def _fwd_slice_axis(inputs, attrs):
+    x = inputs[0]
+    return np.ascontiguousarray(
+        x[_slicer(x.ndim, attrs["axis"], attrs["start"], attrs["stop"])]
+    )
+
+
+def _vjp_slice_axis(node, g):
+    return [Node("slice_axis_grad", (g, node.inputs[0]), dict(node.attrs))]
+
+
+def _fwd_slice_axis_grad(inputs, attrs):
+    g, x = inputs
+    out = np.zeros_like(x)
+    out[_slicer(x.ndim, attrs["axis"], attrs["start"], attrs["stop"])] = g
+    return out
+
+
+register_op("slice_axis", _fwd_slice_axis, _vjp_slice_axis, lambda n, i, o: 0)
+register_op(
+    "slice_axis_grad",
+    _fwd_slice_axis_grad,
+    vjp=lambda node, g: [
+        Node("slice_axis", (g,), dict(node.attrs)),
+        None,
+    ],
+    flops=lambda n, i, o: 0,
+)
+
+
+def reshape(a: Node, shape: tuple) -> Node:
+    return Node("reshape", (a,), {"shape": tuple(int(s) for s in shape)})
+
+
+def transpose(a: Node, perm: Optional[tuple] = None) -> Node:
+    return Node("transpose", (a,), {"perm": tuple(perm) if perm is not None else None})
+
+
+def _vjp_concat(node, g):
+    a, b = node.inputs
+    axis = node.attrs["axis"]
+    return [
+        Node("split_part", (g, a, b), {"axis": axis, "part": 0}),
+        Node("split_part", (g, a, b), {"axis": axis, "part": 1}),
+    ]
+
+
+def _fwd_split_part(inputs, attrs):
+    g, a, b = inputs
+    axis = attrs["axis"]
+    na = a.shape[axis]
+    sl = [slice(None)] * g.ndim
+    sl[axis] = slice(0, na) if attrs["part"] == 0 else slice(na, None)
+    return g[tuple(sl)]
+
+
+register_op(
+    "concat",
+    lambda inputs, attrs: np.concatenate(inputs, axis=attrs["axis"]),
+    vjp=_vjp_concat,
+    flops=lambda node, ins, out: 0,
+)
+
+def _vjp_split_part(node, g):
+    # d(split)/d(gradient-being-split): pad the cotangent back into place.
+    return [Node("split_part_grad", (g, node.inputs[1], node.inputs[2]), dict(node.attrs)), None, None]
+
+
+def _fwd_split_part_grad(inputs, attrs):
+    h, a, b = inputs
+    axis = attrs["axis"]
+    shape = list(h.shape)
+    shape[axis] = a.shape[axis] + b.shape[axis]
+    out = np.zeros(shape, dtype=h.dtype)
+    na = a.shape[axis]
+    sl = [slice(None)] * len(shape)
+    sl[axis] = slice(0, na) if attrs["part"] == 0 else slice(na, None)
+    out[tuple(sl)] = h
+    return out
+
+
+register_op(
+    "split_part",
+    _fwd_split_part,
+    vjp=_vjp_split_part,
+    flops=lambda node, ins, out: 0,
+)
+register_op(
+    "split_part_grad",
+    _fwd_split_part_grad,
+    vjp=lambda node, g: [Node("split_part", (g, node.inputs[1], node.inputs[2]), dict(node.attrs)), None, None],
+    flops=lambda node, ins, out: 0,
+)
+
+
+def _vjp_slice(node, g):
+    return [Node("slice_grad", (g, node.inputs[0]), dict(node.attrs))]
+
+
+def _fwd_slice_grad(inputs, attrs):
+    g, x = inputs
+    out = np.zeros_like(x)
+    out[..., attrs["start"] : attrs["stop"]] = g
+    return out
+
+
+register_op(
+    "slice",
+    lambda inputs, attrs: np.ascontiguousarray(
+        inputs[0][..., attrs["start"] : attrs["stop"]]
+    ),
+    vjp=_vjp_slice,
+    flops=lambda node, ins, out: 0,
+)
+register_op(
+    "slice_grad",
+    _fwd_slice_grad,
+    vjp=lambda node, g: [
+        Node("slice", (g,), dict(node.attrs)),
+        None,
+    ],
+    flops=lambda node, ins, out: 0,
+)
+
+register_op(
+    "reshape",
+    lambda inputs, attrs: inputs[0].reshape(attrs["shape"]),
+    vjp=lambda node, g: [Node("reshape_like", (g, node.inputs[0]))],
+    flops=lambda node, ins, out: 0,
+)
+register_op(
+    "reshape_like",
+    lambda inputs, attrs: inputs[0].reshape(inputs[1].shape),
+    vjp=lambda node, g: [Node("reshape_like", (g, node.inputs[0])), None],
+    flops=lambda node, ins, out: 0,
+)
+
+
+def _fwd_transpose(inputs, attrs):
+    return np.ascontiguousarray(np.transpose(inputs[0], attrs["perm"]))
+
+
+def _vjp_transpose(node, g):
+    perm = node.attrs["perm"]
+    if perm is None:
+        return [transpose(g)]
+    inv = tuple(np.argsort(perm))
+    return [transpose(g, inv)]
+
+
+register_op("transpose", _fwd_transpose, vjp=_vjp_transpose, flops=lambda n, i, o: 0)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def reduce_sum(a: Node, axis: Optional[int] = None) -> Node:
+    return Node("reduce_sum", (a,), {"axis": axis})
+
+
+def reduce_mean(a: Node, axis: Optional[int] = None) -> Node:
+    return Node("reduce_mean", (a,), {"axis": axis})
+
+
+def _fwd_reduce_sum(inputs, attrs):
+    return np.asarray(inputs[0].sum(axis=attrs["axis"]))
+
+
+def _vjp_reduce_sum(node, g):
+    axis = node.attrs["axis"]
+    return [Node("bcast_reduce_grad", (g, node.inputs[0]), {"axis": axis, "mean": False})]
+
+
+def _fwd_reduce_mean(inputs, attrs):
+    return np.asarray(inputs[0].mean(axis=attrs["axis"]))
+
+
+def _vjp_reduce_mean(node, g):
+    axis = node.attrs["axis"]
+    return [Node("bcast_reduce_grad", (g, node.inputs[0]), {"axis": axis, "mean": True})]
+
+
+def _fwd_bcast_reduce_grad(inputs, attrs):
+    g, x = inputs
+    axis = attrs["axis"]
+    if axis is None:
+        out = np.broadcast_to(g, x.shape)
+        denom = x.size
+    else:
+        out = np.broadcast_to(np.expand_dims(g, axis), x.shape)
+        denom = x.shape[axis]
+    out = out.copy()
+    if attrs["mean"]:
+        out /= denom
+    return out
+
+
+register_op("reduce_sum", _fwd_reduce_sum, _vjp_reduce_sum, lambda n, i, o: i[0].size)
+register_op("reduce_mean", _fwd_reduce_mean, _vjp_reduce_mean, lambda n, i, o: i[0].size)
+register_op(
+    "bcast_reduce_grad",
+    _fwd_bcast_reduce_grad,
+    vjp=lambda node, g: [
+        reduce_sum(g, node.attrs["axis"])
+        if not node.attrs["mean"]
+        else reduce_mean(g, node.attrs["axis"]),
+        None,
+    ],
+    flops=lambda n, i, o: o.size,
+)
+
+
+# ---------------------------------------------------------------------------
+# activations
+# ---------------------------------------------------------------------------
+
+
+def tanh(a: Node) -> Node:
+    return Node("tanh", (a,))
+
+
+def tanh_grad(y: Node, dy: Node) -> Node:
+    """TF's TANHGrad: dy * (1 - y**2), with y the *output* of tanh."""
+    return Node("tanh_grad", (y, dy))
+
+
+register_op(
+    "tanh",
+    lambda inputs, attrs: np.tanh(inputs[0]),
+    vjp=lambda node, g: [tanh_grad(node, g)],
+    flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+)
+
+
+def _fwd_tanh_grad(inputs, attrs):
+    y, dy = inputs
+    return dy * (1.0 - y * y)
+
+
+def _vjp_tanh_grad(node, g):
+    y, dy = node.inputs
+    # d/dy [dy*(1-y^2)] = -2*y*dy ; d/ddy [...] = (1-y^2)
+    return [
+        mul(g, scale(mul(y, dy), -2.0)),
+        Node("tanh_grad", (y, g)),
+    ]
+
+
+register_op(
+    "tanh_grad",
+    _fwd_tanh_grad,
+    _vjp_tanh_grad,
+    flops=lambda node, ins, out: 3 * out.size,
+)
+
+
+def exp(a: Node) -> Node:
+    return Node("exp", (a,))
+
+
+register_op(
+    "exp",
+    lambda inputs, attrs: np.exp(inputs[0]),
+    vjp=lambda node, g: [mul(g, node)],
+    flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+)
+
+
+def log(a: Node) -> Node:
+    return Node("log", (a,))
+
+
+register_op(
+    "log",
+    lambda inputs, attrs: np.log(inputs[0]),
+    vjp=lambda node, g: [Node("div", (g, node.inputs[0]))],
+    flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+)
+
+
+def div(a: Node, b: Node) -> Node:
+    return Node("div", (a, b))
+
+
+def _vjp_div(node, g):
+    a, b = node.inputs
+    ga = Node("div", (g, b))
+    gb = neg(Node("div", (mul(g, node), b)))  # -g * (a/b) / b
+    return [reduce_to_shape(ga, a), reduce_to_shape(gb, b)]
+
+
+register_op(
+    "div",
+    lambda inputs, attrs: inputs[0] / inputs[1],
+    vjp=_vjp_div,
+    flops=lambda node, ins, out: out.size,
+)
+
+
+def sqrt(a: Node) -> Node:
+    return Node("sqrt", (a,))
+
+
+register_op(
+    "sqrt",
+    lambda inputs, attrs: np.sqrt(inputs[0]),
+    # d sqrt(x) = 1/(2 sqrt(x)) = 0.5 / y
+    vjp=lambda node, g: [mul(g, scale(Node("div", (constant(np.float64(1.0)), node)), 0.5))],
+    flops=lambda node, ins, out: 4 * out.size,
+)
+
+
+def sigmoid(a: Node) -> Node:
+    return Node("sigmoid", (a,))
+
+
+register_op(
+    "sigmoid",
+    lambda inputs, attrs: 1.0 / (1.0 + np.exp(-inputs[0])),
+    # d sigma = sigma * (1 - sigma)
+    vjp=lambda node, g: [mul(g, mul(node, Node("one_minus", (node,))))],
+    flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+)
+
+register_op(
+    "one_minus",
+    lambda inputs, attrs: 1.0 - inputs[0],
+    vjp=lambda node, g: [neg(g)],
+    flops=lambda node, ins, out: out.size,
+)
+
+
+def relu(a: Node) -> Node:
+    return Node("relu", (a,))
+
+
+register_op(
+    "relu",
+    lambda inputs, attrs: np.maximum(inputs[0], 0.0),
+    vjp=lambda node, g: [mul(g, Node("step_mask", (node.inputs[0],)))],
+    flops=lambda node, ins, out: out.size,
+)
+
+register_op(
+    "step_mask",
+    lambda inputs, attrs: (inputs[0] > 0).astype(inputs[0].dtype),
+    vjp=lambda node, g: [None],
+    flops=lambda node, ins, out: out.size,
+)
+
+
+def pow_scalar(a: Node, exponent: float) -> Node:
+    """Elementwise a**p for a python-scalar exponent."""
+    return Node("pow_scalar", (a,), {"p": float(exponent)})
+
+
+def _vjp_pow_scalar(node, g):
+    p = node.attrs["p"]
+    return [mul(g, scale(pow_scalar(node.inputs[0], p - 1.0), p))]
+
+
+register_op(
+    "pow_scalar",
+    lambda inputs, attrs: inputs[0] ** attrs["p"],
+    vjp=_vjp_pow_scalar,
+    flops=lambda node, ins, out: 4 * out.size,
+)
+
+
+# Fused TANH (Sec 5.3.3): one kernel produces both tanh(x) and 1 - tanh(x)^2,
+# trading memory for a second elementwise pass.  The executor caches the
+# tuple; `item` nodes select components.
+
+
+def tanh_fused(a: Node) -> Node:
+    both = Node("tanh_fused", (a,))
+    return Node("item", (both,), {"index": 0}), Node("item", (both,), {"index": 1})
+
+
+def _fwd_tanh_fused(inputs, attrs):
+    y = np.tanh(inputs[0])
+    g = 1.0 - y * y
+    return (y, g)
+
+
+register_op(
+    "tanh_fused",
+    _fwd_tanh_fused,
+    flops=lambda node, ins, out: (TANH_FLOPS_PER_ELEM + 2) * out[0].size,
+)
+register_op(
+    "item",
+    lambda inputs, attrs: inputs[0][attrs["index"]],
+    flops=lambda node, ins, out: 0,
+)
+
+
+# ---------------------------------------------------------------------------
+# dtype casting (mixed precision, Sec 5.2.3)
+# ---------------------------------------------------------------------------
+
+
+def cast(a: Node, dtype) -> Node:
+    return Node(
+        "cast", (a,), {"dtype": np.dtype(dtype)}, shape=a.shape, dtype=np.dtype(dtype)
+    )
+
+
+register_op(
+    "cast",
+    lambda inputs, attrs: inputs[0].astype(attrs["dtype"], copy=False),
+    vjp=lambda node, g: [cast(g, node.inputs[0].dtype or np.float64)],
+    flops=lambda node, ins, out: 0,
+)
+
+
+# ---------------------------------------------------------------------------
+# FLOP category mapping for Fig-3 style breakdowns
+# ---------------------------------------------------------------------------
+
+# Category assignment mirrors Fig 3's legend: GEMM, TANH, SLICE, CUSTOM, Others.
+OP_CATEGORY = {
+    "matmul": "GEMM",
+    "gemm": "GEMM",
+    "bmm": "GEMM",
+    "tanh": "TANH",
+    "tanh_grad": "TANH",
+    "tanh_fused": "TANH",
+    "slice": "SLICE",
+    "slice_grad": "SLICE",
+    "slice_axis": "SLICE",
+    "slice_axis_grad": "SLICE",
+    "concat": "SLICE",
+    "split_part": "SLICE",
+    "reshape": "SLICE",
+    "reshape_like": "SLICE",
+    "transpose": "SLICE",
+}
+
+
+def op_category(op_name: str) -> str:
+    """Fig-3 category for an operator name (custom DP ops self-register)."""
+    if op_name in OP_CATEGORY:
+        return OP_CATEGORY[op_name]
+    if op_name.startswith(("env_mat", "prod_force", "prod_virial", "format_nlist")):
+        return "CUSTOM"
+    return "Others"

@@ -1,0 +1,80 @@
+"""Adam optimizer and learning-rate schedules for tfmini variables.
+
+DeePMD-kit trains DP models with Adam and an exponentially decaying learning
+rate; both are reproduced here.  The optimizer operates on
+:class:`repro.tfmini.graph.Variable` objects in place, like TF1 optimizer ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.tfmini.graph import Variable
+
+
+@dataclass
+class ExponentialDecay:
+    """lr(step) = start * rate ** (step / decay_steps), floored at ``stop``."""
+
+    start: float = 1e-3
+    stop: float = 1e-8
+    decay_steps: int = 5000
+    rate: float = 0.95
+
+    def __call__(self, step: int) -> float:
+        lr = self.start * self.rate ** (step / self.decay_steps)
+        return max(lr, self.stop)
+
+
+@dataclass
+class Adam:
+    """Standard Adam (Kingma & Ba) with per-variable moment buffers."""
+
+    lr: float | ExponentialDecay = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    step: int = field(default=0, init=False)
+    _m: dict[int, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+    _v: dict[int, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+
+    def current_lr(self) -> float:
+        return self.lr(self.step) if callable(self.lr) else float(self.lr)
+
+    def apply(self, variables: Sequence[Variable], grads: Sequence[np.ndarray]) -> float:
+        """Apply one Adam update; returns the learning rate used."""
+        if len(variables) != len(grads):
+            raise ValueError("variables and grads length mismatch")
+        self.step += 1
+        lr = self.current_lr()
+        b1, b2, eps = self.beta1, self.beta2, self.eps
+        bias1 = 1.0 - b1**self.step
+        bias2 = 1.0 - b2**self.step
+        for var, g in zip(variables, grads):
+            if g is None:
+                continue
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != var.value.shape:
+                raise ValueError(
+                    f"grad shape {g.shape} != variable shape {var.value.shape} "
+                    f"for {var.name}"
+                )
+            key = id(var)
+            m = self._m.get(key)
+            if m is None:
+                m = np.zeros_like(var.value, dtype=np.float64)
+                self._m[key] = m
+                self._v[key] = np.zeros_like(var.value, dtype=np.float64)
+            v = self._v[key]
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            update = lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+            var.value = (var.value - update.astype(var.value.dtype)).astype(
+                var.value.dtype
+            )
+        return lr

@@ -1,0 +1,64 @@
+"""Physical constants and the "metal" unit system used throughout repro.
+
+The paper's systems (water, copper) are simulated in LAMMPS ``metal`` units:
+
+* length      : Angstrom (Å)
+* energy      : electron-volt (eV)
+* time        : picosecond (ps)
+* mass        : atomic mass unit (amu, g/mol)
+* temperature : Kelvin (K)
+* pressure    : bar
+* force       : eV/Å
+* velocity    : Å/ps
+
+All modules in :mod:`repro` assume metal units unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Boltzmann constant in eV/K.
+KB = 8.617333262e-5
+
+# Conversion factor: (amu * (Å/ps)^2) -> eV.
+# 1 amu = 1.66053906660e-27 kg; 1 Å/ps = 100 m/s;
+# 1 eV = 1.602176634e-19 J.
+MVV_TO_EV = 1.66053906660e-27 * 100.0**2 / 1.602176634e-19  # ≈ 1.0364e-4
+
+# Conversion factor: eV/Å^3 -> bar.
+# 1 eV/Å^3 = 1.602176634e-19 J / 1e-30 m^3 = 1.602176634e11 Pa = 1.602176634e6 bar.
+EVA3_TO_BAR = 1.602176634e6
+
+# Atomic masses in amu for the elements used in the paper's benchmarks.
+MASSES = {
+    "H": 1.00794,
+    "O": 15.9994,
+    "Cu": 63.546,
+}
+
+# Femtoseconds per picosecond — timesteps in the paper are quoted in fs.
+FS = 1.0e-3  # 1 fs in ps
+
+
+def kinetic_temperature(kinetic_energy_ev: float, n_dof: int) -> float:
+    """Instantaneous temperature from kinetic energy.
+
+    Parameters
+    ----------
+    kinetic_energy_ev:
+        Total kinetic energy in eV.
+    n_dof:
+        Number of unconstrained degrees of freedom (typically ``3N - 3``
+        after center-of-mass removal).
+    """
+    if n_dof <= 0:
+        return 0.0
+    return 2.0 * kinetic_energy_ev / (n_dof * KB)
+
+
+def thermal_velocity_scale(mass_amu: float, temperature_k: float) -> float:
+    """Standard deviation of one velocity component (Å/ps) at ``temperature_k``."""
+    if mass_amu <= 0:
+        raise ValueError(f"mass must be positive, got {mass_amu}")
+    return math.sqrt(KB * temperature_k / (mass_amu * MVV_TO_EV))

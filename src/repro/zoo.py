@@ -1,0 +1,147 @@
+"""Model zoo: small pre-trained DP models for examples and benchmarks.
+
+The paper's experiments use *trained* water and copper models (their
+training is DP-GEN work cited as refs [66, 69]); the evaluation here needs
+the same — models good enough to drive stable MD.  The zoo trains laptop-
+scale models against the oracle potentials once and caches them next to the
+repository (``.model_zoo/``), so every example/bench run after the first is
+fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.structures import fcc_lattice, water_box
+from repro.dp.data import Dataset, label_frames, sample_md_frames
+from repro.dp.model import DeepPot, DPConfig
+from repro.dp.serialize import load_model, save_model
+from repro.dp.train import TrainConfig, Trainer
+from repro.oracles import FlexibleWater, SuttonChenEAM
+
+DEFAULT_CACHE = Path(__file__).resolve().parents[2] / ".model_zoo"
+
+
+def _cache_path(name: str, cache_dir: Optional[str]) -> Path:
+    root = Path(cache_dir) if cache_dir else DEFAULT_CACHE
+    root.mkdir(parents=True, exist_ok=True)
+    return root / f"{name}.npz"
+
+
+def water_oracle() -> FlexibleWater:
+    """The ab-initio stand-in used to label the zoo water model (r_c=4 Å so
+    laptop-size training boxes satisfy minimum image)."""
+    return FlexibleWater(cutoff=4.0)
+
+
+def copper_oracle() -> SuttonChenEAM:
+    """The ab-initio stand-in for copper, with cutoffs fitted to small cells."""
+    return SuttonChenEAM(r_on=4.0, cutoff=5.0)
+
+
+def water_config(precision: str = "double") -> DPConfig:
+    return DPConfig.tiny(rcut=4.0, precision=precision)
+
+
+def copper_config(precision: str = "double") -> DPConfig:
+    return DPConfig.tiny(
+        type_names=("Cu",), sel=(48,), rcut=5.0, precision=precision
+    )
+
+
+def build_water_dataset(n_frames: int = 24, seed: int = 0) -> Dataset:
+    base = water_box((3, 3, 3), seed=seed)
+    oracle = water_oracle()
+    frames = sample_md_frames(
+        base, oracle, n_frames=n_frames, stride=10, equilibration=60, seed=seed
+    )
+    return label_frames(frames, oracle)
+
+
+def build_copper_dataset(n_frames: int = 16, seed: int = 0) -> Dataset:
+    base = fcc_lattice((4, 4, 4))  # 256 atoms, 14.46 Å box
+    oracle = copper_oracle()
+    frames = sample_md_frames(
+        base,
+        oracle,
+        n_frames=n_frames,
+        stride=10,
+        equilibration=60,
+        temperature=330.0,
+        dt=0.002,
+        seed=seed,
+    )
+    return label_frames(frames, oracle)
+
+
+def _train(config: DPConfig, dataset: Dataset, n_steps: int, seed: int) -> DeepPot:
+    model = DeepPot(config, rng=np.random.default_rng(seed))
+    dataset.apply_stats(model)
+    trainer = Trainer(
+        model,
+        dataset,
+        TrainConfig(
+            n_steps=n_steps,
+            lr_start=3e-3,
+            lr_stop=5e-6,
+            decay_steps=max(n_steps // 6, 1),
+            log_every=max(n_steps // 4, 1),
+            seed=seed,
+        ),
+    )
+    trainer.train()
+    return model
+
+
+def get_water_model(
+    precision: str = "double",
+    n_steps: int = 900,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> DeepPot:
+    """A trained tiny water DP model (cached)."""
+    name = f"water_tiny_{precision}_{n_steps}"
+    path = _cache_path(name, cache_dir)
+    if path.exists() and not force_retrain:
+        return load_model(str(path))
+    dataset = build_water_dataset()
+    model = _train(water_config(precision), dataset, n_steps, seed=2024)
+    save_model(model, str(path))
+    return model
+
+
+def get_copper_model(
+    precision: str = "double",
+    n_steps: int = 700,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> DeepPot:
+    """A trained tiny copper DP model (cached)."""
+    name = f"copper_tiny_{precision}_{n_steps}"
+    path = _cache_path(name, cache_dir)
+    if path.exists() and not force_retrain:
+        return load_model(str(path))
+    dataset = build_copper_dataset()
+    model = _train(copper_config(precision), dataset, n_steps, seed=515)
+    save_model(model, str(path))
+    return model
+
+
+def as_mixed_precision(model: DeepPot) -> DeepPot:
+    """Clone a double-precision model into the mixed-precision engine.
+
+    This is exactly the paper's Sec 5.2.3 procedure: same parameters, stored
+    and executed in fp32 inside the network, fp64 outside.
+    """
+    from dataclasses import replace
+
+    cfg = replace(model.config, precision="mixed")
+    mixed = DeepPot(cfg)
+    for vd, vm in zip(model.trainable_variables(), mixed.trainable_variables()):
+        vm.assign(vd.value.astype(np.float32))
+    mixed.set_stats(model.davg, model.dstd, model.e0)
+    return mixed

@@ -1,0 +1,263 @@
+"""Tests for structure builders, RDF, common neighbor analysis, and stress."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cna import (
+    CNA_BCC,
+    CNA_FCC,
+    CNA_HCP,
+    CNA_OTHER,
+    cna_fractions,
+    common_neighbor_analysis,
+    fcc_cna_cutoff,
+)
+from repro.analysis.rdf import average_rdf, radial_distribution
+from repro.analysis.stress import StressStrainRecorder, stress_tensor
+from repro.analysis.structures import (
+    CU_LATTICE,
+    fcc_lattice,
+    nanocrystal_fcc,
+    water_box,
+)
+from repro.md.box import Box
+from repro.md.system import System
+from repro.units import EVA3_TO_BAR
+
+
+class TestStructureBuilders:
+    def test_fcc_atom_count_and_density(self):
+        sys = fcc_lattice((4, 4, 4))
+        assert sys.n_atoms == 4 * 4**3
+        density = sys.n_atoms / sys.box.volume
+        assert density == pytest.approx(4 / CU_LATTICE**3, rel=1e-12)
+
+    def test_fcc_nearest_neighbor_distance(self):
+        sys = fcc_lattice((3, 3, 3))
+        d = sys.box.minimum_image(sys.positions[1:] - sys.positions[0])
+        r = np.sqrt((d**2).sum(axis=1))
+        assert r.min() == pytest.approx(CU_LATTICE / np.sqrt(2), rel=1e-9)
+
+    def test_water_box_composition_and_order(self):
+        sys = water_box((3, 3, 3), seed=0)
+        assert sys.n_atoms == 81
+        assert np.all(sys.types[::3] == 0)  # O first in each molecule
+        assert np.all(sys.types[1::3] == 1)
+        np.testing.assert_array_equal(sys.mol_ids, np.repeat(np.arange(27), 3))
+
+    def test_water_density_near_ambient(self):
+        sys = water_box((4, 4, 4))
+        # mass density in g/cm^3
+        mass_amu = 64 * (15.9994 + 2 * 1.00794)
+        grams = mass_amu * 1.66053906660e-24
+        cm3 = sys.box.volume * 1e-24
+        assert grams / cm3 == pytest.approx(0.997, rel=0.02)
+
+    def test_water_oh_bond_lengths(self):
+        sys = water_box((2, 2, 2), jitter=0.0)
+        for m in range(8):
+            o, h1 = sys.positions[3 * m], sys.positions[3 * m + 1]
+            d = sys.box.minimum_image(h1 - o)
+            assert np.linalg.norm(d) == pytest.approx(1.0, abs=1e-9)
+
+    def test_nanocrystal_has_grains_and_gaps(self):
+        sys = nanocrystal_fcc(box_length=30.0, n_grains=4, seed=1)
+        assert sys.n_atoms > 1500
+        assert hasattr(sys, "grain_ids")
+        assert len(np.unique(sys.grain_ids)) == 4
+        # density below perfect crystal (grain boundaries remove atoms)
+        perfect = 4 / CU_LATTICE**3 * sys.box.volume
+        assert sys.n_atoms < perfect
+
+    def test_nanocrystal_no_close_contacts(self):
+        sys = nanocrystal_fcc(box_length=25.0, n_grains=3, seed=2, min_separation=2.0)
+        from repro.md.neighbor import neighbor_pairs
+
+        pi, pj = neighbor_pairs(sys, 2.0)
+        disp = sys.box.minimum_image(sys.positions[pj] - sys.positions[pi])
+        r = np.sqrt((disp**2).sum(axis=1))
+        assert r.size == 0 or r.min() > 1.9
+
+    def test_nanocrystal_reproducible(self):
+        a = nanocrystal_fcc(box_length=22.0, n_grains=2, seed=7)
+        b = nanocrystal_fcc(box_length=22.0, n_grains=2, seed=7)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestRDF:
+    def test_ideal_gas_is_flat(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        sys = System(
+            box=Box([30.0] * 3),
+            positions=rng.uniform(0, 30, size=(n, 3)),
+            types=np.zeros(n, dtype=np.int64),
+            masses=np.ones(1),
+        )
+        r, g = radial_distribution(sys, r_max=8.0, n_bins=40)
+        # beyond the first bins, g ~ 1 for an ideal gas
+        assert np.abs(g[5:] - 1.0).mean() < 0.1
+
+    def test_fcc_first_peak_position(self):
+        sys = fcc_lattice((5, 5, 5))
+        r, g = radial_distribution(sys, r_max=6.0, n_bins=120)
+        first_peak = r[np.argmax(g)]
+        assert first_peak == pytest.approx(CU_LATTICE / np.sqrt(2), abs=0.1)
+
+    def test_partial_rdf_types(self):
+        sys = water_box((4, 4, 4), seed=1)
+        r, g_oh = radial_distribution(sys, r_max=4.0, n_bins=80, type_a=0, type_b=1)
+        # covalent O-H peak at ~1.0 Å
+        peak_r = r[np.argmax(g_oh)]
+        assert peak_r == pytest.approx(1.0, abs=0.15)
+
+    def test_r_max_validated(self):
+        sys = water_box((3, 3, 3))
+        with pytest.raises(ValueError, match="half"):
+            radial_distribution(sys, r_max=6.0)
+
+    def test_average_rdf_over_frames(self):
+        sys = water_box((4, 4, 4), seed=2)
+        frames = [sys.positions.copy(), sys.positions.copy()]
+        r, g = average_rdf(frames, template=sys, r_max=4.0, n_bins=40)
+        r1, g1 = radial_distribution(sys, r_max=4.0, n_bins=40)
+        np.testing.assert_allclose(g, g1, atol=1e-12)
+
+    def test_average_rdf_empty_raises(self):
+        with pytest.raises(ValueError, match="no frames"):
+            average_rdf([], template=None, r_max=4.0)
+
+
+class TestCNA:
+    def test_perfect_fcc_classified(self):
+        sys = fcc_lattice((4, 4, 4))
+        labels = common_neighbor_analysis(sys, fcc_cna_cutoff(CU_LATTICE))
+        assert np.all(labels == CNA_FCC)
+
+    def test_perfect_hcp_classified(self):
+        # ideal hcp: a, c = a*sqrt(8/3); orthorhombic 4-atom cell
+        a = 2.55
+        c = a * np.sqrt(8.0 / 3.0)
+        b_len = a * np.sqrt(3.0)
+        basis = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [0.5, 0.5, 0.0],
+                [0.5, 5.0 / 6.0, 0.5],
+                [0.0, 1.0 / 3.0, 0.5],
+            ]
+        )
+        reps = (4, 3, 3)
+        cell = np.array([a, b_len, c])
+        grid = np.stack(
+            np.meshgrid(*[np.arange(r) for r in reps], indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        pos = (grid[:, None, :] + basis[None]).reshape(-1, 3) * cell
+        sys = System(
+            box=Box(np.array(reps) * cell),
+            positions=pos,
+            types=np.zeros(len(pos), dtype=np.int64),
+            masses=np.array([63.546]),
+        )
+        labels = common_neighbor_analysis(sys, 1.205 * a)
+        assert np.count_nonzero(labels == CNA_HCP) / len(labels) > 0.95
+
+    def test_perfect_bcc_classified(self):
+        a = 2.87
+        basis = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]])
+        reps = (4, 4, 4)
+        grid = np.stack(
+            np.meshgrid(*[np.arange(r) for r in reps], indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        pos = (grid[:, None, :] + basis[None]).reshape(-1, 3) * a
+        sys = System(
+            box=Box(np.array(reps) * a),
+            positions=pos,
+            types=np.zeros(len(pos), dtype=np.int64),
+            masses=np.array([55.845]),
+        )
+        # bcc cutoff: between 2nd and 3rd shells ~ 1.207a
+        labels = common_neighbor_analysis(sys, 1.207 * a)
+        assert np.all(labels == CNA_BCC)
+
+    def test_random_gas_is_other(self):
+        rng = np.random.default_rng(3)
+        sys = System(
+            box=Box([20.0] * 3),
+            positions=rng.uniform(0, 20, size=(200, 3)),
+            types=np.zeros(200, dtype=np.int64),
+            masses=np.ones(1),
+        )
+        labels = common_neighbor_analysis(sys, 3.0)
+        assert np.count_nonzero(labels == CNA_OTHER) / 200 > 0.9
+
+    def test_stacking_fault_detected_as_hcp(self):
+        """An intrinsic stacking fault in an fcc stack (ABC|BCA along [111])
+        shows up as hcp-coordinated planes — the Fig 7 signature."""
+        # Build fcc as ABC stacking of (111) planes, then remove one plane's
+        # shift to create ...ABCABABCABC... fault.
+        a = CU_LATTICE
+        nn = a / np.sqrt(2.0)  # in-plane spacing
+        dz = a / np.sqrt(3.0)  # (111) interplanar distance
+        nx, ny = 6, 6
+        n_planes = 12
+        shifts = {
+            "A": np.array([0.0, 0.0]),
+            "B": np.array([nn / 2, nn / (2 * np.sqrt(3))]) * 2,
+            "C": np.array([nn, nn / np.sqrt(3)]) * 2,
+        }
+        # fcc: repeat ABC; fault: skip one letter once
+        seq = "ABCABABCABCA"  # one fault in the middle
+        pos = []
+        b_vec = np.array([nn / 2, nn * np.sqrt(3) / 2])
+        for k, letter in enumerate(seq[:n_planes]):
+            base = shifts[letter] / 3.0
+            for i in range(nx):
+                for j in range(ny):
+                    xy = i * np.array([nn, 0.0]) + j * b_vec + base
+                    pos.append([xy[0] % (nx * nn), xy[1] % (ny * nn * np.sqrt(3) / 1), k * dz])
+        pos = np.array(pos)
+        box = Box([nx * nn, ny * nn * np.sqrt(3), n_planes * dz])
+        sys = System(
+            box=box,
+            positions=pos,
+            types=np.zeros(len(pos), dtype=np.int64),
+            masses=np.array([63.546]),
+        )
+        labels = common_neighbor_analysis(sys, fcc_cna_cutoff(a))
+        frac = cna_fractions(labels)
+        # the faulted stack must show a clear hcp signature absent in perfect fcc
+        assert frac["hcp"] > 0.05
+
+    def test_fractions_sum_to_one(self):
+        labels = np.array([CNA_FCC, CNA_FCC, CNA_HCP, CNA_OTHER])
+        frac = cna_fractions(labels)
+        assert sum(frac.values()) == pytest.approx(1.0)
+        assert frac["fcc"] == pytest.approx(0.5)
+
+
+class TestStress:
+    def test_static_stress_matches_pressure(self):
+        """For zero velocities, tensile stress = -virial/V (sign flip)."""
+        sys = fcc_lattice((3, 3, 3))
+        w = np.diag([3.0, 3.0, 3.0])
+        sigma = stress_tensor(sys, w)
+        expected = -(3.0 / sys.box.volume) * EVA3_TO_BAR * 1e-4
+        assert sigma[2, 2] == pytest.approx(expected, rel=1e-12)
+
+    def test_recorder_accumulates(self):
+        sys = fcc_lattice((3, 3, 3))
+        rec = StressStrainRecorder(axis=2)
+        rec.record(sys, np.zeros((3, 3)), 0.0)
+        rec.record(sys, -np.eye(3), 0.01)
+        strains, stresses = rec.arrays()
+        assert len(strains) == 2
+        assert strains[1] == pytest.approx(0.01)
+        assert rec.peak_stress() == max(stresses)
+
+    def test_kinetic_contribution(self):
+        sys = fcc_lattice((2, 2, 2))
+        sys.velocities = np.ones_like(sys.positions)
+        sigma_hot = stress_tensor(sys, np.zeros((3, 3)))
+        # moving atoms add (negative tensile) kinetic pressure
+        assert sigma_hot[0, 0] < 0

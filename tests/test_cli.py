@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.dp" in out
+        assert "model zoo" in out
+
+    def test_scaling_prints_tables(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Fig 5" in out
+        assert "Fig 6" in out
+        assert "86.2" in out or "85.9" in out  # the headline PFLOPS row
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

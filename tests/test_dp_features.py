@@ -1,0 +1,190 @@
+"""Tests for DP model variants: pair-typed embeddings (type_one_side=False),
+virial-matching loss, and extensivity/supercell properties."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import water_box
+from repro.dp import DeepPot, DPConfig, TrainConfig, Trainer, label_frames, sample_md_frames
+from repro.dp.serialize import load_model, save_model
+from repro.md.box import Box
+from repro.md.neighbor import neighbor_pairs
+from repro.md.system import System
+from repro.oracles import FlexibleWater
+
+
+@pytest.fixture(scope="module")
+def small_water():
+    return water_box((3, 3, 3), seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    oracle = FlexibleWater(cutoff=4.0)
+    base = water_box((3, 3, 3), seed=0)
+    frames = sample_md_frames(
+        base, oracle, n_frames=4, stride=5, equilibration=15, seed=0
+    )
+    return label_frames(frames, oracle)
+
+
+class TestPairTypedEmbedding:
+    def test_parameter_count_scales_with_type_pairs(self):
+        one_side = DeepPot(DPConfig.tiny(type_one_side=True))
+        pair_typed = DeepPot(DPConfig.tiny(type_one_side=False))
+        assert len(one_side.embedding_params) == 2
+        assert len(pair_typed.embedding_params) == 4
+        assert pair_typed.param_count() > one_side.param_count()
+
+    def test_physics_invariants_hold(self, small_water):
+        model = DeepPot(DPConfig.tiny(type_one_side=False, seed=5))
+        pi, pj = neighbor_pairs(small_water, model.config.rcut)
+        res = model.evaluate(small_water, pi, pj)
+        np.testing.assert_allclose(res.forces.sum(axis=0), 0, atol=1e-12)
+        # force = -dE/dx still
+        eps = 1e-5
+        sysw = small_water.copy()
+        p0 = sysw.positions[4, 1]
+        sysw.positions[4, 1] = p0 + eps
+        a, b = neighbor_pairs(sysw, model.config.rcut)
+        ep = model.evaluate(sysw, a, b).energy
+        sysw.positions[4, 1] = p0 - eps
+        a, b = neighbor_pairs(sysw, model.config.rcut)
+        em = model.evaluate(sysw, a, b).energy
+        assert res.forces[4, 1] == pytest.approx(-(ep - em) / (2 * eps), rel=1e-5)
+
+    def test_serialization_roundtrip(self, small_water, tmp_path):
+        model = DeepPot(DPConfig.tiny(type_one_side=False, seed=7))
+        path = str(tmp_path / "pair_typed.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.config.type_one_side is False
+        pi, pj = neighbor_pairs(small_water, model.config.rcut)
+        a = model.evaluate(small_water, pi, pj)
+        b = loaded.evaluate(small_water, pi, pj)
+        assert b.energy == pytest.approx(a.energy, rel=1e-12)
+
+    def test_trainable(self, tiny_dataset):
+        model = DeepPot(DPConfig.tiny(rcut=4.0, type_one_side=False))
+        tiny_dataset.apply_stats(model)
+        trainer = Trainer(
+            model, tiny_dataset, TrainConfig(n_steps=30, log_every=30)
+        )
+        first = trainer.step()
+        for _ in range(29):
+            last = trainer.step()
+        assert np.isfinite(last)
+
+
+class TestVirialLoss:
+    def test_virial_term_changes_loss(self, tiny_dataset):
+        model = DeepPot(DPConfig.tiny(rcut=4.0, seed=1))
+        tiny_dataset.apply_stats(model)
+        t_no_v = Trainer(model, tiny_dataset, TrainConfig(seed=0))
+        feeds, _ = t_no_v._frame_feeds(tiny_dataset[0])
+        loss_no_v = float(model.session.run(t_no_v.node_loss, feeds))
+
+        model2 = DeepPot(DPConfig.tiny(rcut=4.0, seed=1))
+        tiny_dataset.apply_stats(model2)
+        t_v = Trainer(
+            model2, tiny_dataset,
+            TrainConfig(seed=0, pref_v_start=1.0, pref_v_limit=1.0),
+        )
+        feeds2, _ = t_v._frame_feeds(tiny_dataset[0])
+        loss_v = float(model2.session.run(t_v.node_loss, feeds2))
+        assert loss_v > loss_no_v  # extra non-negative term, nonzero pre-fit
+
+    def test_virial_gradient_matches_fd(self, tiny_dataset):
+        model = DeepPot(DPConfig.tiny(rcut=4.0, seed=2))
+        tiny_dataset.apply_stats(model)
+        trainer = Trainer(
+            model, tiny_dataset,
+            TrainConfig(seed=0, pref_v_start=2.0, pref_v_limit=2.0),
+        )
+        feeds, _ = trainer._frame_feeds(tiny_dataset[0])
+        out = model.session.run(trainer._fetches, feeds)
+        grads = out[3:]
+        v = trainer.variables[0]
+        eps = 1e-5
+        flat = v.value.reshape(-1)
+        old = flat[0]
+        flat[0] = old + eps
+        lp = float(model.session.run(trainer.node_loss, feeds))
+        flat[0] = old - eps
+        lm = float(model.session.run(trainer.node_loss, feeds))
+        flat[0] = old
+        num = (lp - lm) / (2 * eps)
+        assert float(np.asarray(grads[0]).reshape(-1)[0]) == pytest.approx(
+            num, rel=1e-4, abs=1e-8
+        )
+
+    def test_virial_training_reduces_virial_error(self, tiny_dataset):
+        model = DeepPot(DPConfig.tiny(rcut=4.0, seed=3))
+        tiny_dataset.apply_stats(model)
+        trainer = Trainer(
+            model, tiny_dataset,
+            TrainConfig(
+                n_steps=60, lr_start=2e-3, decay_steps=20,
+                pref_v_start=10.0, pref_v_limit=1.0, log_every=60,
+            ),
+        )
+
+        def virial_rmse():
+            errs = []
+            for frame in tiny_dataset.frames:
+                pi, pj = neighbor_pairs(frame.system, model.config.rcut)
+                res = model.evaluate(frame.system, pi, pj)
+                errs.append(np.sqrt(np.mean((res.virial - frame.virial) ** 2)))
+            return float(np.mean(errs))
+
+        before = virial_rmse()
+        trainer.train()
+        after = virial_rmse()
+        assert after < before
+
+
+class TestExtensivity:
+    def test_supercell_doubles_energy(self, small_water):
+        """E is extensive: a 2x supercell along z has exactly twice the
+        energy and replicated forces — a strong end-to-end identity for the
+        descriptor + network + bias pipeline under PBC."""
+        model = DeepPot(DPConfig.tiny(seed=4))
+        pi, pj = neighbor_pairs(small_water, model.config.rcut)
+        single = model.evaluate(small_water, pi, pj)
+
+        n = small_water.n_atoms
+        doubled = System(
+            box=Box(small_water.box.lengths * np.array([1.0, 1.0, 2.0])),
+            positions=np.concatenate(
+                [
+                    small_water.positions,
+                    small_water.positions + np.array([0, 0, small_water.box.lengths[2]]),
+                ]
+            ),
+            types=np.tile(small_water.types, 2),
+            masses=small_water.masses,
+            type_names=small_water.type_names,
+        )
+        a, b = neighbor_pairs(doubled, model.config.rcut)
+        double_res = model.evaluate(doubled, a, b)
+        assert double_res.energy == pytest.approx(2 * single.energy, rel=1e-10)
+        np.testing.assert_allclose(double_res.forces[:n], single.forces, atol=1e-10)
+        np.testing.assert_allclose(double_res.forces[n:], single.forces, atol=1e-10)
+
+    def test_isolated_atom_energy_is_bias(self):
+        """A single atom with no neighbors: E = fitting(0-descriptor) + e0 —
+        finite and independent of box size."""
+        model = DeepPot(DPConfig.tiny(type_names=("Cu",), sel=(8,), rcut=4.0))
+        for box_len in (20.0, 40.0):
+            sys = System(
+                box=Box([box_len] * 3),
+                positions=np.array([[box_len / 2] * 3]),
+                types=np.zeros(1, dtype=np.int64),
+                masses=np.array([63.5]),
+            )
+            pi, pj = neighbor_pairs(sys, model.config.rcut)
+            res = model.evaluate(sys, pi, pj)
+            assert np.isfinite(res.energy)
+            if box_len == 20.0:
+                ref = res.energy
+        assert res.energy == pytest.approx(ref, rel=1e-12)

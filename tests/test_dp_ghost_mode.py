@@ -1,0 +1,133 @@
+"""DP evaluation in domain-decomposition mode (nloc < nall, pbc=False).
+
+The distributed driver relies on three contracts tested here directly:
+
+1. a local frame whose periodic images are explicit ghost atoms produces the
+   same local energies/forces as the PBC evaluation of the global system;
+2. descriptor rows are built only for the first nloc atoms;
+3. the force array covers ghosts, and ghost contributions equal what the
+   owner would have accumulated (reverse-communication correctness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import water_box
+from repro.dp.model import DeepPot, DPConfig
+from repro.md.box import Box
+from repro.md.neighbor import neighbor_pairs
+from repro.md.system import System
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DeepPot(DPConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def global_sys():
+    return water_box((4, 4, 4), seed=5)
+
+
+def explicit_ghost_frame(system, rcut):
+    """All atoms as locals + every periodic image within rcut of the box as
+    explicit ghosts — the trivial 1-rank decomposition."""
+    pos = system.box.wrap(system.positions)
+    lengths = system.box.lengths
+    ghost_pos = []
+    ghost_types = []
+    for sx in (-1, 0, 1):
+        for sy in (-1, 0, 1):
+            for sz in (-1, 0, 1):
+                if sx == sy == sz == 0:
+                    continue
+                shift = np.array([sx, sy, sz]) * lengths
+                shifted = pos + shift
+                near = np.all(
+                    (shifted > -rcut) & (shifted < lengths + rcut), axis=1
+                )
+                ghost_pos.append(shifted[near])
+                ghost_types.append(system.types[near])
+    all_pos = np.concatenate([pos] + ghost_pos)
+    all_types = np.concatenate([system.types] + ghost_types)
+    return System(
+        box=Box(lengths * 3),  # open frame: box only nominal
+        positions=all_pos,
+        types=all_types,
+        masses=system.masses,
+        type_names=system.type_names,
+    )
+
+
+class TestGhostMode:
+    def test_matches_pbc_evaluation(self, model, global_sys):
+        rcut = model.config.rcut
+        pi, pj = neighbor_pairs(global_sys, rcut)
+        ref = model.evaluate(global_sys, pi, pj)
+
+        local = explicit_ghost_frame(global_sys, rcut)
+        nloc = global_sys.n_atoms
+        pi2, pj2 = neighbor_pairs(local, rcut, pbc=False)
+        res = model.evaluate(local, pi2, pj2, nloc=nloc, pbc=False)
+
+        assert res.energy == pytest.approx(ref.energy, rel=1e-12)
+        # local forces must match after folding ghost forces onto owners
+        folded = res.forces[:nloc].copy()
+        # ghosts are images of locals in construction order
+        ghost_owner = []
+        pos = global_sys.box.wrap(global_sys.positions)
+        lengths = global_sys.box.lengths
+        for sx in (-1, 0, 1):
+            for sy in (-1, 0, 1):
+                for sz in (-1, 0, 1):
+                    if sx == sy == sz == 0:
+                        continue
+                    shift = np.array([sx, sy, sz]) * lengths
+                    shifted = pos + shift
+                    near = np.all(
+                        (shifted > -rcut) & (shifted < lengths + rcut), axis=1
+                    )
+                    ghost_owner.extend(np.flatnonzero(near).tolist())
+        ghost_owner = np.array(ghost_owner, dtype=np.int64)
+        np.add.at(folded, ghost_owner, res.forces[nloc:])
+        np.testing.assert_allclose(folded, ref.forces, atol=1e-10)
+
+    def test_atomic_energy_count_is_nloc(self, model, global_sys):
+        rcut = model.config.rcut
+        local = explicit_ghost_frame(global_sys, rcut)
+        nloc = global_sys.n_atoms
+        pi, pj = neighbor_pairs(local, rcut, pbc=False)
+        res = model.evaluate(local, pi, pj, nloc=nloc, pbc=False)
+        assert res.atom_energies.shape == (nloc,)
+        assert res.forces.shape == (local.n_atoms, 3)
+
+    def test_nloc_zero_types_block(self, model):
+        """A frame whose locals are all one type still evaluates (empty
+        per-type blocks are legal)."""
+        rng = np.random.default_rng(0)
+        n = 6
+        sys = System(
+            box=Box([20.0] * 3),
+            positions=rng.uniform(5, 15, size=(n, 3)),
+            types=np.zeros(n, dtype=np.int64),  # type 1 block empty
+            masses=np.array([16.0, 1.0]),
+            type_names=["O", "H"],
+        )
+        pi, pj = neighbor_pairs(sys, model.config.rcut)
+        res = model.evaluate(sys, pi, pj)
+        assert np.isfinite(res.energy)
+        assert res.forces.shape == (n, 3)
+
+    def test_pbc_false_uses_raw_displacements(self, model):
+        """Two atoms 18 Å apart in a 20 Å box: PBC sees them 2 Å apart,
+        the open frame does not."""
+        sys = System(
+            box=Box([20.0] * 3),
+            positions=np.array([[1.0, 10, 10], [19.0, 10, 10]]),
+            types=np.array([0, 0]),
+            masses=np.array([16.0, 1.0]),
+        )
+        pi_pbc, pj_pbc = neighbor_pairs(sys, 4.0, pbc=True)
+        pi_open, pj_open = neighbor_pairs(sys, 4.0, pbc=False)
+        assert len(pi_pbc) == 1
+        assert len(pi_open) == 0

@@ -1,0 +1,231 @@
+"""Tests for the training pipeline and DP-GEN-style active learning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import water_box
+from repro.dp import (
+    ActiveLearner,
+    Dataset,
+    DeepPot,
+    DPConfig,
+    LabeledFrame,
+    ModelEnsemble,
+    TrainConfig,
+    Trainer,
+    label_frames,
+    sample_md_frames,
+)
+from repro.md.neighbor import neighbor_pairs
+from repro.oracles import FlexibleWater
+
+
+@pytest.fixture(scope="module")
+def water_dataset():
+    base = water_box((3, 3, 3), seed=0)
+    oracle = FlexibleWater(cutoff=4.0)
+    frames = sample_md_frames(
+        base, oracle, n_frames=6, stride=5, equilibration=20, seed=0
+    )
+    return label_frames(frames, oracle)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return DPConfig.tiny(rcut=4.0)
+
+
+class TestDataset:
+    def test_labels_match_oracle(self, water_dataset):
+        oracle = FlexibleWater(cutoff=4.0)
+        frame = water_dataset[0]
+        res = oracle.compute_dense(frame.system)
+        assert frame.energy == pytest.approx(res.energy, rel=1e-12)
+        np.testing.assert_allclose(frame.forces, res.forces, atol=1e-12)
+
+    def test_split_preserves_frames(self, water_dataset):
+        train, valid = water_dataset.split(0.5, seed=1)
+        assert len(train) + len(valid) == len(water_dataset)
+        assert len(train) == 3
+
+    def test_energy_bias_lstsq(self):
+        """Constructed case with varying composition: E = -2*n0 - 1*n1."""
+        from repro.md.box import Box
+        from repro.md.system import System
+
+        ds = Dataset()
+        for n0, n1 in ((3, 1), (1, 4), (2, 2)):
+            n = n0 + n1
+            sys = System(
+                box=Box([20.0] * 3),
+                positions=np.random.default_rng(n).uniform(0, 20, size=(n, 3)),
+                types=np.array([0] * n0 + [1] * n1),
+                masses=np.array([16.0, 1.0]),
+            )
+            ds.add(
+                LabeledFrame(
+                    system=sys,
+                    energy=-2.0 * n0 - 1.0 * n1,
+                    forces=np.zeros((n, 3)),
+                    virial=np.zeros((3, 3)),
+                )
+            )
+        bias = ds.energy_bias(2)
+        np.testing.assert_allclose(bias, [-2.0, -1.0], atol=1e-9)
+
+    def test_energy_bias_degenerate_composition_fits_mean(self, water_dataset):
+        """Water frames all share one composition (nH = 2 nO), so the count
+        matrix is rank-1; the min-norm lstsq solution must still reproduce
+        the mean frame energy for that composition."""
+        bias = water_dataset.energy_bias(2)
+        counts = water_dataset[0].system.type_counts()
+        energies = [f.energy for f in water_dataset.frames]
+        assert counts @ bias == pytest.approx(np.mean(energies), rel=1e-9)
+
+    def test_descriptor_stats_shapes_and_positivity(self, water_dataset, tiny_cfg):
+        davg, dstd = water_dataset.descriptor_stats(tiny_cfg)
+        assert davg.shape == (2, 4) and dstd.shape == (2, 4)
+        assert np.all(dstd > 0)
+        # s-column mean is positive (distances are positive, s >= 0)
+        assert np.all(davg[:, 0] > 0)
+        # xyz means are identically zero by construction
+        np.testing.assert_array_equal(davg[:, 1:], 0.0)
+
+    def test_apply_stats_installs(self, water_dataset, tiny_cfg):
+        model = DeepPot(tiny_cfg)
+        water_dataset.apply_stats(model)
+        assert np.any(model.davg != 0)
+        assert np.any(model.e0 != 0)
+
+    def test_empty_dataset_rejected(self, tiny_cfg):
+        with pytest.raises(ValueError, match="empty"):
+            Trainer(DeepPot(tiny_cfg), Dataset())
+
+
+class TestTrainer:
+    def test_loss_decreases(self, water_dataset, tiny_cfg):
+        model = DeepPot(tiny_cfg)
+        water_dataset.apply_stats(model)
+        trainer = Trainer(
+            model,
+            water_dataset,
+            TrainConfig(n_steps=60, lr_start=2e-3, decay_steps=30, log_every=20),
+        )
+        first = trainer.step()
+        losses = [trainer.step() for _ in range(59)]
+        assert np.mean(losses[-10:]) < first
+
+    def test_force_rmse_improves(self, water_dataset, tiny_cfg):
+        model = DeepPot(tiny_cfg)
+        water_dataset.apply_stats(model)
+        trainer = Trainer(
+            model,
+            water_dataset,
+            TrainConfig(n_steps=250, lr_start=3e-3, decay_steps=80, log_every=250),
+        )
+        rmse_e0, rmse_f0 = trainer.evaluate_errors(max_frames=3)
+        trainer.train()
+        rmse_e1, rmse_f1 = trainer.evaluate_errors(max_frames=3)
+        assert rmse_f1 < rmse_f0
+        assert rmse_e1 < rmse_e0
+
+    def test_gradient_matches_fd(self, water_dataset, tiny_cfg):
+        """Full-loss gradient (energy + force double backprop) vs FD."""
+        model = DeepPot(tiny_cfg)
+        water_dataset.apply_stats(model)
+        trainer = Trainer(model, water_dataset, TrainConfig(seed=3))
+        feeds, _ = trainer._frame_feeds(water_dataset[0])
+        out = model.session.run(trainer._fetches, feeds)
+        grads = out[3:]
+        sess = model.session
+        for vi in (0, len(trainer.variables) // 2, len(trainer.variables) - 1):
+            v = trainer.variables[vi]
+            flat = v.value.reshape(-1)
+            eps = 1e-5
+            old = flat[0]
+            flat[0] = old + eps
+            lp = float(sess.run(trainer.node_loss, feeds))
+            flat[0] = old - eps
+            lm = float(sess.run(trainer.node_loss, feeds))
+            flat[0] = old
+            num = (lp - lm) / (2 * eps)
+            ana = float(np.asarray(grads[vi]).reshape(-1)[0])
+            assert ana == pytest.approx(num, rel=1e-4, abs=1e-8), v.name
+
+    def test_prefactor_schedule_moves_toward_limits(self, water_dataset, tiny_cfg):
+        model = DeepPot(tiny_cfg)
+        trainer = Trainer(
+            model, water_dataset, TrainConfig(n_steps=100, decay_steps=10)
+        )
+        feeds_early, _ = trainer._frame_feeds(water_dataset[0])
+        trainer.optimizer.step = 1000  # far along the schedule
+        feeds_late, _ = trainer._frame_feeds(water_dataset[0])
+        pe_early = feeds_early[trainer.ph_pref_e]
+        pe_late = feeds_late[trainer.ph_pref_e]
+        pf_early = feeds_early[trainer.ph_pref_f]
+        pf_late = feeds_late[trainer.ph_pref_f]
+        assert pe_late > pe_early  # energy weight grows
+        assert pf_late < pf_early  # force weight decays
+
+    def test_history_records(self, water_dataset, tiny_cfg):
+        model = DeepPot(tiny_cfg)
+        water_dataset.apply_stats(model)
+        trainer = Trainer(
+            model, water_dataset, TrainConfig(n_steps=20, log_every=10)
+        )
+        trainer.train()
+        assert len(trainer.history) >= 2
+        assert trainer.history[-1].step == 20
+
+
+class TestActiveLearning:
+    def test_force_deviation_zero_for_identical_models(self, water_dataset, tiny_cfg):
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        # clone parameters
+        for va, vb in zip(
+            ens.models[0].trainable_variables(), ens.models[1].trainable_variables()
+        ):
+            vb.assign(va.value.copy())
+        ens.models[1].set_stats(ens.models[0].davg, ens.models[0].dstd, ens.models[0].e0)
+        dev = ens.force_deviation(water_dataset[0].system)
+        assert dev == pytest.approx(0.0, abs=1e-12)
+
+    def test_force_deviation_positive_for_different_models(
+        self, water_dataset, tiny_cfg
+    ):
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        dev = ens.force_deviation(water_dataset[0].system)
+        assert dev > 0
+
+    def test_selection_windows(self, water_dataset, tiny_cfg):
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        learner = ActiveLearner(
+            ensemble=ens,
+            oracle=FlexibleWater(cutoff=4.0),
+            trust_lo=0.0,  # everything is at least a candidate
+            trust_hi=np.inf,
+        )
+        frames = [water_dataset[i].system for i in range(3)]
+        candidates, stats = learner.select(frames)
+        assert stats["candidate"] == 3 and len(candidates) == 3
+        learner.trust_lo = np.inf  # now everything is "accurate"
+        candidates, stats = learner.select(frames)
+        assert stats["accurate"] == 3 and not candidates
+
+    def test_iteration_grows_dataset(self, water_dataset, tiny_cfg):
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        ds = Dataset(list(water_dataset.frames))
+        n0 = len(ds)
+        learner = ActiveLearner(
+            ensemble=ens,
+            oracle=FlexibleWater(cutoff=4.0),
+            trust_lo=0.0,
+            trust_hi=np.inf,
+            md_steps=10,
+            md_stride=5,
+        )
+        stats = learner.iteration(
+            ds, water_dataset[0].system, TrainConfig(n_steps=5, log_every=5)
+        )
+        assert len(ds) > n0
+        assert stats["n_added"] == 2

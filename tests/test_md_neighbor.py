@@ -1,0 +1,150 @@
+"""Neighbor-list correctness: cell list == brute force, skin/rebuild policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import Box
+from repro.md.neighbor import (
+    NeighborList,
+    _brute_force_pairs,
+    _cell_list_pairs,
+    full_pairs,
+    neighbor_pairs,
+)
+from repro.md.system import System
+
+
+def random_system(n, box_len, seed):
+    rng = np.random.default_rng(seed)
+    return System(
+        box=Box([box_len] * 3),
+        positions=rng.uniform(0, box_len, size=(n, 3)),
+        types=np.zeros(n, dtype=np.int64),
+        masses=np.ones(1),
+    )
+
+
+def pair_set(pi, pj):
+    return set(zip(pi.tolist(), pj.tolist()))
+
+
+class TestPairBuilders:
+    def test_two_atoms_within_cutoff(self):
+        sys = random_system(2, 20.0, 0)
+        sys.positions[:] = [[1.0, 1.0, 1.0], [3.0, 1.0, 1.0]]
+        pi, pj = neighbor_pairs(sys, 2.5)
+        assert pair_set(pi, pj) == {(0, 1)}
+
+    def test_pair_through_boundary(self):
+        sys = random_system(2, 20.0, 0)
+        sys.positions[:] = [[0.5, 10.0, 10.0], [19.5, 10.0, 10.0]]
+        pi, pj = neighbor_pairs(sys, 2.0)
+        assert pair_set(pi, pj) == {(0, 1)}
+
+    def test_no_self_pairs_and_half_list(self):
+        sys = random_system(50, 15.0, 3)
+        pi, pj = neighbor_pairs(sys, 5.0)
+        assert np.all(pi < pj)
+
+    def test_cutoff_respected(self):
+        sys = random_system(100, 20.0, 4)
+        pi, pj = neighbor_pairs(sys, 4.0)
+        disp = sys.box.minimum_image(sys.positions[pj] - sys.positions[pi])
+        r = np.sqrt((disp**2).sum(axis=1))
+        assert np.all(r <= 4.0 + 1e-12)
+
+    def test_cutoff_too_large_raises(self):
+        sys = random_system(10, 8.0, 5)
+        with pytest.raises(ValueError, match="minimum-image"):
+            neighbor_pairs(sys, 4.5)
+
+    def test_empty_system(self):
+        sys = random_system(0, 10.0, 0)
+        pi, pj = neighbor_pairs(sys, 3.0)
+        assert pi.size == 0 and pj.size == 0
+
+    @given(
+        n=st.integers(2, 120),
+        seed=st.integers(0, 10**6),
+        cutoff=st.floats(1.0, 6.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_cell_list_matches_brute_force(self, n, seed, cutoff):
+        sys = random_system(n, 20.0, seed)
+        bi, bj = _brute_force_pairs(sys.positions, sys.box, cutoff)
+        ci, cj = _cell_list_pairs(sys.positions, sys.box, cutoff)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+    def test_cell_list_large_dense_system(self):
+        sys = random_system(3000, 30.0, 9)
+        bi, bj = _brute_force_pairs(sys.positions, sys.box, 4.5)
+        ci, cj = _cell_list_pairs(sys.positions, sys.box, 4.5)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+    def test_full_pairs_doubles(self):
+        pi = np.array([0, 1])
+        pj = np.array([2, 3])
+        fi, fj = full_pairs(pi, pj)
+        assert pair_set(fi, fj) == {(0, 2), (1, 3), (2, 0), (3, 1)}
+
+
+class TestVerletList:
+    def test_build_and_filter(self):
+        sys = random_system(60, 18.0, 7)
+        nl = NeighborList(cutoff=4.0, skin=2.0)
+        nl.build(sys)
+        # skin-padded list is a superset of the true list
+        ti, tj = neighbor_pairs(sys, 4.0)
+        assert pair_set(ti, tj) <= pair_set(nl.pair_i, nl.pair_j)
+        fi, fj = nl.pairs_within_cutoff(sys)
+        assert pair_set(fi, fj) == pair_set(ti, tj)
+
+    def test_rebuild_every_n_steps(self):
+        sys = random_system(20, 18.0, 8)
+        nl = NeighborList(cutoff=4.0, skin=2.0, rebuild_every=50)
+        nl.build(sys, step=0)
+        assert not nl.needs_rebuild(sys, step=10)
+        assert nl.needs_rebuild(sys, step=50)
+
+    def test_rebuild_on_large_displacement(self):
+        sys = random_system(20, 18.0, 8)
+        nl = NeighborList(cutoff=4.0, skin=2.0, rebuild_every=50)
+        nl.build(sys, step=0)
+        sys.positions[0] += [1.5, 0, 0]  # > skin/2
+        assert nl.needs_rebuild(sys, step=1)
+
+    def test_no_rebuild_on_small_displacement(self):
+        sys = random_system(20, 18.0, 8)
+        nl = NeighborList(cutoff=4.0, skin=2.0, rebuild_every=50)
+        nl.build(sys, step=0)
+        sys.positions[0] += [0.4, 0, 0]  # < skin/2
+        assert not nl.needs_rebuild(sys, step=1)
+
+    def test_rebuild_on_box_change(self):
+        sys = random_system(20, 18.0, 8)
+        nl = NeighborList(cutoff=4.0, skin=2.0)
+        nl.build(sys, step=0)
+        sys.box.lengths[2] *= 1.01
+        assert nl.needs_rebuild(sys, step=1)
+
+    def test_maybe_rebuild_counts_builds(self):
+        sys = random_system(20, 18.0, 8)
+        nl = NeighborList(cutoff=4.0, skin=2.0, rebuild_every=2)
+        nl.maybe_rebuild(sys, 0)
+        nl.maybe_rebuild(sys, 1)
+        nl.maybe_rebuild(sys, 2)
+        assert nl.n_builds == 2
+
+    def test_verlet_list_stays_correct_between_rebuilds(self):
+        """Atoms drifting < skin/2: the padded list still contains every
+        true pair — the invariant that makes rebuild-every-50 sound."""
+        sys = random_system(80, 18.0, 11)
+        nl = NeighborList(cutoff=4.0, skin=2.0)
+        nl.build(sys, step=0)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            sys.positions += rng.normal(scale=0.1, size=sys.positions.shape)
+            ti, tj = neighbor_pairs(sys, 4.0)
+            assert pair_set(ti, tj) <= pair_set(nl.pair_i, nl.pair_j)

@@ -1,0 +1,149 @@
+"""Coverage for smaller helpers: graph utilities, simulation bookkeeping,
+thermo log access, and the model zoo's precision cloning."""
+
+import numpy as np
+import pytest
+
+import repro.tfmini as tf
+from repro.analysis.structures import _FCC_BASIS, water_box
+from repro.md import Simulation, System, boltzmann_velocities
+from repro.md.box import Box
+from repro.md.lj import LennardJones
+from repro.tfmini.graph import all_variables, count_params, param_nbytes
+
+
+def lj_system(n=3, a_lat=5.26, temperature=30.0):
+    grid = np.stack(
+        np.meshgrid(*[np.arange(n)] * 3, indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    pos = (grid[:, None, :] + _FCC_BASIS[None]).reshape(-1, 3) * a_lat
+    sys = System(
+        box=Box([n * a_lat] * 3),
+        positions=pos,
+        types=np.zeros(len(pos), dtype=np.int64),
+        masses=np.array([39.948]),
+    )
+    boltzmann_velocities(sys, temperature, seed=0)
+    return sys
+
+
+class TestGraphHelpers:
+    def test_all_variables_found_through_graph(self):
+        w = tf.variable(np.zeros((3, 4)), name="w")
+        b = tf.variable(np.zeros(4), name="b")
+        x = tf.constant(np.ones((2, 3)))
+        y = tf.add(tf.matmul(x, w), b)
+        found = all_variables([y])
+        assert {v.name for v in found} == {"w", "b"}
+
+    def test_count_params_and_nbytes(self):
+        w = tf.variable(np.zeros((3, 4)), name="w")
+        b = tf.variable(np.zeros(4, dtype=np.float32), name="b")
+        y = tf.add(tf.matmul(tf.constant(np.ones((1, 3))), w), b)
+        assert count_params([y]) == 16
+        assert param_nbytes([y]) == 12 * 8 + 4 * 4
+
+    def test_node_repr_is_printable(self):
+        node = tf.tanh(tf.constant(1.0))
+        assert "tanh" in repr(node)
+
+
+class TestSimulationBookkeeping:
+    def test_trajectory_capture_interval(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys,
+            LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0),
+            dt=0.002,
+            trajectory_every=5,
+        )
+        sim.run(20)
+        assert len(sim.trajectory) == 4
+        assert sim.trajectory[0].shape == (sys.n_atoms, 3)
+
+    def test_callback_sees_every_step(self):
+        sys = lj_system()
+        seen = []
+        sim = Simulation(
+            sys, LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0), dt=0.002
+        )
+        sim.run(7, callback=lambda s: seen.append(s.step_count))
+        assert seen == list(range(1, 8))
+
+    def test_loop_time_accumulates_across_runs(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys, LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0), dt=0.002
+        )
+        sim.run(5)
+        t1 = sim.loop_seconds
+        sim.run(5)
+        assert sim.loop_seconds > t1
+        assert sim.step_count == 10
+
+    def test_tts_nan_before_running(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys, LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0), dt=0.002
+        )
+        assert np.isnan(sim.time_to_solution())
+
+    def test_last_result_requires_initialization(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys, LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0), dt=0.002
+        )
+        with pytest.raises(RuntimeError, match="not initialised"):
+            sim.last_result()
+        sim.initialize()
+        assert sim.last_result().forces.shape == (sys.n_atoms, 3)
+
+
+class TestThermoLogAccess:
+    def test_column_extraction(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys,
+            LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0),
+            dt=0.002,
+            thermo_every=5,
+        )
+        sim.run(10)
+        steps = sim.thermo.column("step")
+        temps = sim.thermo.column("temperature")
+        assert list(steps) == [0, 5, 10]
+        assert temps.shape == (3,)
+
+    def test_as_tuple_roundtrip(self):
+        sys = lj_system()
+        sim = Simulation(
+            sys, LennardJones(epsilon=0.0104, sigma=3.4, cutoff=5.0), dt=0.002
+        )
+        sim.run(1)
+        row = sim.thermo.rows[0]
+        tup = row.as_tuple()
+        assert tup[0] == row.step
+        assert tup[4] == row.total_energy
+
+
+class TestZooCloning:
+    def test_as_mixed_precision_preserves_stats(self):
+        from repro.dp.model import DeepPot, DPConfig
+        from repro.zoo import as_mixed_precision
+
+        model = DeepPot(DPConfig.tiny(seed=0))
+        model.set_stats(
+            np.full((2, 4), 0.1), np.full((2, 4), 2.0), np.array([-1.0, -2.0])
+        )
+        mixed = as_mixed_precision(model)
+        np.testing.assert_allclose(mixed.davg, model.davg)
+        np.testing.assert_allclose(mixed.dstd, model.dstd)
+        np.testing.assert_allclose(mixed.e0, model.e0)
+        assert mixed.config.precision == "mixed"
+
+    def test_water_and_copper_configs_distinct(self):
+        from repro.zoo import copper_config, water_config
+
+        w, c = water_config(), copper_config()
+        assert w.n_types == 2 and c.n_types == 1
+        assert c.rcut > w.rcut

@@ -1,0 +1,220 @@
+"""Tests for the ab-initio oracle potentials: analytic forces vs finite
+differences, symmetry, virial consistency, and physical sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.structures import fcc_lattice, water_box
+from repro.md.box import Box
+from repro.md.system import System
+from repro.md.thermo import compute_pressure
+from repro.oracles import FlexibleWater, SuttonChenEAM
+from repro.oracles.eam import switch_fn
+
+
+def fd_force(potential, system, atom, comp, eps=1e-6):
+    p0 = system.positions[atom, comp]
+    system.positions[atom, comp] = p0 + eps
+    ep = potential.compute_dense(system).energy
+    system.positions[atom, comp] = p0 - eps
+    em = potential.compute_dense(system).energy
+    system.positions[atom, comp] = p0
+    return -(ep - em) / (2 * eps)
+
+
+def fd_virial_trace(potential, system, eps=1e-6):
+    """tr W = -3V dE/dV via isotropic scaling — checks virial consistency."""
+
+    def energy_at(scale):
+        scaled = system.copy()
+        scaled.positions = scaled.positions * scale
+        scaled.box = scaled.box.scaled([scale] * 3)
+        return potential.compute_dense(scaled).energy
+
+    ep = energy_at(1.0 + eps)
+    em = energy_at(1.0 - eps)
+    de_dlam = (ep - em) / (2 * eps)
+    # E(lam) with r -> lam r: dE/dlam at lam=1 equals sum_ij r_ij dE/dr_ij = -tr W
+    return -de_dlam
+
+
+@pytest.fixture
+def perturbed_cu():
+    sys = fcc_lattice((5, 5, 5))
+    rng = np.random.default_rng(3)
+    sys.positions += rng.normal(scale=0.08, size=sys.positions.shape)
+    return sys
+
+
+@pytest.fixture
+def small_water():
+    return water_box((4, 4, 4), seed=2)
+
+
+class TestSwitchFunction:
+    def test_plateau_and_zero(self):
+        s, ds = switch_fn(np.array([1.0, 5.0, 8.0]), 6.0, 7.5)
+        assert s[0] == 1.0 and ds[0] == 0.0
+        assert s[2] == 0.0 and ds[2] == 0.0
+
+    def test_continuity_at_edges(self):
+        eps = 1e-9
+        s_lo, _ = switch_fn(np.array([6.0 - eps, 6.0 + eps]), 6.0, 7.5)
+        np.testing.assert_allclose(s_lo, 1.0, atol=1e-6)
+        s_hi, _ = switch_fn(np.array([7.5 - eps, 7.5 + eps]), 6.0, 7.5)
+        np.testing.assert_allclose(s_hi, 0.0, atol=1e-6)
+
+    @given(r=st.floats(6.01, 7.49))
+    @settings(max_examples=30, deadline=None)
+    def test_property_derivative_matches_fd(self, r):
+        eps = 1e-7
+        s_p, _ = switch_fn(np.array([r + eps]), 6.0, 7.5)
+        s_m, _ = switch_fn(np.array([r - eps]), 6.0, 7.5)
+        _, ds = switch_fn(np.array([r]), 6.0, 7.5)
+        assert ds[0] == pytest.approx((s_p[0] - s_m[0]) / (2 * eps), abs=1e-6)
+
+    @given(r=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_monotone_and_bounded(self, r):
+        s, _ = switch_fn(np.array([r]), 6.0, 7.5)
+        assert 0.0 <= s[0] <= 1.0
+
+
+class TestEAM:
+    def test_forces_match_fd(self, perturbed_cu):
+        pot = SuttonChenEAM()
+        res = pot.compute_dense(perturbed_cu)
+        for atom, comp in [(0, 0), (13, 1), (77, 2), (200, 0)]:
+            num = fd_force(pot, perturbed_cu, atom, comp)
+            assert res.forces[atom, comp] == pytest.approx(num, abs=5e-6)
+
+    def test_forces_sum_to_zero(self, perturbed_cu):
+        res = SuttonChenEAM().compute_dense(perturbed_cu)
+        np.testing.assert_allclose(res.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_perfect_lattice_forces_vanish(self):
+        sys = fcc_lattice((5, 5, 5))
+        res = SuttonChenEAM().compute_dense(sys)
+        assert np.abs(res.forces).max() < 1e-9
+
+    def test_virial_matches_volume_derivative(self, perturbed_cu):
+        pot = SuttonChenEAM()
+        res = pot.compute_dense(perturbed_cu)
+        num = fd_virial_trace(pot, perturbed_cu)
+        assert np.trace(res.virial) == pytest.approx(num, rel=1e-4)
+
+    def test_translation_invariance(self, perturbed_cu):
+        pot = SuttonChenEAM()
+        e0 = pot.compute_dense(perturbed_cu).energy
+        shifted = perturbed_cu.copy()
+        shifted.positions = shifted.box.wrap(shifted.positions + np.array([1.3, -2.1, 0.7]))
+        assert pot.compute_dense(shifted).energy == pytest.approx(e0, rel=1e-12)
+
+    def test_atom_energies_sum_to_total(self, perturbed_cu):
+        res = SuttonChenEAM().compute_dense(perturbed_cu)
+        assert res.atom_energies.sum() == pytest.approx(res.energy, rel=1e-12)
+
+    def test_vacancy_raises_energy(self):
+        """Removing an atom costs energy (positive vacancy formation)."""
+        pot = SuttonChenEAM()
+        perfect = fcc_lattice((5, 5, 5))
+        e_perfect = pot.compute_dense(perfect).energy
+        n = perfect.n_atoms
+        defect = System(
+            box=perfect.box.copy(),
+            positions=perfect.positions[1:].copy(),
+            types=perfect.types[1:].copy(),
+            masses=perfect.masses.copy(),
+        )
+        e_defect = pot.compute_dense(defect).energy
+        e_vac = e_defect - e_perfect * (n - 1) / n
+        assert e_vac > 0.2  # eV; real Cu ~1.3 eV
+
+    def test_isolated_dimer_binds(self):
+        sys = System(
+            box=Box([40.0] * 3),
+            positions=np.array([[10.0, 10, 10], [12.4, 10, 10]]),
+            types=np.zeros(2, dtype=np.int64),
+            masses=np.array([63.546]),
+        )
+        res = SuttonChenEAM().compute_dense(sys)
+        assert res.energy < 0.0
+
+
+class TestWaterOracle:
+    def test_forces_match_fd(self, small_water):
+        pot = FlexibleWater()
+        res = pot.compute_dense(small_water)
+        for atom, comp in [(0, 0), (1, 1), (2, 2), (30, 0), (100, 2)]:
+            num = fd_force(pot, small_water, atom, comp)
+            assert res.forces[atom, comp] == pytest.approx(num, abs=1e-6)
+
+    def test_forces_sum_to_zero(self, small_water):
+        res = FlexibleWater().compute_dense(small_water)
+        np.testing.assert_allclose(res.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_virial_matches_volume_derivative(self, small_water):
+        # Volume scaling stretches bonds too; the bonded virial must be right.
+        pot = FlexibleWater()
+        res = pot.compute_dense(small_water)
+        num = fd_virial_trace(pot, small_water)
+        assert np.trace(res.virial) == pytest.approx(num, rel=1e-4, abs=1e-4)
+
+    def test_translation_invariance(self, small_water):
+        pot = FlexibleWater()
+        e0 = pot.compute_dense(small_water).energy
+        shifted = small_water.copy()
+        shifted.positions = shifted.box.wrap(shifted.positions + 2.345)
+        assert pot.compute_dense(shifted).energy == pytest.approx(e0, rel=1e-10)
+
+    def test_monomer_geometry_is_minimum(self):
+        """A single molecule at (r0, theta0) has ~zero forces."""
+        pot = FlexibleWater()
+        sys = water_box((1, 1, 1), jitter=0.0, seed=0)
+        big = System(
+            box=Box([30.0] * 3),
+            positions=sys.positions + 10.0,
+            types=sys.types,
+            masses=sys.masses,
+            type_names=["O", "H"],
+            mol_ids=sys.mol_ids,
+        )
+        res = pot.compute_dense(big)
+        assert np.abs(res.forces).max() < 1e-8
+
+    def test_bond_stretch_restoring_force(self):
+        pot = FlexibleWater()
+        sys = water_box((1, 1, 1), jitter=0.0, seed=0)
+        sys = System(
+            box=Box([30.0] * 3),
+            positions=sys.positions + 10.0,
+            types=sys.types,
+            masses=sys.masses,
+            mol_ids=sys.mol_ids,
+        )
+        # stretch H1 along the O-H1 bond
+        d = sys.positions[1] - sys.positions[0]
+        d /= np.linalg.norm(d)
+        sys.positions[1] += 0.1 * d
+        res = pot.compute_dense(sys)
+        # force on H1 points back toward O
+        assert np.dot(res.forces[1], d) < 0
+
+    def test_wrong_ordering_raises(self, small_water):
+        bad = small_water.copy()
+        bad.types = bad.types[::-1].copy()
+        with pytest.raises(ValueError, match="O,H,H"):
+            FlexibleWater().compute_dense(bad)
+
+    def test_missing_mol_ids_raises(self, small_water):
+        bad = small_water.copy()
+        bad.mol_ids = None
+        with pytest.raises(ValueError, match="mol_ids"):
+            FlexibleWater().compute_dense(bad)
+
+    def test_liquid_density_pressure_sane(self, small_water):
+        res = FlexibleWater().compute_dense(small_water)
+        p = compute_pressure(small_water, res.virial)
+        assert abs(p) < 5e4  # bar — not wildly off ambient for a lattice start

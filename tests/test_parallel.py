@@ -1,0 +1,271 @@
+"""Tests for the simulated-MPI layer: comm semantics, decomposition/ghost
+correctness, distributed-vs-serial equality, setup staging."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import water_box
+from repro.dp import DeepPot, DPConfig, DeepPotPair
+from repro.dp.serialize import save_model
+from repro.md import NeighborList, Simulation, boltzmann_velocities
+from repro.md.neighbor import neighbor_pairs
+from repro.parallel import (
+    DistributedSimulation,
+    DomainDecomposition,
+    SimComm,
+    baseline_setup,
+    optimized_setup,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return DeepPot(DPConfig.tiny())
+
+
+@pytest.fixture()
+def water_sys():
+    sys = water_box((4, 4, 4), seed=0)
+    boltzmann_velocities(sys, 250.0, seed=2)
+    return sys
+
+
+class TestSimComm:
+    def test_send_recv_fifo(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]))
+        comm.send(0, 1, np.array([2.0]))
+        assert comm.recv(1, 0)[0] == 1.0
+        assert comm.recv(1, 0)[0] == 2.0
+
+    def test_recv_without_send_deadlocks(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            comm.recv(1, 0)
+
+    def test_byte_accounting(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.zeros(10))  # 80 bytes
+        assert comm.stats.p2p_bytes == 80
+        assert comm.stats.p2p_messages == 1
+
+    def test_allreduce_sum(self):
+        comm = SimComm(3)
+        assert comm.allreduce([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+        assert comm.stats.allreduce_calls == 1
+
+    def test_allreduce_arrays(self):
+        comm = SimComm(2)
+        out = comm.allreduce([np.eye(2), np.eye(2)])
+        np.testing.assert_array_equal(out, 2 * np.eye(2))
+
+    def test_allreduce_wrong_count_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.allreduce([1.0])
+
+    def test_iallreduce_is_deferred(self):
+        comm = SimComm(2)
+        handle = comm.iallreduce([1.0, 2.0])
+        assert not handle.completed
+        assert handle.wait() == pytest.approx(3.0)
+        assert handle.completed
+        assert comm.stats.iallreduce_calls == 1
+
+    def test_bcast_accounts_tree_traffic(self):
+        comm = SimComm(4)
+        out = comm.bcast(0, np.zeros(10))
+        assert out.shape == (10,)
+        assert comm.stats.bcast_bytes == 80 * 3
+
+    def test_invalid_rank_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.send(0, 5, b"x")
+
+
+class TestDecomposition:
+    def test_grid_rank_mismatch_raises(self):
+        with pytest.raises(ValueError, match="grid"):
+            DomainDecomposition((2, 2, 1), SimComm(3))
+
+    def test_atoms_partitioned_completely(self, water_sys):
+        comm = SimComm(8)
+        decomp = DomainDecomposition((2, 2, 2), comm)
+        decomp.assign_atoms(water_sys)
+        all_ids = np.concatenate([d.global_idx for d in decomp.domains])
+        assert sorted(all_ids.tolist()) == list(range(water_sys.n_atoms))
+
+    def test_atoms_inside_their_domains(self, water_sys):
+        comm = SimComm(4)
+        decomp = DomainDecomposition((2, 2, 1), comm)
+        decomp.assign_atoms(water_sys)
+        for dom in decomp.domains:
+            assert np.all(dom.positions >= dom.lo - 1e-12)
+            assert np.all(dom.positions < dom.hi + 1e-12)
+
+    def test_ghost_region_complete(self, water_sys):
+        """Every atom within the ghost cutoff of a domain (under PBC) must be
+        present as a local or ghost — verified against brute force."""
+        comm = SimComm(4)
+        decomp = DomainDecomposition((2, 2, 1), comm)
+        decomp.assign_atoms(water_sys)
+        gc = 3.0
+        decomp.build_ghost_lists(water_sys.box, gc)
+        box = water_sys.box
+        for dom in decomp.domains:
+            local = dom.local_system(box, water_sys.masses, water_sys.type_names)
+            # brute force: for each owned atom, all neighbors within gc must
+            # appear among local+ghost coordinates at the right displacement
+            pi, pj = neighbor_pairs(water_sys, gc)
+            for a, b in zip(pi, pj):
+                for center, other in ((a, b), (b, a)):
+                    rows = np.flatnonzero(dom.global_idx == center)
+                    if rows.size == 0:
+                        continue
+                    d_global = box.minimum_image(
+                        water_sys.positions[other] - water_sys.positions[center]
+                    )
+                    target = local.positions[rows[0]] + d_global
+                    dists = np.linalg.norm(local.positions - target, axis=1)
+                    assert dists.min() < 1e-9, (center, other)
+
+    def test_ghost_counts_scale_with_cutoff(self, water_sys):
+        comm = SimComm(4)
+        decomp = DomainDecomposition((2, 2, 1), comm)
+        decomp.assign_atoms(water_sys)
+        decomp.build_ghost_lists(water_sys.box, 2.0)
+        small = decomp.ghost_counts().sum()
+        decomp.build_ghost_lists(water_sys.box, 4.0)
+        large = decomp.ghost_counts().sum()
+        assert large > small
+
+    def test_ghost_cutoff_too_large_raises(self, water_sys):
+        comm = SimComm(2)
+        decomp = DomainDecomposition((2, 1, 1), comm)
+        decomp.assign_atoms(water_sys)
+        with pytest.raises(ValueError, match="ghost cutoff"):
+            decomp.build_ghost_lists(water_sys.box, water_sys.box.lengths.min() + 1)
+
+    def test_gather_roundtrip(self, water_sys):
+        comm = SimComm(4)
+        decomp = DomainDecomposition((4, 1, 1), comm)
+        decomp.assign_atoms(water_sys)
+        gathered = decomp.gather_system(water_sys)
+        np.testing.assert_allclose(
+            gathered.positions, water_sys.box.wrap(water_sys.positions), atol=1e-12
+        )
+
+
+class TestDistributedSimulation:
+    @pytest.mark.parametrize("grid", [(2, 1, 1), (2, 2, 1), (1, 1, 2)])
+    def test_initial_forces_match_serial(self, tiny_model, water_sys, grid):
+        pi, pj = neighbor_pairs(water_sys, tiny_model.config.rcut)
+        serial = tiny_model.evaluate(water_sys, pi, pj)
+        dist = DistributedSimulation(
+            water_sys.copy(), tiny_model, grid=grid, dt=0.0005, skin=1.0
+        )
+        np.testing.assert_allclose(dist.forces_now(), serial.forces, atol=1e-12)
+        assert dist.total_energy_now() == pytest.approx(serial.energy, rel=1e-12)
+
+    def test_trajectory_matches_serial_exactly(self, tiny_model, water_sys):
+        serial_sys = water_sys.copy()
+        sim = Simulation(
+            serial_sys,
+            DeepPotPair(tiny_model),
+            dt=0.0005,
+            neighbor=NeighborList(
+                cutoff=tiny_model.config.rcut, skin=1.0, rebuild_every=4
+            ),
+        )
+        sim.run(8)
+        dist = DistributedSimulation(
+            water_sys.copy(),
+            tiny_model,
+            grid=(2, 2, 1),
+            dt=0.0005,
+            skin=1.0,
+            rebuild_every=4,
+        )
+        dist.run(8)
+        gathered = dist.current_system()
+        diff = gathered.box.minimum_image(
+            gathered.positions - gathered.box.wrap(serial_sys.positions)
+        )
+        assert np.abs(diff).max() < 1e-10
+
+    def test_energy_conservation_distributed(self, tiny_model, water_sys):
+        dist = DistributedSimulation(
+            water_sys.copy(),
+            tiny_model,
+            grid=(2, 1, 1),
+            dt=0.0005,
+            skin=1.0,
+            thermo_every=2,
+            rebuild_every=5,
+        )
+        dist.run(20)
+        e = np.array([row.total_energy for row in dist.thermo])
+        assert (e.max() - e.min()) / water_sys.n_atoms < 5e-5
+
+    def test_iallreduce_used_when_enabled(self, tiny_model, water_sys):
+        dist = DistributedSimulation(
+            water_sys.copy(), tiny_model, grid=(2, 1, 1), dt=0.0005,
+            skin=1.0, thermo_every=2, use_iallreduce=True,
+        )
+        dist.run(6)
+        assert dist.comm.stats.iallreduce_calls > 0
+        assert dist.comm.stats.allreduce_calls == 0
+
+    def test_blocking_allreduce_fallback(self, tiny_model, water_sys):
+        dist = DistributedSimulation(
+            water_sys.copy(), tiny_model, grid=(2, 1, 1), dt=0.0005,
+            skin=1.0, thermo_every=2, use_iallreduce=False,
+        )
+        dist.run(4)
+        assert dist.comm.stats.allreduce_calls > 0
+
+    def test_thermo_rows_at_output_frequency(self, tiny_model, water_sys):
+        dist = DistributedSimulation(
+            water_sys.copy(), tiny_model, grid=(2, 1, 1), dt=0.0005,
+            skin=1.0, thermo_every=5,
+        )
+        dist.run(10)
+        steps = [r.step for r in dist.thermo]
+        assert steps == [0, 5, 10]
+
+
+class TestStaging:
+    def test_both_paths_produce_identical_state(self, tiny_model, tmp_path, water_sys):
+        path = str(tmp_path / "model.npz")
+        save_model(tiny_model, path)
+        grid = (2, 1, 1)
+
+        comm_a = SimComm(2)
+        decomp_a, models_a, report_a = baseline_setup(
+            lambda: water_sys.copy(), path, comm_a, grid
+        )
+        comm_b = SimComm(2)
+        decomp_b, models_b, report_b = optimized_setup(
+            lambda rank: water_sys.copy(), path, comm_b, grid
+        )
+        for da, db in zip(decomp_a.domains, decomp_b.domains):
+            np.testing.assert_array_equal(da.global_idx, db.global_idx)
+        pi, pj = neighbor_pairs(water_sys, tiny_model.config.rcut)
+        ea = models_a[0].evaluate(water_sys, pi, pj).energy
+        eb = models_b[0].evaluate(water_sys, pi, pj).energy
+        assert ea == pytest.approx(eb, rel=1e-12)
+
+    def test_baseline_scatters_optimized_does_not(self, tiny_model, tmp_path, water_sys):
+        path = str(tmp_path / "model.npz")
+        save_model(tiny_model, path)
+        grid = (2, 1, 1)
+        comm_a = SimComm(2)
+        *_, report_a = baseline_setup(lambda: water_sys.copy(), path, comm_a, grid)
+        comm_b = SimComm(2)
+        *_, report_b = optimized_setup(lambda rank: water_sys.copy(), path, comm_b, grid)
+        assert report_a.p2p_bytes > 0
+        assert report_b.p2p_bytes == 0
+        assert report_a.model_reads == 2
+        assert report_b.model_reads == 1
+        assert report_b.bcast_bytes > 0

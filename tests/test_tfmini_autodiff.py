@@ -1,0 +1,194 @@
+"""Gradient correctness for tfmini: first order, broadcast, and grad-of-grad.
+
+Every VJP is validated against central finite differences, since the entire
+DP force/virial machinery and the force-matching training loss rest on them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.tfmini as tf
+
+
+def numeric_grad(run_loss, var, eps=1e-6):
+    """Central finite-difference gradient of a scalar loss w.r.t. a Variable."""
+    g = np.zeros_like(var.value)
+    flat = var.value.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        lp = float(run_loss())
+        flat[i] = old - eps
+        lm = float(run_loss())
+        flat[i] = old
+        gflat[i] = (lp - lm) / (2 * eps)
+    return g
+
+
+def check_grads(build_loss, variables, rtol=1e-5, atol=1e-7):
+    loss = build_loss()
+    grads = tf.grad(loss, variables)
+    sess = tf.Session()
+    analytic = sess.run(grads)
+    for var, g in zip(variables, analytic):
+        num = numeric_grad(lambda: sess.run(loss), var)
+        np.testing.assert_allclose(g, num, rtol=rtol, atol=atol, err_msg=var.name)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestFirstOrder:
+    def test_matmul_grad(self, rng):
+        a = tf.variable(rng.normal(size=(4, 3)), name="a")
+        b = tf.variable(rng.normal(size=(3, 5)), name="b")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.matmul(a, b))), [a, b])
+
+    def test_gemm_grad(self, rng):
+        a = tf.variable(rng.normal(size=(4, 3)), name="a")
+        w = tf.variable(rng.normal(size=(3, 5)), name="w")
+        c = tf.variable(rng.normal(size=5), name="c")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.gemm(a, w, c))), [a, w, c])
+
+    def test_bmm_grad(self, rng):
+        a = tf.variable(rng.normal(size=(2, 3, 4)), name="a")
+        b = tf.variable(rng.normal(size=(2, 4, 2)), name="b")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.bmm(a, b))), [a, b])
+
+    def test_tanh_grad(self, rng):
+        x = tf.variable(rng.normal(size=(3, 3)), name="x")
+        check_grads(lambda: tf.reduce_sum(tf.tanh(x)), [x])
+
+    def test_broadcast_add_grad(self, rng):
+        x = tf.variable(rng.normal(size=(6, 3)), name="x")
+        b = tf.variable(rng.normal(size=3), name="b")
+        check_grads(lambda: tf.reduce_sum(tf.square(x + b)), [x, b])
+
+    def test_mul_broadcast_grad(self, rng):
+        x = tf.variable(rng.normal(size=(4, 3)), name="x")
+        s = tf.variable(rng.normal(size=(1, 3)), name="s")
+        check_grads(lambda: tf.reduce_sum(tf.square(x * s)), [x, s])
+
+    def test_concat_grad(self, rng):
+        a = tf.variable(rng.normal(size=(2, 3)), name="a")
+        b = tf.variable(rng.normal(size=(2, 4)), name="b")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.concat(a, b, axis=1))), [a, b])
+
+    def test_self_concat_grad_doubles(self, rng):
+        # d/dx sum(concat(x,x)) = 2 — the case the CONCAT+SUM pass targets.
+        x = tf.variable(rng.normal(size=(2, 3)), name="x")
+        g = tf.grad(tf.reduce_sum(tf.concat(x, x, axis=1)), [x])[0]
+        np.testing.assert_allclose(tf.Session().run(g), np.full((2, 3), 2.0))
+
+    def test_slice_grad(self, rng):
+        x = tf.variable(rng.normal(size=(3, 8)), name="x")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.slice_cols(x, 2, 6))), [x])
+
+    def test_reshape_transpose_grad(self, rng):
+        x = tf.variable(rng.normal(size=(3, 4)), name="x")
+        check_grads(
+            lambda: tf.reduce_sum(tf.square(tf.transpose(tf.reshape(x, (2, 6))))), [x]
+        )
+
+    def test_reduce_mean_grad(self, rng):
+        x = tf.variable(rng.normal(size=(5, 2)), name="x")
+        check_grads(lambda: tf.square(tf.reduce_mean(x)), [x])
+
+    def test_reduce_sum_axis_grad(self, rng):
+        x = tf.variable(rng.normal(size=(4, 3)), name="x")
+        check_grads(lambda: tf.reduce_sum(tf.square(tf.reduce_sum(x, axis=0))), [x])
+
+    def test_mlp_composite_grad(self, rng):
+        w1 = tf.variable(rng.normal(size=(3, 8)) * 0.5, name="w1")
+        b1 = tf.variable(rng.normal(size=8) * 0.1, name="b1")
+        w2 = tf.variable(rng.normal(size=(8, 1)) * 0.5, name="w2")
+        x = tf.constant(rng.normal(size=(10, 3)))
+
+        def loss():
+            h = tf.tanh(tf.matmul(x, w1) + b1)
+            return tf.reduce_sum(tf.square(tf.matmul(h, w2)))
+
+        check_grads(loss, [w1, b1, w2])
+
+    def test_unconnected_returns_none(self, rng):
+        x = tf.variable(rng.normal(size=3), name="x")
+        y = tf.variable(rng.normal(size=3), name="y")
+        gs = tf.grad(tf.reduce_sum(tf.square(x)), [x, y])
+        assert gs[0] is not None
+        assert gs[1] is None
+
+    def test_grad_accumulates_fanout(self, rng):
+        # x used twice: d/dx [sum(x*x + x)] = 2x + 1.
+        x = tf.variable(rng.normal(size=4), name="x")
+        g = tf.grad(tf.reduce_sum(x * x + x), [x])[0]
+        np.testing.assert_allclose(tf.Session().run(g), 2 * x.value + 1)
+
+
+class TestSecondOrder:
+    def test_grad_of_grad_scalar(self):
+        # f(x) = sum(tanh(x)^2); check d/dx sum((df/dx)^2) numerically.
+        rng = np.random.default_rng(3)
+        x = tf.variable(rng.normal(size=5), name="x")
+        f = tf.reduce_sum(tf.square(tf.tanh(x)))
+        gx = tf.grad(f, [x])[0]
+        loss2 = tf.reduce_sum(tf.square(gx))
+        g2 = tf.grad(loss2, [x])[0]
+        sess = tf.Session()
+        num = numeric_grad(lambda: sess.run(loss2), x, eps=1e-5)
+        np.testing.assert_allclose(sess.run(g2), num, rtol=1e-4, atol=1e-7)
+
+    def test_force_matching_pattern(self):
+        """The training pattern: loss on a gradient, differentiated w.r.t. params."""
+        rng = np.random.default_rng(11)
+        w = tf.variable(rng.normal(size=(3, 4)) * 0.7, name="w")
+        b = tf.variable(rng.normal(size=4) * 0.1, name="b")
+        wout = tf.variable(rng.normal(size=(4, 1)) * 0.7, name="wout")
+        pos = tf.placeholder("pos")
+        pos_val = rng.normal(size=(6, 3))
+
+        energy = tf.reduce_sum(tf.matmul(tf.tanh(tf.matmul(pos, w) + b), wout))
+        force = tf.grad(energy, [pos])[0]  # "forces" = dE/dpos
+        target = tf.constant(rng.normal(size=(6, 3)))
+        loss = tf.reduce_sum(tf.square(force - target))
+        grads = tf.grad(loss, [w, b, wout])
+        sess = tf.Session()
+        analytic = sess.run(grads, {pos: pos_val})
+        for var, g in zip([w, b, wout], analytic):
+            num = numeric_grad(lambda: sess.run(loss, {pos: pos_val}), var, eps=1e-5)
+            np.testing.assert_allclose(g, num, rtol=1e-4, atol=1e-7, err_msg=var.name)
+
+
+class TestGradProperties:
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linear_op_grad_is_input_independent(self, rows, cols, seed):
+        """For f(x)=sum(x@W), grad is W-row-sums broadcast — independent of x."""
+        rng = np.random.default_rng(seed)
+        w_val = rng.normal(size=(cols, 3))
+        x = tf.variable(rng.normal(size=(rows, cols)), name="x")
+        g = tf.grad(tf.reduce_sum(tf.matmul(x, tf.constant(w_val))), [x])[0]
+        out = tf.Session().run(g)
+        expected = np.tile(w_val.sum(axis=1), (rows, 1))
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-12)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_rule(self, seed):
+        """grad(f+g) == grad(f) + grad(g)."""
+        rng = np.random.default_rng(seed)
+        x = tf.variable(rng.normal(size=4), name="x")
+        f = tf.reduce_sum(tf.square(x))
+        g = tf.reduce_sum(tf.tanh(x))
+        sess = tf.Session()
+        lhs = sess.run(tf.grad(f + g, [x])[0])
+        rhs = sess.run(tf.grad(f, [x])[0]) + sess.run(tf.grad(g, [x])[0])
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,123 @@
+"""Gradient and forward checks for the extended tfmini operator set."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.tfmini as tf
+from repro.tfmini.ops import div, exp, log, pow_scalar, relu, sigmoid, sqrt
+
+
+def numeric_grad(sess, loss, var, eps=1e-6):
+    g = np.zeros_like(var.value)
+    flat, gflat = var.value.reshape(-1), g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        lp = float(sess.run(loss))
+        flat[i] = old - eps
+        lm = float(sess.run(loss))
+        flat[i] = old
+        gflat[i] = (lp - lm) / (2 * eps)
+    return g
+
+
+def check(build, value, rtol=1e-5, atol=1e-7):
+    v = tf.variable(np.asarray(value, dtype=np.float64), name="v")
+    loss = build(v)
+    g = tf.grad(loss, [v])[0]
+    sess = tf.Session()
+    np.testing.assert_allclose(
+        sess.run(g), numeric_grad(sess, loss, v), rtol=rtol, atol=atol
+    )
+
+
+class TestForward:
+    def test_exp_log_inverse(self):
+        sess = tf.Session()
+        x = tf.constant(np.array([0.1, 1.0, 2.5]))
+        np.testing.assert_allclose(sess.run(log(exp(x))), [0.1, 1.0, 2.5])
+
+    def test_div(self):
+        sess = tf.Session()
+        out = sess.run(div(tf.constant(np.array([6.0, 9.0])), tf.constant(np.array([2.0, 3.0]))))
+        np.testing.assert_allclose(out, [3.0, 3.0])
+
+    def test_sqrt(self):
+        sess = tf.Session()
+        np.testing.assert_allclose(sess.run(sqrt(tf.constant(np.array([4.0, 9.0])))), [2.0, 3.0])
+
+    def test_sigmoid_range(self):
+        sess = tf.Session()
+        out = sess.run(sigmoid(tf.constant(np.linspace(-5, 5, 11))))
+        assert np.all((out > 0) & (out < 1))
+        assert out[5] == pytest.approx(0.5)
+
+    def test_relu(self):
+        sess = tf.Session()
+        out = sess.run(relu(tf.constant(np.array([-1.0, 0.0, 2.0]))))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_pow_scalar(self):
+        sess = tf.Session()
+        out = sess.run(pow_scalar(tf.constant(np.array([2.0, 3.0])), 3.0))
+        np.testing.assert_allclose(out, [8.0, 27.0])
+
+
+class TestGradients:
+    def test_exp_grad(self):
+        check(lambda v: tf.reduce_sum(exp(v)), [0.3, -0.5, 1.2])
+
+    def test_log_grad(self):
+        check(lambda v: tf.reduce_sum(log(v)), [0.5, 1.5, 3.0])
+
+    def test_div_grad_both_sides(self):
+        rng = np.random.default_rng(0)
+        a = tf.variable(rng.uniform(0.5, 2, size=4), name="a")
+        b = tf.variable(rng.uniform(0.5, 2, size=4), name="b")
+        loss = tf.reduce_sum(tf.square(div(a, b)))
+        sess = tf.Session()
+        ga, gb = sess.run(tf.grad(loss, [a, b]))
+        np.testing.assert_allclose(ga, numeric_grad(sess, loss, a), rtol=1e-5)
+        np.testing.assert_allclose(gb, numeric_grad(sess, loss, b), rtol=1e-5)
+
+    def test_sqrt_grad(self):
+        check(lambda v: tf.reduce_sum(sqrt(v)), [0.5, 2.0, 4.0])
+
+    def test_sigmoid_grad(self):
+        check(lambda v: tf.reduce_sum(tf.square(sigmoid(v))), [-1.0, 0.2, 2.0])
+
+    def test_relu_grad_away_from_kink(self):
+        check(lambda v: tf.reduce_sum(tf.square(relu(v))), [-1.0, 0.5, 2.0])
+
+    def test_pow_scalar_grad(self):
+        check(lambda v: tf.reduce_sum(pow_scalar(v, 2.5)), [0.5, 1.5, 2.5])
+
+    @given(p=st.floats(0.5, 3.0), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_pow_grad(self, p, seed):
+        rng = np.random.default_rng(seed)
+        check(lambda v: tf.reduce_sum(pow_scalar(v, p)), rng.uniform(0.5, 2.0, 3))
+
+    def test_second_order_exp(self):
+        """exp is its own derivative — grad-of-grad must also be exp."""
+        v = tf.variable(np.array([0.7]), name="v")
+        y = tf.reduce_sum(exp(v))
+        g1 = tf.grad(y, [v])[0]
+        g2 = tf.grad(tf.reduce_sum(g1), [v])[0]
+        sess = tf.Session()
+        np.testing.assert_allclose(sess.run(g2), np.exp([0.7]), rtol=1e-12)
+
+
+class TestLatencyAblation:
+    def test_latency_reduction_lifts_strong_scaling(self):
+        """Sec 8.2: 'reducing the latency of GPU and network ... required to
+        achieve better strong scaling' — quantified by the cost model."""
+        from repro.perfmodel.scaling import latency_sensitivity
+
+        rows = latency_sensitivity()
+        pflops = [r["pflops"] for r in rows]
+        assert pflops == sorted(pflops)  # lower latency -> higher PFLOPS
+        # a 10x latency cut more than doubles full-machine water PFLOPS
+        assert pflops[-1] / pflops[0] > 1.8

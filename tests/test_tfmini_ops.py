@@ -1,0 +1,204 @@
+"""Unit tests for tfmini operator kernels and shape behaviour."""
+
+import numpy as np
+import pytest
+
+import repro.tfmini as tf
+from repro.tfmini.graph import topo_sort
+from repro.tfmini.ops import op_category, scale
+
+
+@pytest.fixture
+def sess():
+    return tf.Session()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLeaves:
+    def test_constant_roundtrip(self, sess):
+        c = tf.constant([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(sess.run(c), [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_variable_value_readback(self, sess):
+        v = tf.variable(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(sess.run(v), np.arange(6.0).reshape(2, 3))
+
+    def test_variable_assign_updates_execution(self, sess):
+        v = tf.variable(np.zeros(3))
+        v.assign(np.ones(3))
+        np.testing.assert_array_equal(sess.run(v), np.ones(3))
+
+    def test_variable_assign_shape_mismatch_raises(self):
+        v = tf.variable(np.zeros(3))
+        with pytest.raises(ValueError, match="shape"):
+            v.assign(np.zeros(4))
+
+    def test_placeholder_must_be_fed(self, sess):
+        p = tf.placeholder("p")
+        with pytest.raises(KeyError, match="was not fed"):
+            sess.run(p)
+
+    def test_placeholder_feed(self, sess):
+        p = tf.placeholder("p")
+        np.testing.assert_array_equal(sess.run(p, {p: np.eye(2)}), np.eye(2))
+
+
+class TestElementwise:
+    def test_add_sub_mul_neg(self, sess, rng):
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(3, 4))
+        a, b = tf.constant(a_val), tf.constant(b_val)
+        np.testing.assert_allclose(sess.run(a + b), a_val + b_val)
+        np.testing.assert_allclose(sess.run(a - b), a_val - b_val)
+        np.testing.assert_allclose(sess.run(a * b), a_val * b_val)
+        np.testing.assert_allclose(sess.run(-a), -a_val)
+
+    def test_add_broadcasts_bias(self, sess, rng):
+        x_val = rng.normal(size=(5, 3))
+        b_val = rng.normal(size=3)
+        out = sess.run(tf.add(tf.constant(x_val), tf.constant(b_val)))
+        np.testing.assert_allclose(out, x_val + b_val)
+
+    def test_square(self, sess, rng):
+        x_val = rng.normal(size=(4,))
+        np.testing.assert_allclose(sess.run(tf.square(tf.constant(x_val))), x_val**2)
+
+    def test_scale(self, sess):
+        x = tf.constant([1.0, -2.0])
+        np.testing.assert_allclose(sess.run(scale(x, 2.5)), [2.5, -5.0])
+
+
+class TestMatrixOps:
+    def test_matmul(self, sess, rng):
+        a_val = rng.normal(size=(3, 5))
+        b_val = rng.normal(size=(5, 2))
+        out = sess.run(tf.matmul(tf.constant(a_val), tf.constant(b_val)))
+        np.testing.assert_allclose(out, a_val @ b_val)
+
+    def test_gemm_equals_matmul_plus_bias(self, sess, rng):
+        a_val = rng.normal(size=(7, 3))
+        w_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=4)
+        out = sess.run(tf.gemm(tf.constant(a_val), tf.constant(w_val), tf.constant(b_val)))
+        np.testing.assert_allclose(out, a_val @ w_val + b_val)
+
+    def test_gemm_beta_zero_drops_c(self, sess, rng):
+        a_val = rng.normal(size=(2, 3))
+        w_val = rng.normal(size=(3, 4))
+        c_val = rng.normal(size=(2, 4))
+        out = sess.run(
+            tf.gemm(tf.constant(a_val), tf.constant(w_val), tf.constant(c_val), beta=0.0)
+        )
+        np.testing.assert_allclose(out, a_val @ w_val)
+
+    def test_gemm_full_matrix_c(self, sess, rng):
+        a_val = rng.normal(size=(2, 3))
+        w_val = rng.normal(size=(3, 4))
+        c_val = rng.normal(size=(2, 4))
+        out = sess.run(
+            tf.gemm(tf.constant(a_val), tf.constant(w_val), tf.constant(c_val), beta=2.0)
+        )
+        np.testing.assert_allclose(out, a_val @ w_val + 2.0 * c_val)
+
+    def test_bmm(self, sess, rng):
+        a_val = rng.normal(size=(6, 3, 5))
+        b_val = rng.normal(size=(6, 5, 2))
+        out = sess.run(tf.bmm(tf.constant(a_val), tf.constant(b_val)))
+        np.testing.assert_allclose(out, a_val @ b_val)
+
+    def test_transpose_default_and_perm(self, sess, rng):
+        x_val = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            sess.run(tf.transpose(tf.constant(x_val), (0, 2, 1))),
+            x_val.transpose(0, 2, 1),
+        )
+        m = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(sess.run(tf.transpose(tf.constant(m))), m.T)
+
+
+class TestShapeOps:
+    def test_concat_last_axis(self, sess, rng):
+        a_val = rng.normal(size=(3, 2))
+        b_val = rng.normal(size=(3, 4))
+        out = sess.run(tf.concat(tf.constant(a_val), tf.constant(b_val), axis=-1))
+        np.testing.assert_allclose(out, np.concatenate([a_val, b_val], axis=-1))
+
+    def test_slice_cols(self, sess, rng):
+        x_val = rng.normal(size=(4, 10))
+        out = sess.run(tf.slice_cols(tf.constant(x_val), 2, 7))
+        np.testing.assert_allclose(out, x_val[:, 2:7])
+
+    def test_reshape(self, sess):
+        x = tf.constant(np.arange(12.0))
+        np.testing.assert_array_equal(
+            sess.run(tf.reshape(x, (3, 4))), np.arange(12.0).reshape(3, 4)
+        )
+
+
+class TestReductions:
+    def test_reduce_sum_all(self, sess, rng):
+        x_val = rng.normal(size=(3, 4))
+        assert sess.run(tf.reduce_sum(tf.constant(x_val))) == pytest.approx(x_val.sum())
+
+    def test_reduce_sum_axis(self, sess, rng):
+        x_val = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            sess.run(tf.reduce_sum(tf.constant(x_val), axis=0)), x_val.sum(axis=0)
+        )
+
+    def test_reduce_mean(self, sess, rng):
+        x_val = rng.normal(size=(5, 2))
+        assert sess.run(tf.reduce_mean(tf.constant(x_val))) == pytest.approx(x_val.mean())
+
+
+class TestActivationsAndCast:
+    def test_tanh(self, sess, rng):
+        x_val = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(sess.run(tf.tanh(tf.constant(x_val))), np.tanh(x_val))
+
+    def test_cast_dtype(self, sess):
+        x = tf.constant(np.ones((2, 2), dtype=np.float64))
+        out = sess.run(tf.cast(x, np.float32))
+        assert out.dtype == np.float32
+
+    def test_cast_preserves_static_shape(self):
+        x = tf.constant(np.ones((2, 3)))
+        assert tf.cast(x, np.float32).shape == (2, 3)
+
+
+class TestGraphUtilities:
+    def test_topo_sort_orders_inputs_first(self):
+        a = tf.constant(1.0)
+        b = tf.constant(2.0)
+        c = a + b
+        d = c * a
+        order = topo_sort([d])
+        pos = {id(n): i for i, n in enumerate(order)}
+        assert pos[id(a)] < pos[id(c)] < pos[id(d)]
+        assert pos[id(b)] < pos[id(c)]
+
+    def test_topo_sort_handles_deep_chains(self):
+        # Deep graphs must not hit the Python recursion limit.
+        x = tf.constant(0.0)
+        node = x
+        for _ in range(5000):
+            node = node + x
+        assert len(topo_sort([node])) == 5001
+
+    def test_op_category_mapping(self):
+        assert op_category("matmul") == "GEMM"
+        assert op_category("gemm") == "GEMM"
+        assert op_category("tanh_grad") == "TANH"
+        assert op_category("slice") == "SLICE"
+        assert op_category("env_mat_opt") == "CUSTOM"
+        assert op_category("add") == "Others"
+
+    def test_unknown_op_raises(self, sess):
+        from repro.tfmini.graph import Node
+
+        with pytest.raises(KeyError, match="unknown op"):
+            sess.run(Node("no_such_op", (tf.constant(1.0),)))

@@ -1,0 +1,71 @@
+"""Unit-system sanity: the constants everything else silently relies on."""
+
+import numpy as np
+import pytest
+
+from repro.units import (
+    EVA3_TO_BAR,
+    FS,
+    KB,
+    MASSES,
+    MVV_TO_EV,
+    kinetic_temperature,
+    thermal_velocity_scale,
+)
+
+
+class TestConstants:
+    def test_boltzmann_constant(self):
+        assert KB == pytest.approx(8.617333262e-5, rel=1e-9)
+
+    def test_mvv_conversion(self):
+        # 1 amu at 1 Å/ps: E = 0.5 m v^2 ≈ 5.18e-5 eV
+        assert 0.5 * MVV_TO_EV == pytest.approx(5.1822e-5, rel=1e-3)
+
+    def test_pressure_conversion(self):
+        # 1 eV/Å^3 = 160.2176634 GPa = 1.602e6 bar
+        assert EVA3_TO_BAR == pytest.approx(1.602176634e6, rel=1e-9)
+
+    def test_fs_in_ps(self):
+        assert FS == 1e-3
+
+    def test_masses_table(self):
+        assert MASSES["O"] == pytest.approx(15.9994)
+        assert MASSES["H"] == pytest.approx(1.00794)
+        assert MASSES["Cu"] == pytest.approx(63.546)
+
+
+class TestHelpers:
+    def test_kinetic_temperature_roundtrip(self):
+        # T -> KE -> T
+        n_dof = 300
+        t = 330.0
+        ke = 0.5 * n_dof * KB * t
+        assert kinetic_temperature(ke, n_dof) == pytest.approx(t)
+
+    def test_kinetic_temperature_zero_dof(self):
+        assert kinetic_temperature(1.0, 0) == 0.0
+
+    def test_thermal_velocity_scale_physical(self):
+        # Oxygen at 330 K: sigma ~ sqrt(kT/m) ≈ 4.1 Å/ps
+        sigma = thermal_velocity_scale(15.9994, 330.0)
+        assert 3.0 < sigma < 6.0
+        # hydrogen is ~4x faster (sqrt(16) mass ratio)
+        assert thermal_velocity_scale(1.0, 330.0) == pytest.approx(
+            sigma * np.sqrt(15.9994), rel=0.01
+        )
+
+    def test_thermal_velocity_invalid_mass(self):
+        with pytest.raises(ValueError):
+            thermal_velocity_scale(0.0, 300.0)
+
+    def test_equipartition_consistency(self):
+        """Velocities drawn at scale sigma give back T via the KE formula."""
+        rng = np.random.default_rng(0)
+        n = 200_000
+        mass = 12.0
+        sigma = thermal_velocity_scale(mass, 500.0)
+        v = rng.normal(scale=sigma, size=(n, 3))
+        ke = 0.5 * MVV_TO_EV * mass * float((v**2).sum())
+        t = kinetic_temperature(ke, 3 * n)
+        assert t == pytest.approx(500.0, rel=0.02)
