@@ -34,7 +34,11 @@ def _measure(model, system, n_evals=3):
     pi, pj = neighbor_pairs(system, model.config.rcut)
     model.session = tf.Session(profile=True)
     for _ in range(n_evals):
-        model.evaluate(system, pi, pj)
+        # The serial path keeps energy reduction and ProdVirial inside the
+        # profiled graph — the op set the paper's Fig 3 breaks down.  (The
+        # batched engine computes those outside the graph, which would
+        # silently shrink the CUSTOM share being measured here.)
+        model.evaluate_serial(system, pi, pj)
     pct = model.session.stats.category_percentages()
     return {c: pct.get(c, 0.0) for c in CATEGORIES}
 
@@ -89,7 +93,12 @@ def test_zz_report(benchmark, systems):
     # configuration, with GEMM always a leading category.  (On the paper's
     # V100 GEMM alone is 62-74%; NumPy's transcendental tanh is relatively
     # slower than its BLAS, which shifts some share from GEMM to TANH.)
-    for key, pct in BREAKDOWNS.items():
-        assert pct["GEMM"] + pct["TANH"] > 40.0, key
-        top_two = sorted(pct.values(), reverse=True)[:2]
-        assert pct["GEMM"] >= top_two[1] - 5.0, key
+    # The percentages are profiled wall-clock shares, so the thresholds honor
+    # the REPRO_BENCH_STRICT=0 escape hatch like every timing comparison.
+    from benchmarks.conftest import bench_strict
+
+    if bench_strict():
+        for key, pct in BREAKDOWNS.items():
+            assert pct["GEMM"] + pct["TANH"] > 40.0, key
+            top_two = sorted(pct.values(), reverse=True)[:2]
+            assert pct["GEMM"] >= top_two[1] - 5.0, key

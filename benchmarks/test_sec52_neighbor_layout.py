@@ -14,7 +14,7 @@ Three contrasts the paper's algorithmic section motivates:
 import numpy as np
 import pytest
 
-from benchmarks.conftest import pairs_for, print_header
+from benchmarks.conftest import bench_median, bench_strict, pairs_for, print_header
 from repro.dp.nlist_fmt import (
     PAD,
     format_neighbors,
@@ -32,15 +32,14 @@ def inputs(water_192, paper_water_config):
     return water_192, cfg, pi, pj
 
 
-def _mean(benchmark, fn, rounds=3):
-    benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)
-    return benchmark.stats.stats.mean
+# Medians of benchmark.stats, not single-round means: robust to timer noise.
+_median = bench_median
 
 
 class TestFormatting:
     def test_baseline_aos_sort(self, benchmark, inputs):
         sys, cfg, pi, pj = inputs
-        TIMES["fmt_aos"] = _mean(
+        TIMES["fmt_aos"] = _median(
             benchmark,
             lambda: format_neighbors_baseline(sys, pi, pj, cfg.rcut, cfg.sel),
             rounds=2,
@@ -48,7 +47,7 @@ class TestFormatting:
 
     def test_optimized_codec_sort(self, benchmark, inputs):
         sys, cfg, pi, pj = inputs
-        TIMES["fmt_codec"] = _mean(
+        TIMES["fmt_codec"] = _median(
             benchmark,
             lambda: format_neighbors(sys, pi, pj, cfg.rcut, cfg.sel,
                                      use_compression=True),
@@ -56,7 +55,7 @@ class TestFormatting:
 
     def test_optimized_record_sort(self, benchmark, inputs):
         sys, cfg, pi, pj = inputs
-        TIMES["fmt_record"] = _mean(
+        TIMES["fmt_record"] = _median(
             benchmark,
             lambda: format_neighbors(sys, pi, pj, cfg.rcut, cfg.sel,
                                      use_compression=False),
@@ -89,7 +88,7 @@ class TestGranularity:
                     out[t].append(em[i, jj, 0])
             return [np.asarray(o) for o in out]
 
-        TIMES["gather_branch"] = _mean(benchmark, branchy, rounds=2)
+        TIMES["gather_branch"] = _median(benchmark, branchy, rounds=2)
 
     def test_padded_block_gather(self, benchmark, fmt_and_env):
         fmt, em = fmt_and_env
@@ -102,7 +101,7 @@ class TestGranularity:
                 out.append(em[:, start : start + s, 0].reshape(-1))
             return out
 
-        TIMES["gather_block"] = _mean(benchmark, blocked)
+        TIMES["gather_block"] = _median(benchmark, blocked)
 
 
 def test_zz_report(benchmark, inputs):
@@ -127,6 +126,9 @@ def test_zz_report(benchmark, inputs):
 
     # The formatter gain grows with system size (per-record Python overhead
     # vs one vectorized sort); at this 192-atom cell it is a modest win.
-    assert fmt_speedup > 1.5
-    assert codec_speedup > 0.9  # scalar keys at least match record sorting
-    assert gather_speedup > 10  # branch removal is the big win
+    # Wall-clock ratios are median-based and still host-dependent, so the
+    # thresholds honor the REPRO_BENCH_STRICT=0 escape hatch for noisy CI.
+    if bench_strict():
+        assert fmt_speedup > 1.5
+        assert codec_speedup > 0.9  # scalar keys at least match record sorting
+        assert gather_speedup > 10  # branch removal is the big win

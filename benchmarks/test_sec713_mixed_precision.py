@@ -11,7 +11,7 @@ evaluation wall time.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_header
+from benchmarks.conftest import bench_median, bench_strict, print_header
 from repro.md.neighbor import neighbor_pairs
 from repro.zoo import as_mixed_precision
 
@@ -26,21 +26,17 @@ def pair_of_models(zoo_water_model):
 def test_double_eval(benchmark, pair_of_models, water_192):
     double, _ = pair_of_models
     pi, pj = neighbor_pairs(water_192, double.config.rcut)
-    benchmark.pedantic(
-        lambda: double.evaluate(water_192, pi, pj),
-        rounds=5, iterations=1, warmup_rounds=1,
+    RESULTS["t_double"] = bench_median(
+        benchmark, lambda: double.evaluate(water_192, pi, pj), rounds=5
     )
-    RESULTS["t_double"] = benchmark.stats.stats.mean
 
 
 def test_mixed_eval(benchmark, pair_of_models, water_192):
     _, mixed = pair_of_models
     pi, pj = neighbor_pairs(water_192, mixed.config.rcut)
-    benchmark.pedantic(
-        lambda: mixed.evaluate(water_192, pi, pj),
-        rounds=5, iterations=1, warmup_rounds=1,
+    RESULTS["t_mixed"] = bench_median(
+        benchmark, lambda: mixed.evaluate(water_192, pi, pj), rounds=5
     )
-    RESULTS["t_mixed"] = benchmark.stats.stats.mean
 
 
 def test_zz_accuracy_and_report(benchmark, pair_of_models, water_192):
@@ -67,6 +63,8 @@ def test_zz_accuracy_and_report(benchmark, pair_of_models, water_192):
     assert de_mev < 0.32  # deviations below the paper's production numbers
     assert f_rmsd < 0.029
     assert mem_ratio == pytest.approx(0.5, abs=0.01)
-    assert speed > 1.1  # fp32 must actually pay off
+    # Median-based wall-clock ratio; REPRO_BENCH_STRICT=0 makes it report-only.
+    if bench_strict():
+        assert speed > 1.1  # fp32 must actually pay off
     # Physics unchanged: virials agree too.
     np.testing.assert_allclose(rm.virial, rd.virial, atol=5e-3)

@@ -14,7 +14,7 @@ speed up by >= an order of magnitude, with Environment gaining the most.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import pairs_for, print_header
+from benchmarks.conftest import bench_median, bench_strict, pairs_for, print_header
 from repro.dp.nlist_fmt import format_neighbors
 from repro.dp.ops_baseline import (
     environment_baseline,
@@ -39,8 +39,8 @@ def op_inputs(water_192, paper_water_config):
 
 
 def _time(benchmark, fn, rounds=3):
-    benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)
-    return benchmark.stats.stats.mean
+    # Median-of-rounds; also works under --benchmark-disable (see conftest).
+    return bench_median(benchmark, fn, rounds=rounds)
 
 
 class TestEnvironment:
@@ -119,7 +119,9 @@ def test_zz_report_speedups(benchmark, op_inputs):
     # Shape: every customized op gains one to two orders of magnitude, as in
     # the paper.  (The exact ranking between Environment and ProdVirial
     # depends on the host; the paper's V100 ranking was 130/38/17.)
-    assert env > 10
-    assert force > 5
-    assert virial > 5
-    assert max(env, force, virial) > 50
+    # Wall-clock ratios (median-based); REPRO_BENCH_STRICT=0 -> report-only.
+    if bench_strict():
+        assert env > 10
+        assert force > 5
+        assert virial > 5
+        assert max(env, force, virial) > 50

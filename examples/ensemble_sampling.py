@@ -1,0 +1,109 @@
+"""Embarrassingly-parallel sampling with the batched multi-replica engine.
+
+R replicas of a DP water box — each with its own velocity seed and Langevin
+temperature — advance in lockstep through ONE batched force evaluation per
+step (:class:`repro.md.ensemble.EnsembleSimulation`).  Statistics that need
+many decorrelated samples, like the O–O radial distribution function, then
+average over replicas *and* time, collecting R× the samples per MD step.
+
+The run ends with a paired timing comparison: the same frames evaluated as
+one R-frame batch vs R separate single-frame evaluations — the per-frame
+amortization the engine exists for (the paper's Sec 7 lesson, applied across
+replicas instead of atoms).
+
+Run:  python examples/ensemble_sampling.py [--replicas R] [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis.rdf import average_rdf
+from repro.analysis.structures import water_box
+from repro.dp.batch import BatchedEvaluator
+from repro.md import Langevin
+from repro.md.ensemble import EnsembleSimulation
+from repro.zoo import get_water_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replicas", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=60)
+    parser.add_argument("--temperature", type=float, default=330.0)
+    args = parser.parse_args()
+
+    model = get_water_model()
+    base = water_box((3, 3, 3), seed=2)
+
+    # A small temperature ladder around the target, one seed per replica.
+    temps = np.linspace(
+        0.9 * args.temperature, 1.1 * args.temperature, args.replicas
+    )
+    ens = EnsembleSimulation.from_system(
+        base,
+        model,
+        n_replicas=args.replicas,
+        temperature=temps,
+        seed=11,
+        dt=0.0005,
+        integrators=[
+            Langevin(temperature=float(t), damp=0.1, seed=100 + k)
+            for k, t in enumerate(temps)
+        ],
+    )
+
+    print(f"{args.replicas} replicas x {base.n_atoms} atoms, "
+          f"T = {temps[0]:.0f}..{temps[-1]:.0f} K")
+    frames: list[np.ndarray] = []
+
+    def collect(sim: EnsembleSimulation) -> None:
+        if sim.step_count % 10 == 0:
+            frames.extend(s.positions.copy() for s in sim.systems)
+
+    ens.run(args.steps, callback=collect)
+
+    print(f"ran {args.steps} steps: {ens.force_evaluations} batched "
+          f"evaluations ({ens.engine.frames_evaluated} frames), "
+          f"{ens.loop_seconds:.2f} s loop")
+    for k, system in enumerate(ens.systems):
+        res = ens.last_results()[k]
+        print(f"  replica {k}: T = {system.temperature():6.1f} K  "
+              f"E = {res.energy:10.4f} eV")
+
+    # O-O RDF averaged over replicas and strided frames.
+    r_max = 0.45 * base.box.lengths.min()
+    centers, g = average_rdf(frames, template=base, r_max=r_max, n_bins=60,
+                             type_a=0, type_b=0)
+    peak = centers[np.argmax(g)]
+    print(f"\nO-O g(r) from {len(frames)} frames: first peak at "
+          f"{peak:.2f} Å (experiment: ~2.8 Å)")
+
+    # Paired amortization measurement on the final configurations.
+    systems = ens.systems
+    pls = [(nl.pair_i, nl.pair_j) for nl in ens.neighbors]
+    batch_engine = ens.engine
+    single_engine = BatchedEvaluator(model)
+    for s, pl in zip(systems, pls):  # warm the single-frame scratch
+        single_engine.evaluate_batch([s], [pl])
+    t0 = time.perf_counter()
+    batch_engine.evaluate_batch(systems, pls)
+    t_batch = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s, pl in zip(systems, pls):
+        single_engine.evaluate_batch([s], [pl])
+    t_single = time.perf_counter() - t0
+    print(f"\nbatched: {t_batch * 1e3:6.1f} ms for R={len(systems)} "
+          f"({t_batch / len(systems) * 1e3:.2f} ms/frame)")
+    print(f"serial : {t_single * 1e3:6.1f} ms "
+          f"({t_single / len(systems) * 1e3:.2f} ms/frame)")
+    print(f"per-frame ratio (serial/batched): {t_single / t_batch:.2f}x")
+    print("(amortization grows as frames shrink relative to fixed per-eval")
+    print(" cost — see benchmarks/test_batched_eval.py for the scan over R)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@ Submodules mirror the structure of the optimized DeePMD-kit:
   connections, built on tfmini;
 * :mod:`repro.dp.model` — :class:`DeepPot`: energies, forces, virial, with
   double or mixed precision (Sec 5.2.3);
+* :mod:`repro.dp.batch` — :class:`BatchedEvaluator`: R replica frames stacked
+  through one set of batched GEMMs with persistent scratch buffers;
 * :mod:`repro.dp.pair` — the ``pair_style deepmd`` adapter into repro.md;
 * :mod:`repro.dp.train` — energy+force loss with double backprop, Adam;
 * :mod:`repro.dp.data` — labeled datasets generated from the oracles;
@@ -21,6 +23,7 @@ Submodules mirror the structure of the optimized DeePMD-kit:
 """
 
 from repro.dp.model import DeepPot, DPConfig
+from repro.dp.batch import BatchedEvaluator, ScratchPool
 from repro.dp.pair import DeepPotPair
 from repro.dp.nlist_fmt import (
     FormattedNeighbors,
@@ -36,6 +39,8 @@ from repro.dp.active import ModelEnsemble, ActiveLearner
 __all__ = [
     "DeepPot",
     "DPConfig",
+    "BatchedEvaluator",
+    "ScratchPool",
     "DeepPotPair",
     "FormattedNeighbors",
     "compress_entries",

@@ -1,0 +1,366 @@
+"""Batched multi-replica DP evaluation — one graph run for R frames.
+
+The paper's throughput lesson (and the follow-up line of work it spawned:
+86-PFLOPS DPMD on Summit, 149 ns/day water) is that fixed per-evaluation
+costs — graph dispatch, operator launch, Python bookkeeping — must be
+amortized over as many atoms as possible.  This module applies that lesson
+*across frames*: R replica systems (different seeds/temperatures, same model)
+are stacked row-wise into one formatted-neighbor layout, pushed through a
+single set of GEMMs, and un-stacked into per-replica results.
+
+Design notes
+------------
+* Row stacking.  Every tensor in the DP hot path is "per local atom" along
+  axis 0 (environment rows, embedding inputs, fitting outputs), so replicas
+  concatenate trivially; neighbor indices are shifted by per-replica atom
+  offsets so ProdForce's scatter-add lands each replica in its own span of
+  one global force array.
+* Bitwise reproducibility.  For R=1 the stacked feeds are byte-identical to
+  the serial path's, so energies/forces/virials match the serial engine
+  bit-for-bit (asserted in ``tests/test_ensemble.py``).  For R>1 each
+  replica's rows keep their serial-relative order under the stable type sort,
+  so scatter-add orderings per force accumulator are unchanged as well.
+* Persistent scratch.  The batch-scale staging buffers (normalized
+  environment matrix, its derivative, displacements, shifted neighbor lists)
+  live in a :class:`ScratchPool` keyed by name and are reused while shapes
+  are steady — the steady-state MD loop performs no new large allocations
+  (asserted via ``ScratchPool.alloc_count`` in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.dp.nlist_fmt import (
+    _MAX_INDEX,
+    PAD,
+    FormattedNeighbors,
+    format_neighbors,
+)
+from repro.dp.ops_baseline import environment_baseline
+from repro.dp.ops_optimized import environment_op
+from repro.md.potential import PotentialResult
+from repro.md.system import System
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.dp.model import DeepPot
+
+
+class _StackedFrame:
+    """Duck-typed stand-in for :class:`System` covering R stacked replicas.
+
+    Exposes exactly the attributes the neighbor formatter and the Environment
+    operator read (positions/types/box/n_atoms/n_types), backed by the
+    engine's pooled buffers — no dataclass validation or re-copy per step.
+    """
+
+    __slots__ = ("positions", "types", "box", "n_atoms", "n_types")
+
+    def __init__(self, positions, types, box, n_types):
+        self.positions = positions
+        self.types = types
+        self.box = box
+        self.n_atoms = positions.shape[0]
+        self.n_types = n_types
+
+
+class ScratchPool:
+    """Named, shape-keyed persistent buffers for the batched hot path.
+
+    ``get(name, shape, dtype)`` returns the cached array for that
+    (name, shape, dtype) key, allocating only on first sight — so a driver
+    alternating between batch shapes (e.g. R=1 MD steps interleaved with
+    R=4 sampling batches) warms one buffer set per shape and then stops
+    allocating, instead of thrashing a single slot.  ``alloc_count`` and
+    ``alloc_bytes`` expose deterministic counters the buffer-reuse tests
+    (and the batched benchmark) assert on — no wall-clock involved.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[tuple, np.ndarray] = {}
+        self.alloc_count = 0
+        self.alloc_bytes = 0
+
+    def get(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        key = (name, tuple(shape), np.dtype(dtype))
+        arr = self._arrays.get(key)
+        if arr is None:
+            arr = np.empty(shape, dtype=dtype)
+            self._arrays[key] = arr
+            self.alloc_count += 1
+            self.alloc_bytes += arr.nbytes
+        return arr
+
+    def nbytes(self) -> int:
+        """Bytes currently held by the pool."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def clear(self) -> None:
+        self._arrays.clear()
+
+
+class BatchedEvaluator:
+    """Evaluates a stack of R frames through one DP graph execution.
+
+    One instance per driver (a :class:`~repro.md.ensemble.EnsembleSimulation`
+    or a single-replica :class:`~repro.md.simulation.Simulation`) keeps the
+    scratch shapes steady; the model itself stays stateless across engines.
+    """
+
+    def __init__(self, model: "DeepPot"):
+        self.model = model
+        self.scratch = ScratchPool()
+        # Reusable neighbor layouts (nlist storage recycling), keyed by
+        # ("stacked", rows) or (replica, rows) so alternating batch shapes
+        # keep their own layouts instead of thrashing one slot.
+        self._fmts: dict[tuple, FormattedNeighbors] = {}
+        self.batch_evaluations = 0
+        self.frames_evaluated = 0
+
+    # ------------------------------------------------------------------ core
+
+    def evaluate_batch(
+        self,
+        systems: Sequence[System],
+        pair_lists: Sequence[tuple[np.ndarray, np.ndarray]],
+        backend: str = "optimized",
+        nlocs: Optional[Sequence[int]] = None,
+        pbc: bool = True,
+    ) -> list[PotentialResult]:
+        """Energies/forces/virials for R frames in one batched graph run.
+
+        Parameters
+        ----------
+        systems:
+            R snapshots sharing the model's type vocabulary.  Replicas may
+            differ in atom count (they are stacked by rows, not reshaped).
+        pair_lists:
+            Per-replica half neighbor-pair lists ``(pair_i, pair_j)``.
+        nlocs:
+            Optional per-replica local-atom counts for the ghost/domain-
+            decomposition mode (defaults to all atoms local).
+        pbc:
+            Minimum-image displacements (True) or raw displacements for
+            decomposed sub-domains whose images are explicit ghosts (False).
+
+        Returns
+        -------
+        One :class:`PotentialResult` per replica, bitwise identical to what
+        the serial path would produce for that replica alone.
+        """
+        model = self.model
+        cfg = model.config
+        R = len(systems)
+        if R == 0:
+            return []
+        if len(pair_lists) != R:
+            raise ValueError(f"{R} systems but {len(pair_lists)} pair lists")
+        nlocs = (
+            [s.n_atoms for s in systems]
+            if nlocs is None
+            else [int(n) for n in nlocs]
+        )
+        if len(nlocs) != R:
+            raise ValueError(f"{R} systems but {len(nlocs)} nloc entries")
+
+        nnei = cfg.nnei
+        n_atoms = [s.n_atoms for s in systems]
+        atom_off = np.concatenate([[0], np.cumsum(n_atoms)])
+        total_atoms = int(atom_off[-1])
+        total_loc = int(sum(nlocs))
+
+        scratch = self.scratch
+        em_n = scratch.get("em_n", (total_loc, nnei, 4))
+        ed_n = scratch.get("ed_n", (total_loc, nnei, 4, 3))
+        rij = scratch.get("rij", (total_loc, nnei, 3))
+        types_cat = scratch.get("types", (total_loc,), np.int64)
+        gidx = scratch.get("gidx", (total_loc,), np.int64)
+        rep_of_row = scratch.get("rep", (total_loc,), np.int64)
+
+        # --- stage the replicas into one formatted-neighbor layout ---------
+        # Fast path: replicas sharing one box with no ghost split are stacked
+        # into a single virtual frame, so the whole batch is formatted by ONE
+        # lexsort and one Environment-operator call (neighbor indices never
+        # cross replica spans because the stacked pair list is per-replica
+        # offset).  Per-frame Python staging cost — the fixed cost the engine
+        # exists to amortize — is paid once per batch instead of once per
+        # frame.  The general path stages replica-by-replica and also covers
+        # ghost mode (per-replica nloc), mixed boxes, and the baseline
+        # backend.
+        stackable = (
+            backend == "optimized"
+            and all(nlocs[r] == n_atoms[r] for r in range(R))
+            and all(
+                np.array_equal(s.box.lengths, systems[0].box.lengths)
+                for s in systems[1:]
+            )
+            and (not cfg.use_compression or total_atoms < _MAX_INDEX)
+        )
+        if stackable:
+            pos_cat = scratch.get("pos", (total_atoms, 3))
+            npairs = [len(pair_lists[r][0]) for r in range(R)]
+            pair_off = np.concatenate([[0], np.cumsum(npairs)])
+            n_pairs = int(pair_off[-1])
+            # Pair counts drift a little on every neighbor-list rebuild, so
+            # the staging slabs are sized to the next power of two and
+            # sliced — bounded distinct shapes (and allocations) over a long
+            # run, instead of one dead buffer pair per rebuild.
+            cap = 1 << max(n_pairs - 1, 1).bit_length()
+            pi_cat = scratch.get("pair_i", (cap,), np.int64)[:n_pairs]
+            pj_cat = scratch.get("pair_j", (cap,), np.int64)[:n_pairs]
+            for r in range(R):
+                lo, hi = int(atom_off[r]), int(atom_off[r + 1])
+                pos_cat[lo:hi] = systems[r].positions
+                types_cat[lo:hi] = systems[r].types
+                gidx[lo:hi] = np.arange(lo, hi)
+                rep_of_row[lo:hi] = r
+                plo, phi = int(pair_off[r]), int(pair_off[r + 1])
+                np.add(pair_lists[r][0], atom_off[r], out=pi_cat[plo:phi])
+                np.add(pair_lists[r][1], atom_off[r], out=pj_cat[plo:phi])
+            stacked = _StackedFrame(
+                pos_cat, types_cat, systems[0].box, systems[0].n_types
+            )
+            fmt_key = ("stacked", total_atoms)
+            fmt = format_neighbors(
+                stacked, pi_cat, pj_cat, cfg.rcut, cfg.sel,
+                use_compression=cfg.use_compression, pbc=pbc,
+                out=self._fmts.get(fmt_key),
+            )
+            self._fmts[fmt_key] = fmt
+            environment_op(
+                stacked, fmt, cfg.rcut_smth, cfg.rcut, pbc=pbc,
+                out=(em_n, ed_n, rij),
+            )
+            slot_t = fmt.slot_types()
+            davg = model.davg[slot_t]  # (nnei, 4)
+            dstd = model.dstd[slot_t]
+            np.subtract(em_n, davg, out=em_n)
+            np.divide(em_n, dstd, out=em_n)
+            np.divide(ed_n, dstd[..., None], out=ed_n)
+            nlist_g = fmt.nlist  # already in the global numbering
+        else:
+            nlist_g = scratch.get("nlist", (total_loc, nnei), np.int64)
+            row = 0
+            for r in range(R):
+                system, (pi, pj) = systems[r], pair_lists[r]
+                nloc = nlocs[r]
+                fmt_key = (r, nloc)
+                fmt = format_neighbors(
+                    system, pi, pj, cfg.rcut, cfg.sel,
+                    use_compression=cfg.use_compression, nloc=nloc, pbc=pbc,
+                    out=self._fmts.get(fmt_key),
+                )
+                self._fmts[fmt_key] = fmt
+                sl = slice(row, row + nloc)
+                if backend == "optimized":
+                    environment_op(
+                        system, fmt, cfg.rcut_smth, cfg.rcut, pbc=pbc,
+                        out=(em_n[sl], ed_n[sl], rij[sl]),
+                    )
+                elif backend == "baseline":
+                    em_b, ed_b, rij_b = environment_baseline(
+                        system, fmt, cfg.rcut_smth, cfg.rcut, pbc=pbc
+                    )
+                    em_n[sl], ed_n[sl], rij[sl] = em_b, ed_b, rij_b
+                else:
+                    raise ValueError(f"unknown backend {backend!r}")
+
+                # Normalize in place (same elementwise ops as the serial path).
+                slot_t = fmt.slot_types()
+                davg = model.davg[slot_t]  # (nnei, 4)
+                dstd = model.dstd[slot_t]
+                np.subtract(em_n[sl], davg, out=em_n[sl])
+                np.divide(em_n[sl], dstd, out=em_n[sl])
+                np.divide(ed_n[sl], dstd[..., None], out=ed_n[sl])
+
+                # Shift neighbor indices into the global atom numbering.
+                np.add(fmt.nlist, atom_off[r], out=nlist_g[sl])
+                nlist_g[sl][fmt.nlist == PAD] = PAD
+
+                types_cat[sl] = system.types[:nloc]
+                gidx[sl] = np.arange(atom_off[r], atom_off[r] + nloc)
+                rep_of_row[sl] = r
+                row += nloc
+
+        # --- one type-sorted feed set for the whole stack ------------------
+        # The row gathers land in pooled buffers (np.take with out=), so the
+        # steady-state loop reuses this storage instead of reallocating the
+        # batch-scale arrays every evaluation.
+        order = np.argsort(types_cat, kind="stable")
+        sorted_types = types_cat[order]
+        sorted_rep = rep_of_row[order]
+        gidx_sorted = gidx[order]
+        ed_sorted = scratch.get("ed_sorted", ed_n.shape)
+        np.take(ed_n, order, axis=0, out=ed_sorted)
+        rij_sorted = scratch.get("rij_sorted", rij.shape)
+        np.take(rij, order, axis=0, out=rij_sorted)
+        nlist_sorted = scratch.get("nlist_sorted", nlist_g.shape, np.int64)
+        np.take(nlist_g, order, axis=0, out=nlist_sorted)
+
+        feeds = {}
+        for t in range(cfg.n_types):
+            idx_t = order[sorted_types == t]
+            em_t = scratch.get(f"em_t{t}", (idx_t.size, nnei, 4))
+            np.take(em_n, idx_t, axis=0, out=em_t)
+            feeds[model.ph_env[t]] = em_t
+        feeds[model.ph_em_deriv] = ed_sorted
+        feeds[model.ph_rij] = rij_sorted
+        feeds[model.ph_nlist] = nlist_sorted
+        feeds[model.ph_atom_idx] = gidx_sorted
+        feeds[model.ph_natoms] = np.array([total_atoms], dtype=np.int64)
+
+        fetches = [model._f_forces, model._f_net_deriv] + list(model._f_e_atoms)
+        out = model.session.run(fetches, feeds)
+        forces_all, net_deriv = out[0], out[1]
+        e_atoms_t = [np.atleast_1d(e) for e in out[2:]]
+        self.batch_evaluations += 1
+        self.frames_evaluated += R
+
+        # --- un-stack into per-replica results -----------------------------
+        # dE/dd per slot (shared by all per-replica virials; identical to the
+        # contraction ProdVirial performs on the serial path).
+        slot = scratch.get("slot", (total_loc, nnei, 3))
+        np.einsum("ijc,ijck->ijk", net_deriv, ed_sorted, out=slot)
+
+        e_sorted = np.concatenate(e_atoms_t) if e_atoms_t else np.zeros(0)
+        rep_per_type = [sorted_rep[sorted_types == t] for t in range(cfg.n_types)]
+
+        results: list[PotentialResult] = []
+        for r in range(R):
+            system, nloc = systems[r], nlocs[r]
+            local_types = system.types[:nloc]
+
+            # Energy: per-type partial sums added in type order — the exact
+            # reduction order of the serial graph (reduce_sum per type, then
+            # a left-to-right add chain), so R=1 stays bitwise identical.
+            energy = 0.0
+            first = True
+            for t in range(cfg.n_types):
+                e_t = e_atoms_t[t]
+                if R > 1:
+                    e_t = e_t[rep_per_type[t] == r]
+                part = np.sum(e_t)
+                energy = part if first else energy + part
+                first = False
+
+            atom_e = np.empty(nloc)
+            if R == 1:
+                atom_e[gidx_sorted] = e_sorted
+                virial = -np.einsum("ija,ijb->ab", rij_sorted, slot)
+                forces = forces_all
+            else:
+                rows_r = sorted_rep == r
+                atom_e[gidx_sorted[rows_r] - atom_off[r]] = e_sorted[rows_r]
+                virial = -np.einsum(
+                    "ija,ijb->ab", rij_sorted[rows_r], slot[rows_r]
+                )
+                lo, hi = int(atom_off[r]), int(atom_off[r]) + n_atoms[r]
+                forces = forces_all[lo:hi].copy()
+            atom_e += model.e0[local_types]
+            total = float(energy + model.e0[local_types].sum())
+            results.append(
+                PotentialResult(total, forces, virial, atom_energies=atom_e)
+            )
+        return results

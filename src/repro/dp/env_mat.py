@@ -46,13 +46,24 @@ def smooth_weight(r: np.ndarray, r_smth: float, r_cut: float):
     return s, ds
 
 
-def env_rows(disp: np.ndarray, r_smth: float, r_cut: float):
+def env_rows(
+    disp: np.ndarray,
+    r_smth: float,
+    r_cut: float,
+    out_rows: np.ndarray | None = None,
+    out_deriv: np.ndarray | None = None,
+):
     """Environment rows and derivatives for displacement vectors.
 
     Parameters
     ----------
     disp:
         (..., 3) displacements d = r_j - r_i; zero rows mean padded slots.
+    out_rows, out_deriv:
+        Optional preallocated destinations of shape (..., 4) and (..., 4, 3).
+        Every element is overwritten, so stale contents are harmless — this is
+        what lets the batched evaluation engine keep persistent scratch
+        buffers instead of reallocating per step.
 
     Returns
     -------
@@ -71,13 +82,15 @@ def env_rows(disp: np.ndarray, r_smth: float, r_cut: float):
     u = disp / safe_r[..., None]  # unit vectors; zero rows stay finite
     u = np.where(r[..., None] > 0, u, 0.0)
 
-    rows = np.empty(disp.shape[:-1] + (4,))
+    rows = out_rows if out_rows is not None else np.empty(disp.shape[:-1] + (4,))
     rows[..., 0] = s
     rows[..., 1:] = s[..., None] * u
 
     # dR0/dd_k = ds/dr * u_k
     # dRc/dd_k = ds/dr u_k u_c + s (δ_ck - u_c u_k)/r
-    deriv = np.zeros(disp.shape[:-1] + (4, 3))
+    deriv = (
+        out_deriv if out_deriv is not None else np.zeros(disp.shape[:-1] + (4, 3))
+    )
     deriv[..., 0, :] = ds[..., None] * u
     eye = np.eye(3)
     s_over_r = np.where(r > 0, s / safe_r, 0.0)

@@ -150,6 +150,7 @@ class DeepPot:
 
         self._build_graph()
         self.session = tf.Session(profile=False)
+        self._batched = None  # lazily-built default BatchedEvaluator
 
     # ------------------------------------------------------------------ graph
 
@@ -224,15 +225,23 @@ class DeepPot:
         )
         self.node_net_deriv = nd
 
-        fetches = [self.node_energy, self.node_forces, self.node_virial] + list(
-            self.node_e_atoms
-        )
+        # node_net_deriv is fetched directly by the batched engine (which
+        # segments forces/virials per replica outside the graph); including it
+        # here keeps one rewritten DAG shared by both execution paths.
+        fetches = [
+            self.node_energy,
+            self.node_forces,
+            self.node_virial,
+            self.node_net_deriv,
+        ] + list(self.node_e_atoms)
         if cfg.optimize_graph:
             fetches = tf.optimize_graph(fetches)
-        (self._f_energy, self._f_forces, self._f_virial), self._f_e_atoms = (
-            fetches[:3],
-            fetches[3:],
-        )
+        (
+            self._f_energy,
+            self._f_forces,
+            self._f_virial,
+            self._f_net_deriv,
+        ), self._f_e_atoms = (fetches[:4], fetches[4:])
 
     # ------------------------------------------------------------------ stats
 
@@ -314,6 +323,21 @@ class DeepPot:
 
     # --------------------------------------------------------------- evaluate
 
+    @property
+    def batched(self):
+        """The model's default batched evaluation engine (R=1 fast path).
+
+        Drivers that batch many replicas (:class:`repro.md.ensemble.
+        EnsembleSimulation`) should construct their own
+        :class:`~repro.dp.batch.BatchedEvaluator` so scratch-buffer shapes
+        stay steady instead of thrashing between batch sizes.
+        """
+        if self._batched is None:
+            from repro.dp.batch import BatchedEvaluator
+
+            self._batched = BatchedEvaluator(self)
+        return self._batched
+
     def evaluate(
         self,
         system: System,
@@ -325,11 +349,48 @@ class DeepPot:
     ) -> PotentialResult:
         """Energy of the first ``nloc`` atoms + forces on all atoms.
 
+        Routes through the batched engine as an R=1 stack — the single-replica
+        MD path and the multi-replica ensemble path share one executor, and
+        the results are bitwise identical to :meth:`evaluate_serial` (the
+        pre-engine reference implementation, kept for differential testing).
+
         In domain-decomposition mode (nloc < n_atoms) the returned forces
         array covers locals *and* ghosts; the caller reverse-communicates the
         ghost part (Sec 5.4), and ``energy``/``atom_energies`` cover locals
         only.
         """
+        return self.batched.evaluate_batch(
+            [system],
+            [(pair_i, pair_j)],
+            backend=backend,
+            nlocs=None if nloc is None else [nloc],
+            pbc=pbc,
+        )[0]
+
+    def evaluate_batch(
+        self,
+        systems: Sequence[System],
+        pair_lists,
+        backend: str = "optimized",
+        nlocs=None,
+        pbc: bool = True,
+    ) -> list[PotentialResult]:
+        """Batched evaluation of R frames (see :mod:`repro.dp.batch`)."""
+        return self.batched.evaluate_batch(
+            systems, pair_lists, backend=backend, nlocs=nlocs, pbc=pbc
+        )
+
+    def evaluate_serial(
+        self,
+        system: System,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        backend: str = "optimized",
+        nloc: Optional[int] = None,
+        pbc: bool = True,
+    ) -> PotentialResult:
+        """The original single-frame path: per-call feeds, in-graph ProdForce/
+        ProdVirial.  Reference oracle for the batched engine's R=1 results."""
         nloc = system.n_atoms if nloc is None else int(nloc)
         feeds, order = self.prepare_feeds(
             system, pair_i, pair_j, backend=backend, nloc=nloc, pbc=pbc

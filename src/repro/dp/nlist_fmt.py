@@ -157,6 +157,7 @@ def format_neighbors(
     use_compression: bool = True,
     nloc: Optional[int] = None,
     pbc: bool = True,
+    out: Optional[FormattedNeighbors] = None,
 ) -> FormattedNeighbors:
     """Build the canonical padded neighbor layout (the optimized path).
 
@@ -170,6 +171,11 @@ def format_neighbors(
 
     ``nloc`` restricts descriptor rows to the first nloc atoms (the MPI-local
     atoms of Fig 1 (a)); neighbor indices may point into the ghost region.
+
+    ``out`` recycles the ``nlist`` storage of a previous layout with the same
+    shape and ``sel`` (the steady-state MD case: same atoms every rebuild),
+    so per-step formatting allocates no new (nloc, nnei) array.  The contents
+    are fully rewritten; a shape/sel mismatch falls back to fresh storage.
     """
     sel = tuple(int(s) for s in sel)
     if len(sel) != system.n_types:
@@ -188,7 +194,11 @@ def format_neighbors(
         order = np.lexsort((fj, r, tj, fi))
     fi, fj, r, tj = fi[order], fj[order], r[order], tj[order]
 
-    nlist = np.full((nloc, nnei), PAD, dtype=np.int64)
+    if out is not None and out.sel == sel and out.nlist.shape == (nloc, nnei):
+        nlist = out.nlist
+        nlist.fill(PAD)
+    else:
+        nlist = np.full((nloc, nnei), PAD, dtype=np.int64)
     n_dropped = 0
     if fi.size:
         # Rank of each entry within its (atom, type) group — vectorized via
@@ -207,6 +217,9 @@ def format_neighbors(
         cols = start_arr[tj[keep]] + rank[keep]
         nlist[fi[keep], cols] = fj[keep]
 
+    if out is not None and nlist is out.nlist:
+        out.n_dropped = n_dropped
+        return out
     return FormattedNeighbors(nlist=nlist, sel=sel, sel_start=sel_start, n_dropped=n_dropped)
 
 

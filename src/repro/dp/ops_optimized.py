@@ -25,8 +25,13 @@ def environment_op(
     r_smth: float,
     r_cut: float,
     pbc: bool = True,
+    out: tuple | None = None,
 ):
     """Compute R~, dR~/dd, and rij for every (atom, slot).
+
+    ``out``, when given, is an ``(em, em_deriv, rij)`` triple of preallocated
+    destination arrays (e.g. slices of the batched engine's persistent scratch
+    buffers); every element is overwritten and the same arrays are returned.
 
     Returns
     -------
@@ -42,8 +47,13 @@ def environment_op(
     if pbc:
         disp = system.box.minimum_image(disp)
     disp = np.where(mask[..., None], disp, 0.0)
-    em, em_deriv, _r = env_rows(disp, r_smth, r_cut)
-    return em, em_deriv, disp
+    if out is None:
+        em, em_deriv, _r = env_rows(disp, r_smth, r_cut)
+        return em, em_deriv, disp
+    em_buf, ed_buf, rij_buf = out
+    rij_buf[...] = disp
+    env_rows(disp, r_smth, r_cut, out_rows=em_buf, out_deriv=ed_buf)
+    return em_buf, ed_buf, rij_buf
 
 
 def prod_force_op(

@@ -17,7 +17,13 @@ from repro.md.system import System
 
 @dataclass
 class DeepPotPair(Potential):
-    """Potential interface around a DeepPot model."""
+    """Potential interface around a DeepPot model.
+
+    ``compute`` routes through the model's batched evaluation engine as an
+    R=1 stack (see :mod:`repro.dp.batch`), so a serial ``Simulation`` and a
+    multi-replica ``EnsembleSimulation`` share one executor; ``compute_batch``
+    exposes the fused multi-frame evaluation directly.
+    """
 
     model: DeepPot
     backend: str = "optimized"
@@ -29,3 +35,9 @@ class DeepPotPair(Potential):
         self, system: System, pair_i: np.ndarray, pair_j: np.ndarray
     ) -> PotentialResult:
         return self.model.evaluate(system, pair_i, pair_j, backend=self.backend)
+
+    def compute_batch(
+        self, systems, pair_lists
+    ) -> list[PotentialResult]:
+        """Fused evaluation of R frames in one batched graph run."""
+        return self.model.evaluate_batch(systems, pair_lists, backend=self.backend)

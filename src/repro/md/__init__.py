@@ -16,7 +16,9 @@ the reproduction:
 * :mod:`repro.md.deform` — box deformation fix for the Fig 7 tensile run;
 * :mod:`repro.md.potential` — the pair-style interface DP plugs into, plus a
   Lennard-Jones empirical force field baseline (:mod:`repro.md.lj`);
-* :mod:`repro.md.simulation` — the serial MD driver.
+* :mod:`repro.md.simulation` — the serial MD driver;
+* :mod:`repro.md.ensemble` — lockstep multi-replica MD through the batched
+  DP evaluation engine (fused force evaluations, per-replica state).
 """
 
 from repro.md.box import Box
@@ -31,6 +33,7 @@ from repro.md.minimize import fire_minimize, FireResult
 from repro.md.potential import Potential, PotentialResult
 from repro.md.lj import LennardJones
 from repro.md.simulation import Simulation
+from repro.md.ensemble import EnsembleSimulation
 from repro.md.dump import read_xyz, write_lammps_data, write_xyz
 
 __all__ = [
@@ -54,6 +57,7 @@ __all__ = [
     "PotentialResult",
     "LennardJones",
     "Simulation",
+    "EnsembleSimulation",
     "read_xyz",
     "write_xyz",
     "write_lammps_data",

@@ -4,6 +4,13 @@ Reproduces the protocol of Sec 6.1: velocity-Verlet integration, neighbor
 list with a 2 Å skin rebuilt every 50 steps, thermodynamic data recorded
 every 20 steps, and wall-clock accounting split into setup time and loop
 time (the paper's time-to-solution definition in Sec 6.3).
+
+When the potential is a DP model (:class:`repro.dp.pair.DeepPotPair`), each
+``compute`` call routes through the batched evaluation engine as an R=1
+stack, so this single-replica driver and the multi-replica
+:class:`repro.md.ensemble.EnsembleSimulation` execute the same code path
+with bitwise-identical results; :meth:`Simulation.step_once` is the
+per-step sequence both drivers follow.
 """
 
 from __future__ import annotations
@@ -71,6 +78,32 @@ class Simulation:
 
     # -- the MD loop -----------------------------------------------------------
 
+    def step_once(self, callback: Optional[Callable] = None) -> PotentialResult:
+        """One MD step: half-kick, fixes, rebuild check, forces, half-kick.
+
+        The canonical per-step sequence — ``run`` loops over it, and
+        :class:`repro.md.ensemble.EnsembleSimulation` replays it per replica
+        around a fused force evaluation.
+        """
+        if self._result is None:
+            self.initialize()
+        forces = self._result.forces
+        self.integrator.first_half(self.system, forces, self.dt)
+        self.step_count += 1
+        if self.deform is not None:
+            self.deform.apply(self.system, self.step_count, self.dt)
+        self.neighbor.maybe_rebuild(self.system, self.step_count)
+        res = self._evaluate()
+        self.integrator.second_half(self.system, res.forces, self.dt)
+        self.thermo.maybe_record(
+            self.system, res.energy, res.virial, self.step_count, self.dt
+        )
+        if self.trajectory_every and self.step_count % self.trajectory_every == 0:
+            self.trajectory.append(self.system.positions.copy())
+        if callback is not None:
+            callback(self)
+        return res
+
     def run(self, n_steps: int, callback: Optional[Callable] = None) -> ThermoLog:
         """Advance ``n_steps``; energies/forces are evaluated n_steps+1 times
         in total (matching the paper's "501 evaluations for 500 steps")."""
@@ -83,21 +116,7 @@ class Simulation:
             self.system, self._result.energy, self._result.virial, self.step_count, self.dt
         )
         for _ in range(n_steps):
-            forces = self._result.forces
-            self.integrator.first_half(self.system, forces, self.dt)
-            self.step_count += 1
-            if self.deform is not None:
-                self.deform.apply(self.system, self.step_count, self.dt)
-            self.neighbor.maybe_rebuild(self.system, self.step_count)
-            res = self._evaluate()
-            self.integrator.second_half(self.system, res.forces, self.dt)
-            self.thermo.maybe_record(
-                self.system, res.energy, res.virial, self.step_count, self.dt
-            )
-            if self.trajectory_every and self.step_count % self.trajectory_every == 0:
-                self.trajectory.append(self.system.positions.copy())
-            if callback is not None:
-                callback(self)
+            self.step_once(callback)
         self.loop_seconds += time.perf_counter() - t0
         return self.thermo
 
