@@ -25,7 +25,7 @@ from repro.analysis.rdf import average_rdf
 from repro.analysis.structures import water_box
 from repro.dp.batch import BatchedEvaluator
 from repro.md import Langevin
-from repro.md.ensemble import EnsembleSimulation
+from repro.md.ensemble import EnsembleMSD, EnsembleSimulation
 from repro.zoo import get_water_model
 
 
@@ -59,10 +59,12 @@ def main() -> None:
     print(f"{args.replicas} replicas x {base.n_atoms} atoms, "
           f"T = {temps[0]:.0f}..{temps[-1]:.0f} K")
     frames: list[np.ndarray] = []
+    msd = EnsembleMSD(ens, every=5)  # replica-resolved unwrapped trajectories
 
     def collect(sim: EnsembleSimulation) -> None:
         if sim.step_count % 10 == 0:
             frames.extend(s.positions.copy() for s in sim.systems)
+        msd(sim)
 
     ens.run(args.steps, callback=collect)
 
@@ -81,6 +83,17 @@ def main() -> None:
     peak = centers[np.argmax(g)]
     print(f"\nO-O g(r) from {len(frames)} frames: first peak at "
           f"{peak:.2f} Å (experiment: ~2.8 Å)")
+
+    # Replica-averaged MSD/diffusion: every replica contributes an
+    # independent curve, so the spread over replicas is an honest error bar
+    # (the ROADMAP's "ensemble-aware analysis" estimator).
+    mean_msd, msd_err = msd.msd()
+    est = msd.diffusion(fit_from=0.4)
+    print(f"\nMSD over {msd.n_frames} frames x {msd.n_replicas} replicas: "
+          f"final {mean_msd[-1]:.3f} ± {msd_err[-1]:.3f} Å²")
+    print(f"D = {est.mean:.4f} ± {est.stderr:.4f} Å²/ps "
+          f"(per-replica spread over {est.per_replica.size} estimates; "
+          f"experiment ~0.23 Å²/ps at 300 K)")
 
     # Paired amortization measurement on the final configurations.
     systems = ens.systems

@@ -17,6 +17,10 @@ Subpackages
     The Deep Potential core: se_a descriptor, the Sec 5.2 neighbor layout
     and 64-bit codec, baseline vs optimized custom operators, mixed
     precision, training with force matching, DP-GEN active learning.
+``repro.serving``
+    Dynamic micro-batching inference service over the batched engine:
+    bounded request queue, per-model coalescing scheduler, worker thread,
+    client futures, deterministic server stats.
 ``repro.parallel``
     Simulated MPI + domain decomposition with ghost halo exchange; the
     distributed driver matches the serial engine bit-for-bit.
@@ -37,6 +41,7 @@ __all__ = [
     "md",
     "oracles",
     "dp",
+    "serving",
     "parallel",
     "perfmodel",
     "analysis",

@@ -2,10 +2,14 @@
 
 Commands
 --------
-info      — package/system inventory and model-zoo status
-scaling   — regenerate the Summit scaling tables (Tables 1/4, Figs 5/6)
-validate  — quick self-check: DP forces vs finite differences and
-            distributed-vs-serial agreement (seconds, not the full suite)
+info        — package/system inventory and model-zoo status
+scaling     — regenerate the Summit scaling tables (Tables 1/4, Figs 5/6)
+validate    — quick self-check: DP forces vs finite differences,
+              distributed-vs-serial agreement, and a 2-client serving
+              round trip (seconds, not the full suite)
+serve-bench — closed-loop load generator against the micro-batching
+              inference service (N clients, deterministic counters +
+              throughput report)
 """
 
 from __future__ import annotations
@@ -26,12 +30,13 @@ def cmd_info(_args) -> int:
     print("\nsubsystems:")
     for name, what in [
         ("repro.tfmini", "graph tensor engine (TensorFlow substitute)"),
-        ("repro.md", "LAMMPS-like MD substrate"),
+        ("repro.md", "LAMMPS-like MD substrate + multi-replica ensembles"),
         ("repro.oracles", "ab-initio stand-in potentials"),
-        ("repro.dp", "Deep Potential core (the paper's contribution)"),
+        ("repro.dp", "Deep Potential core + batched multi-frame engine"),
+        ("repro.serving", "micro-batching inference service (queue/scheduler/worker)"),
         ("repro.parallel", "simulated MPI + domain decomposition"),
         ("repro.perfmodel", "calibrated Summit performance model"),
-        ("repro.analysis", "RDF / CNA / structures / stress"),
+        ("repro.analysis", "RDF / MSD+diffusion / CNA / structures / stress"),
     ]:
         print(f"  {name:<18} {what}")
     print(f"\nmodel zoo cache: {DEFAULT_CACHE}")
@@ -59,13 +64,13 @@ def cmd_validate(_args) -> int:
     from repro.md.neighbor import neighbor_pairs
     from repro.parallel import DistributedSimulation
 
-    print("1/3 building a tiny DP model and a 81-atom water cell...")
+    print("1/4 building a tiny DP model and a 81-atom water cell...")
     model = DeepPot(DPConfig.tiny())
     sys = water_box((3, 3, 3), seed=0)
     pi, pj = neighbor_pairs(sys, model.config.rcut)
     res = model.evaluate(sys, pi, pj)
 
-    print("2/3 checking forces against finite differences...")
+    print("2/4 checking forces against finite differences...")
     eps, worst = 1e-5, 0.0
     for atom, comp in ((0, 0), (10, 1), (40, 2)):
         p0 = sys.positions[atom, comp]
@@ -81,7 +86,7 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_analytic - F_fd| = {worst:.2e} eV/Å")
     ok_fd = worst < 1e-7
 
-    print("3/3 checking distributed == serial...")
+    print("3/4 checking distributed == serial...")
     big = water_box((4, 4, 4), seed=1)
     boltzmann_velocities(big, 300.0, seed=2)
     a, b = neighbor_pairs(big, model.config.rcut)
@@ -91,11 +96,118 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_dist - F_serial| = {diff:.2e} eV/Å")
     ok_dist = diff < 1e-10
 
-    if ok_fd and ok_dist:
+    print("4/4 checking serving == direct (2-client micro-batch smoke)...")
+    from repro.serving import (
+        InferenceServer,
+        perturbed_frames,
+        run_closed_loop_clients,
+        served_matches_direct,
+    )
+
+    frames = perturbed_frames(sys, 4, seed0=40, scale=0.01)
+    server = InferenceServer({"tiny": model}, max_batch=4, max_wait_us=2000)
+    try:
+        served = run_closed_loop_clients(
+            server, "tiny", {0: frames[:2], 1: frames[2:]}, timeout=60
+        )
+        ok_serve = sum(len(r) for r in served.values()) == 4 and all(
+            served_matches_direct(model, frame, result)
+            for results in served.values()
+            for frame, result in results
+        )
+    except RuntimeError as exc:
+        print(f"    serving round trip failed: {exc}")
+        ok_serve = False
+    finally:
+        server.stop()
+    snap = server.stats.snapshot()
+    print(f"    {snap['requests_completed']} requests in {snap['batches']} "
+          f"batches (occupancy {snap['occupancy']:.1f}); served results "
+          f"{'bitwise identical to' if ok_serve else 'MISMATCH vs'} "
+          f"direct evaluate")
+
+    if ok_fd and ok_dist and ok_serve:
         print("\nvalidation PASSED")
         return 0
     print("\nvalidation FAILED")
     return 1
+
+
+def cmd_serve_bench(args) -> int:
+    """Closed-loop load generation against the micro-batching service.
+
+    N client threads each submit ``--requests`` frames synchronously
+    (submit, wait for the result, submit the next — the hardest pattern to
+    batch, since each client has at most one request in flight).  Coalescing
+    across clients is what the scheduler's ``max_wait_us`` window buys.
+    """
+    import time
+
+    from repro.analysis.structures import fcc_lattice, water_box
+    from repro.serving import (
+        InferenceServer,
+        perturbed_frames,
+        run_closed_loop_clients,
+        served_matches_direct,
+    )
+
+    if args.tiny:
+        from repro.dp.model import DeepPot, DPConfig
+
+        name = "water-tiny"
+        model = DeepPot(DPConfig.tiny(sel=(8, 16), rcut=3.0))
+        base = water_box((2, 2, 2), seed=0)
+        server = InferenceServer(
+            {name: model},
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            max_queue=args.max_queue,
+        )
+    else:
+        name = args.model
+        server = InferenceServer.from_zoo(
+            [name],
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            max_queue=args.max_queue,
+        )
+        model = server.model(name)
+        base = (
+            fcc_lattice((3, 3, 3))
+            if name.startswith("copper")
+            else water_box((3, 3, 3), seed=0)
+        )
+
+    n_clients, n_requests = args.clients, args.requests
+    print(f"serving model {name!r}: {base.n_atoms}-atom frames, "
+          f"{n_clients} closed-loop clients x {n_requests} requests, "
+          f"max_batch={args.max_batch}, max_wait={args.max_wait_us:.0f} us")
+
+    # Per-client frame sets (perturbed copies; decorrelated workloads).
+    frames = {
+        tid: perturbed_frames(base, n_requests, seed0=1000 * (tid + 1))
+        for tid in range(n_clients)
+    }
+
+    t0 = time.perf_counter()
+    served = run_closed_loop_clients(server, name, frames, timeout=300)
+    wall = time.perf_counter() - t0
+    server.stop()
+
+    total = n_clients * n_requests
+    print(f"\n{total} requests in {wall:.2f} s "
+          f"({total / wall:.1f} frames/s, "
+          f"{wall / total * 1e3:.2f} ms/request mean round trip)")
+    print(server.stats.report())
+
+    # Correctness spot check: one request per client, bitwise vs direct.
+    ok = all(
+        served_matches_direct(model, *served[tid][-1])
+        for tid in range(n_clients)
+    )
+    print(f"bitwise vs direct evaluate ({n_clients} spot checks): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -104,10 +216,27 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="package inventory and zoo status")
     sub.add_parser("scaling", help="regenerate the Summit scaling tables")
     sub.add_parser("validate", help="quick end-to-end self check")
+    serve = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load generator for the inference service",
+    )
+    serve.add_argument("--model", default="water",
+                       help="zoo model: water/copper[-double|-single]")
+    serve.add_argument("--tiny", action="store_true",
+                       help="use an untrained tiny model (fast; no zoo cache)")
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests per client")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-wait-us", type=float, default=1000.0)
+    serve.add_argument("--max-queue", type=int, default=64)
     args = parser.parse_args(argv)
-    return {"info": cmd_info, "scaling": cmd_scaling, "validate": cmd_validate}[
-        args.command
-    ](args)
+    return {
+        "info": cmd_info,
+        "scaling": cmd_scaling,
+        "validate": cmd_validate,
+        "serve-bench": cmd_serve_bench,
+    }[args.command](args)
 
 
 if __name__ == "__main__":

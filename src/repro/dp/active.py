@@ -40,6 +40,17 @@ class ModelEnsemble:
                 DeepPot(self.config, rng=np.random.default_rng(1000 + 17 * k))
                 for k in range(self.n_models)
             ]
+        self._engines = None
+
+    @property
+    def engines(self):
+        """One persistent :class:`~repro.dp.batch.BatchedEvaluator` per
+        member, so repeated deviation screens reuse warm scratch buffers."""
+        if self._engines is None:
+            from repro.dp.batch import BatchedEvaluator
+
+            self._engines = [BatchedEvaluator(m) for m in self.models]
+        return self._engines
 
     def train_all(self, dataset: Dataset, train_config: TrainConfig) -> None:
         for k, model in enumerate(self.models):
@@ -47,15 +58,50 @@ class ModelEnsemble:
             cfg = TrainConfig(**{**train_config.__dict__, "seed": train_config.seed + k})
             Trainer(model, dataset, cfg).train()
 
+    def force_deviations(
+        self, systems: Sequence[System], chunk: int = 64
+    ) -> np.ndarray:
+        """Max-over-atoms std-over-models of the force, one value per frame.
+
+        The model-deviation screen is embarrassingly batchable: each member
+        evaluates batched graph executions of up to ``chunk`` frames instead
+        of n_frames × n_models single-frame evaluations.  Work proceeds
+        chunk-by-chunk — pair lists built, every member evaluated, the
+        chunk's deviations reduced, results discarded — so peak memory
+        (engine scratch AND retained results) is bounded by the chunk size
+        on huge harvests, like the serving layer's ``max_batch``.  Per-frame
+        forces are bitwise identical to what ``model.evaluate`` would return
+        (the engine's batch-composition independence), so the deviation
+        values match the serial screen exactly — and are independent of
+        ``chunk``.
+        """
+        systems = list(systems)
+        if not systems:
+            return np.zeros(0)
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        deviations = np.empty(len(systems))
+        for lo in range(0, len(systems), chunk):
+            chunk_systems = systems[lo : lo + chunk]
+            pair_lists = [
+                neighbor_pairs(s, self.config.rcut) for s in chunk_systems
+            ]
+            per_model = [
+                engine.evaluate_batch(chunk_systems, pair_lists)
+                for engine in self.engines
+            ]
+            for k in range(len(chunk_systems)):
+                forces = np.stack(
+                    [results[k].forces for results in per_model]
+                )  # (n_models, N, 3)
+                mean = forces.mean(axis=0)
+                var = ((forces - mean) ** 2).mean(axis=0).sum(axis=1)
+                deviations[lo + k] = np.sqrt(var).max()
+        return deviations
+
     def force_deviation(self, system: System) -> float:
-        """Max-over-atoms std-over-models of the force — DP-GEN's criterion."""
-        pi, pj = neighbor_pairs(system, self.config.rcut)
-        forces = np.stack(
-            [m.evaluate(system, pi, pj).forces for m in self.models]
-        )  # (n_models, N, 3)
-        mean = forces.mean(axis=0)
-        var = ((forces - mean) ** 2).mean(axis=0).sum(axis=1)  # per-atom
-        return float(np.sqrt(var).max())
+        """Single-frame convenience wrapper around :meth:`force_deviations`."""
+        return float(self.force_deviations([system])[0])
 
 
 @dataclass
@@ -102,11 +148,17 @@ class ActiveLearner:
         return frames
 
     def select(self, frames: Sequence[System]) -> tuple[list[System], dict]:
-        """Split explored frames into accurate / candidate / failed."""
+        """Split explored frames into accurate / candidate / failed.
+
+        The whole harvest is screened with :meth:`ModelEnsemble.
+        force_deviations` — one batched evaluation per ensemble member —
+        and the selection windows are applied to the resulting vector.
+        """
         stats = {"accurate": 0, "candidate": 0, "failed": 0}
         candidates: list[System] = []
-        for frame in frames:
-            dev = self.ensemble.force_deviation(frame)
+        frames = list(frames)  # the screen + window loop both iterate it
+        deviations = self.ensemble.force_deviations(frames)
+        for frame, dev in zip(frames, deviations):
             if dev < self.trust_lo:
                 stats["accurate"] += 1
             elif dev <= self.trust_hi:

@@ -19,7 +19,13 @@ Design notes
   the serial path's, so energies/forces/virials match the serial engine
   bit-for-bit (asserted in ``tests/test_ensemble.py``).  For R>1 each
   replica's rows keep their serial-relative order under the stable type sort,
-  so scatter-add orderings per force accumulator are unchanged as well.
+  so scatter-add orderings per force accumulator are unchanged as well; with
+  tfmini's row-count-independent matrix-vector kernel (the fitting net's
+  N=1 output layer — see ``_fwd_matmul_2d`` in :mod:`repro.tfmini.ops`),
+  *every* per-replica quantity, energies and atomic energies included, is
+  bitwise independent of batch composition.  This is the guarantee the
+  serving layer (:mod:`repro.serving`) exposes to clients: a frame's result
+  never depends on which other requests it was coalesced with.
 * Persistent scratch.  The batch-scale staging buffers (normalized
   environment matrix, its derivative, displacements, shifted neighbor lists)
   live in a :class:`ScratchPool` keyed by name and are reused while shapes
@@ -118,6 +124,12 @@ class BatchedEvaluator:
         self._fmts: dict[tuple, FormattedNeighbors] = {}
         self.batch_evaluations = 0
         self.frames_evaluated = 0
+        # Staging-path counters: frames that arrive as separate requests
+        # (the serving layer) only take the single-lexsort fast path when
+        # their boxes match; these counters let callers see which path a
+        # workload actually exercised.
+        self.stacked_batches = 0
+        self.general_batches = 0
 
     # ------------------------------------------------------------------ core
 
@@ -199,6 +211,7 @@ class BatchedEvaluator:
             and (not cfg.use_compression or total_atoms < _MAX_INDEX)
         )
         if stackable:
+            self.stacked_batches += 1
             pos_cat = scratch.get("pos", (total_atoms, 3))
             npairs = [len(pair_lists[r][0]) for r in range(R)]
             pair_off = np.concatenate([[0], np.cumsum(npairs)])
@@ -241,6 +254,7 @@ class BatchedEvaluator:
             np.divide(ed_n, dstd[..., None], out=ed_n)
             nlist_g = fmt.nlist  # already in the global numbering
         else:
+            self.general_batches += 1
             nlist_g = scratch.get("nlist", (total_loc, nnei), np.int64)
             row = 0
             for r in range(R):

@@ -18,6 +18,7 @@ so single- and multi-replica MD share one executor and one numerical history.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -217,3 +218,117 @@ class EnsembleSimulation:
         if self._results is None:
             raise RuntimeError("ensemble not initialised")
         return self._results
+
+
+@dataclass
+class DiffusionEstimate:
+    """Replica-averaged diffusion coefficient with its spread.
+
+    ``mean`` and ``stderr`` are in Å²/ps (Einstein relation, D = slope/6);
+    ``per_replica`` carries each replica's independent estimate so callers
+    can inspect the distribution behind the error bar.
+    """
+
+    mean: float
+    stderr: float
+    per_replica: np.ndarray
+
+
+class EnsembleMSD:
+    """Replica-averaged MSD/diffusion with per-replica error bars.
+
+    The estimator the replica ensemble exists for: each replica contributes
+    an *independent* MSD curve (its own thermostat seed decorrelates it), so
+    averaging over replicas both sharpens the mean and — unlike averaging
+    time origins within one trajectory — yields an honest standard error.
+
+    Use as an :meth:`EnsembleSimulation.run` callback::
+
+        ens = EnsembleSimulation.from_system(base, model, n_replicas=8)
+        msd = EnsembleMSD(ens, every=10)
+        ens.run(500, callback=msd)
+        mean, err = msd.msd()
+        d = msd.diffusion()          # DiffusionEstimate(mean, stderr, ...)
+
+    Coordinates are unwrapped on the fly (periodic jumps removed between
+    recorded frames), the requirement of the Einstein estimator.
+    """
+
+    def __init__(
+        self,
+        ensemble: EnsembleSimulation,
+        every: int = 10,
+        atom_mask: Optional[np.ndarray] = None,
+    ):
+        # Lazy import mirrors the BatchedEvaluator import above: repro.md
+        # must stay importable before repro.analysis.
+        from repro.analysis.dynamics import UnwrappedTrajectory
+
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self.atom_mask = atom_mask
+        self.dt_between_frames = ensemble.dt * self.every
+        # Frame spacing is measured from the step at which the collector was
+        # attached, so an equilibration run of any length may precede it
+        # without skewing the time axis of the first interval.
+        self._start_step = ensemble.step_count
+        self._trajectories = [
+            UnwrappedTrajectory(s.box) for s in ensemble.systems
+        ]
+        self._record(ensemble)  # frame 0: the configurations at attachment
+
+    def __call__(self, sim: EnsembleSimulation) -> None:
+        """``EnsembleSimulation.run`` callback: record every Nth step."""
+        if (sim.step_count - self._start_step) % self.every == 0:
+            self._record(sim)
+
+    def _record(self, sim) -> None:
+        for trajectory, system in zip(self._trajectories, sim.systems):
+            trajectory.add(system.positions)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self._trajectories)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self._trajectories[0].frames)
+
+    def replica_msd(self) -> np.ndarray:
+        """(R, n_frames) MSD curves, one per replica, in Å²."""
+        from repro.analysis.dynamics import mean_squared_displacement
+
+        return np.stack(
+            [
+                mean_squared_displacement(t.as_array(), self.atom_mask)
+                for t in self._trajectories
+            ]
+        )
+
+    def msd(self) -> tuple[np.ndarray, np.ndarray]:
+        """Replica-mean MSD(t) and its standard error over replicas."""
+        per = self.replica_msd()
+        mean = per.mean(axis=0)
+        if self.n_replicas > 1:
+            stderr = per.std(axis=0, ddof=1) / np.sqrt(self.n_replicas)
+        else:
+            stderr = np.zeros_like(mean)
+        return mean, stderr
+
+    def diffusion(self, fit_from: float = 0.5) -> DiffusionEstimate:
+        """Einstein-relation D per replica, averaged with an error bar."""
+        from repro.analysis.dynamics import diffusion_coefficient
+
+        per = np.array(
+            [
+                diffusion_coefficient(m, self.dt_between_frames, fit_from)
+                for m in self.replica_msd()
+            ]
+        )
+        stderr = (
+            float(per.std(ddof=1) / np.sqrt(per.size)) if per.size > 1 else 0.0
+        )
+        return DiffusionEstimate(
+            mean=float(per.mean()), stderr=stderr, per_replica=per
+        )

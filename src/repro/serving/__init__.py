@@ -1,0 +1,56 @@
+"""repro.serving — dynamic micro-batching inference service.
+
+The ROADMAP's "heavy traffic" north star, built on the batched evaluation
+engine (:mod:`repro.dp.batch`): many clients submit frames
+(positions/types/box), a scheduler coalesces whatever is pending — up to
+``max_batch`` frames, waiting at most ``max_wait_us`` — into ONE batched
+graph execution per model, and results scatter back to per-request futures
+in submission order.  Per-frame results are bitwise identical to direct
+``DeepPot.evaluate`` calls regardless of batch composition.
+
+    queue.py      bounded FIFO request queue (backpressure, seq stamping)
+    scheduler.py  micro-batching policy (max_batch / max_wait_us, per model)
+    worker.py     InferenceServer: model registry + the worker thread
+    client.py     InferenceClient: sync and future-based submission
+    metrics.py    ServerStats: deterministic counters + timing gauges
+
+Quickstart::
+
+    from repro.serving import InferenceServer
+
+    server = InferenceServer({"water": model}, max_batch=8)
+    client = server.client("water")
+    result = client.evaluate(system)          # sync
+    futures = [client.submit(s) for s in frames]  # pipelined
+    server.stop()
+"""
+
+from repro.serving.client import (
+    InferenceClient,
+    perturbed_frames,
+    run_closed_loop_clients,
+    served_matches_direct,
+)
+from repro.serving.metrics import ServerStats
+from repro.serving.queue import (
+    InferenceRequest,
+    QueueFull,
+    RequestQueue,
+    ServerClosed,
+)
+from repro.serving.scheduler import MicroBatchScheduler
+from repro.serving.worker import InferenceServer
+
+__all__ = [
+    "InferenceClient",
+    "InferenceRequest",
+    "InferenceServer",
+    "MicroBatchScheduler",
+    "QueueFull",
+    "RequestQueue",
+    "ServerClosed",
+    "ServerStats",
+    "perturbed_frames",
+    "run_closed_loop_clients",
+    "served_matches_direct",
+]

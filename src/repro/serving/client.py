@@ -1,0 +1,199 @@
+"""Client-side API: submit frames, get futures (or block for results).
+
+A client is a thin, thread-safe handle binding an
+:class:`~repro.serving.worker.InferenceServer` to one registered model.
+Thread safety comes for free: submission only touches the locked request
+queue, so any number of threads may share one client or hold their own.
+
+Two calling styles::
+
+    client = server.client("water")
+
+    # sync — submit().result() in one call
+    result = client.evaluate(system)
+
+    # async-style — overlap local work with server-side batching
+    futs = [client.submit(s) for s in frames]
+    results = [f.result() for f in futs]
+
+Pipelined submission is what feeds the micro-batcher: R outstanding futures
+from one client (or one each from R clients) coalesce into a single batched
+graph execution instead of R serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.md.potential import PotentialResult
+    from repro.md.system import System
+    from repro.serving.worker import InferenceServer
+
+
+class InferenceClient:
+    """Submits frames for one model hosted by an :class:`InferenceServer`."""
+
+    def __init__(self, server: "InferenceServer", model: str):
+        if model not in server.model_names():
+            raise KeyError(
+                f"model {model!r} not registered (have {server.model_names()})"
+            )
+        self.server = server
+        self.model = model
+
+    @property
+    def cutoff(self) -> float:
+        """The model's neighbor cutoff (for building pair lists locally)."""
+        return self.server.model(self.model).config.rcut
+
+    def submit(
+        self,
+        system: "System",
+        pair_i: Optional[np.ndarray] = None,
+        pair_j: Optional[np.ndarray] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Queue one frame; the future resolves to its ``PotentialResult``.
+
+        ``block``/``timeout`` control backpressure behaviour when the
+        server's bounded queue is full (see ``InferenceServer.submit``).
+        """
+        return self.server.submit(
+            self.model, system, pair_i, pair_j, block=block, timeout=timeout
+        )
+
+    def evaluate(
+        self,
+        system: "System",
+        pair_i: Optional[np.ndarray] = None,
+        pair_j: Optional[np.ndarray] = None,
+        timeout: Optional[float] = None,
+    ) -> "PotentialResult":
+        """Synchronous round trip under ONE deadline.
+
+        ``timeout`` is a total budget: time spent waiting for admission to a
+        full queue (a stalled server raises :class:`~repro.serving.queue.
+        QueueFull` once it expires) is subtracted from the wait on the
+        result, so the call returns or raises within ~``timeout`` seconds.
+        """
+        if timeout is None:
+            return self.submit(system, pair_i, pair_j).result(None)
+        deadline = time.perf_counter() + timeout
+        future = self.submit(system, pair_i, pair_j, timeout=timeout)
+        return future.result(max(0.0, deadline - time.perf_counter()))
+
+    def evaluate_many(
+        self,
+        systems: Sequence["System"],
+        pair_lists: Optional[Sequence[tuple[np.ndarray, np.ndarray]]] = None,
+        timeout: Optional[float] = None,
+    ) -> list["PotentialResult"]:
+        """Submit a frame stack, then gather — the pipelined pattern that
+        lets the scheduler coalesce the whole stack into few batches.
+
+        ``timeout`` is one total budget for all submissions and all results
+        (a shared deadline, like :meth:`evaluate`).
+        """
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+
+        def left() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.perf_counter())
+
+        if pair_lists is None:
+            futures = [self.submit(s, timeout=left()) for s in systems]
+        else:
+            if len(pair_lists) != len(systems):
+                raise ValueError(
+                    f"{len(systems)} systems but {len(pair_lists)} pair lists"
+                )
+            futures = [
+                self.submit(s, pi, pj, timeout=left())
+                for s, (pi, pj) in zip(systems, pair_lists)
+            ]
+        return [f.result(left()) for f in futures]
+
+
+def run_closed_loop_clients(
+    server: "InferenceServer",
+    model: str,
+    frame_sets: dict[int, Sequence["System"]],
+    timeout: float = 300.0,
+) -> dict[int, list]:
+    """Drive the server with one closed-loop client thread per frame set.
+
+    Each client submits its frames synchronously — submit, wait, submit the
+    next — so cross-client coalescing is the only batching available (the
+    scheduler's ``max_wait_us`` window at work).  Returns, per client id,
+    the list of ``(frame, result)`` pairs.  A failure in any client thread
+    (poisoned batch, backpressure timeout, shutdown) is re-raised here after
+    all threads have joined — a broken serving stack can never masquerade as
+    an empty-but-successful run.  Shared by ``repro validate``,
+    ``repro serve-bench``, and ``examples/inference_service.py``.
+    """
+    import threading
+
+    served: dict[int, list] = {}
+    errors: dict[int, BaseException] = {}
+
+    def run_client(tid: int) -> None:
+        try:
+            client = server.client(model)
+            served[tid] = [
+                (frame, client.evaluate(frame, timeout=timeout))
+                for frame in frame_sets[tid]
+            ]
+        except BaseException as exc:  # re-raised on the caller's thread
+            errors[tid] = exc
+
+    threads = [
+        threading.Thread(target=run_client, args=(tid,)) for tid in frame_sets
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        tid = min(errors)
+        raise RuntimeError(f"serving client {tid} failed") from errors[tid]
+    return served
+
+
+def perturbed_frames(base: "System", n: int, seed0: int = 0, scale: float = 0.02):
+    """``n`` decorrelated copies of ``base`` with jittered positions — the
+    standard workload generator for serving demos and smoke checks."""
+    import numpy as _np
+
+    frames = []
+    for k in range(n):
+        frame = base.copy()
+        rng = _np.random.default_rng(seed0 + k)
+        frame.positions = frame.positions + rng.normal(
+            scale=scale, size=frame.positions.shape
+        )
+        frames.append(frame)
+    return frames
+
+
+def served_matches_direct(model, frame, result) -> bool:
+    """The serving contract, checkable per request: a served result must be
+    bitwise identical to a direct ``DeepPot.evaluate`` of the same frame."""
+    import numpy as _np
+
+    from repro.md.neighbor import neighbor_pairs
+
+    direct = model.evaluate(frame, *neighbor_pairs(frame, model.config.rcut))
+    return (
+        result.energy == direct.energy
+        and _np.array_equal(result.forces, direct.forces)
+        and _np.array_equal(result.virial, direct.virial)
+    )

@@ -1,0 +1,216 @@
+"""Bounded, thread-safe FIFO request queue for the inference service.
+
+The queue is the only structure clients and the worker share.  Clients
+``put`` :class:`InferenceRequest` objects (backpressure: a full queue blocks
+or raises :class:`QueueFull`); the worker-side scheduler removes coalescable
+runs of requests with :meth:`RequestQueue.pop_batch`.
+
+Sequence numbers are stamped *inside* ``put`` under the queue lock, so
+submission order, queue order, and sequence order are one and the same —
+that is the invariant the FIFO-fairness tests assert through
+``ServerStats.batch_log``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.md.system import System
+
+
+class QueueFull(RuntimeError):
+    """The bounded request queue refused a submission (backpressure)."""
+
+
+class ServerClosed(RuntimeError):
+    """The server is shut down and no longer accepts submissions."""
+
+
+@dataclass
+class InferenceRequest:
+    """One client frame awaiting evaluation.
+
+    ``seq`` is assigned by the queue at admission (-1 until then);
+    ``future`` resolves to the frame's :class:`~repro.md.potential.
+    PotentialResult`, bitwise identical to a direct ``DeepPot.evaluate``
+    of the same frame regardless of which other requests it was batched
+    with (see :mod:`repro.dp.batch`).
+    """
+
+    model: str
+    system: System
+    pair_i: np.ndarray
+    pair_j: np.ndarray
+    future: Future = field(default_factory=Future)
+    seq: int = -1
+    enqueued_at: float = 0.0
+
+
+class RequestQueue:
+    """Bounded FIFO of pending requests with batch-oriented removal.
+
+    ``maxsize <= 0`` means unbounded.  The queue itself knows nothing about
+    models beyond the ``key`` callable ``pop_batch`` is given — the
+    coalescing *policy* (batch bound, wait budget, grouping) belongs to the
+    scheduler.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        self.maxsize = int(maxsize)
+        self._items: deque[InferenceRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._seq = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------- producer
+
+    def put(
+        self,
+        request: InferenceRequest,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Admit a request, stamping its sequence number and enqueue time.
+
+        A full queue raises :class:`QueueFull` immediately (``block=False``)
+        or after ``timeout`` seconds; a closed queue raises
+        :class:`ServerClosed`.
+        """
+        with self._not_full:
+            if self._closed:
+                raise ServerClosed("request queue is closed")
+            if self.maxsize > 0 and len(self._items) >= self.maxsize:
+                if not block:
+                    raise QueueFull(f"queue depth {self.maxsize} reached")
+                deadline = (
+                    None if timeout is None else time.perf_counter() + timeout
+                )
+                while len(self._items) >= self.maxsize and not self._closed:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - time.perf_counter()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise QueueFull(
+                            f"queue depth {self.maxsize} held for {timeout} s"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise ServerClosed("request queue closed while waiting")
+            request.seq = self._seq
+            self._seq += 1
+            request.enqueued_at = time.perf_counter()
+            self._items.append(request)
+            self._not_empty.notify_all()
+            return request
+
+    # ------------------------------------------------------------- consumer
+
+    def pop_batch(
+        self,
+        max_batch: int,
+        max_wait: float,
+        key: Callable[[InferenceRequest], object],
+        gate: Optional[threading.Event] = None,
+    ) -> Optional[list[InferenceRequest]]:
+        """Remove the next coalescable batch, FIFO with same-key gathering.
+
+        Blocks until at least one request is pending (and ``gate``, if given,
+        is set — the server's pause switch), then gives later arrivals up to
+        ``max_wait`` seconds to fill the batch to ``max_batch`` requests
+        sharing the head request's key.  Non-matching requests keep their
+        queue positions.  Returns ``None`` once the queue is closed and
+        drained; a close cuts every wait short so shutdown never sleeps out
+        a wait budget.
+        """
+        with self._not_empty:
+            while True:
+                # -- wait for work (or closure) --------------------------
+                while not self._items or (gate is not None and not gate.is_set()):
+                    if self._closed:
+                        if not self._items:
+                            return None
+                        break  # closed with leftovers: drain even if gated
+                    self._not_empty.wait()
+                if not self._items:
+                    if self._closed:
+                        return None
+                    continue
+
+                # -- give the batch max_wait to fill ---------------------
+                # A pause (gate cleared) cuts the fill window short, so
+                # requests staged under pause() join the post-resume
+                # coalescing instead of riding a batch already gathering.
+                head_key = key(self._items[0])
+                if max_wait > 0 and not self._closed:
+                    deadline = time.perf_counter() + max_wait
+                    while gate is None or gate.is_set():
+                        n_same = sum(
+                            1 for r in self._items if key(r) == head_key
+                        )
+                        if n_same >= max_batch or self._closed:
+                            break
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            break
+                        self._not_empty.wait(remaining)
+                if not self._items:
+                    continue  # drained behind our back (shutdown cancel)
+
+                # -- extract matching requests, preserving FIFO ----------
+                head_key = key(self._items[0])
+                batch: list[InferenceRequest] = []
+                rest: deque[InferenceRequest] = deque()
+                for r in self._items:
+                    if len(batch) < max_batch and key(r) == head_key:
+                        batch.append(r)
+                    else:
+                        rest.append(r)
+                self._items = rest
+                self._not_full.notify_all()
+                if batch:
+                    return batch
+
+    # ------------------------------------------------------------- shutdown
+
+    def kick(self) -> None:
+        """Wake a consumer blocked in ``pop_batch`` (used by resume)."""
+        with self._not_empty:
+            self._not_empty.notify_all()
+
+    def close(self) -> None:
+        """Refuse further submissions; pending requests stay drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def close_and_drain(self) -> list[InferenceRequest]:
+        """Close and atomically remove every pending request (no-drain
+        shutdown path; the caller cancels the returned requests' futures)."""
+        with self._lock:
+            self._closed = True
+            pending = list(self._items)
+            self._items.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            return pending

@@ -1,0 +1,67 @@
+"""Dynamic micro-batching policy: when is a batch "ready"?
+
+The scheduler owns the two knobs of every dynamic batching system (Triton,
+TF-Serving, Ray Serve all expose the same pair):
+
+``max_batch``
+    Upper bound on coalesced frames per graph execution.  The batched
+    engine's cost model is ``fixed + n_frames * marginal``, so throughput
+    rises with occupancy until the stacked tensors go memory-bound — on this
+    CPU backend that ceiling is reached quickly for large frames (see
+    ``benchmarks/test_batched_eval.py``), hence a bound rather than
+    "everything pending".
+
+``max_wait_us``
+    Latency budget: once a request is at the head of the queue, later
+    arrivals get at most this long to join its batch.  Zero means purely
+    opportunistic coalescing (only what is already queued).
+
+Batches never mix models: one batch is one ``BatchedEvaluator.
+evaluate_batch`` call, and an evaluator is bound to one ``DeepPot``.
+Requests for other models keep their queue positions while a batch is
+gathered, so per-model FIFO order is preserved and a busy model cannot
+starve an idle one indefinitely (its head becomes the new batch head as soon
+as the current batch is cut).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.serving.queue import InferenceRequest, RequestQueue
+
+
+class MicroBatchScheduler:
+    """Coalesces queued requests into per-model micro-batches."""
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        max_batch: int = 8,
+        max_wait_us: float = 1000.0,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self.queue = queue
+        self.max_batch = int(max_batch)
+        self.max_wait_us = float(max_wait_us)
+
+    def next_batch(
+        self, gate: Optional[threading.Event] = None
+    ) -> Optional[list[InferenceRequest]]:
+        """The next batch to execute, or ``None`` when the queue is closed
+        and fully drained (the worker's exit signal).
+
+        Blocks while the queue is empty or ``gate`` (the server's pause
+        switch) is cleared.  The returned requests share one model and
+        appear in submission order.
+        """
+        return self.queue.pop_batch(
+            self.max_batch,
+            self.max_wait_us * 1e-6,
+            key=lambda r: r.model,
+            gate=gate,
+        )

@@ -1,0 +1,317 @@
+"""The inference server: one worker thread driving batched evaluations.
+
+Architecture (the ROADMAP's "batched serving endpoint")::
+
+    clients                 queue                scheduler          worker
+    ------- submit() ----> [bounded] -- pop_batch(max_batch, ----> evaluate_batch
+    futures <------------- results     max_wait_us, model) <------ scatter to futures
+
+Many client threads submit frames; a single worker thread coalesces them
+into per-model micro-batches and runs each batch through that model's
+persistent :class:`~repro.dp.batch.BatchedEvaluator`.  One worker per server
+means one ``session.run`` at a time per model — the tfmini session and the
+evaluator's scratch pool are only ever touched from the worker thread, so
+no locking is needed on the hot path (client threads touch only the queue).
+
+Numerical contract: every request's result is **bitwise identical** to a
+direct ``DeepPot.evaluate`` of the same frame, no matter which other
+requests it shared a batch with (the engine's per-frame independence
+guarantee; asserted under concurrent load in ``tests/test_serving.py``).
+
+Avoid calling ``model.evaluate`` on a model from another thread *while* the
+server is processing requests for it: the model's default R=1 engine and
+the server's engine hold separate scratch, but the profiling counters of a
+shared session are not synchronized.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.metrics import ServerStats
+from repro.serving.queue import (
+    InferenceRequest,
+    QueueFull,
+    RequestQueue,
+    ServerClosed,
+)
+from repro.serving.scheduler import MicroBatchScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+    from repro.dp.model import DeepPot
+    from repro.md.system import System
+
+
+class InferenceServer:
+    """Multi-client, multi-model DP inference with dynamic micro-batching.
+
+    Parameters
+    ----------
+    models:
+        Optional mapping ``{name: DeepPot}`` to register at construction.
+    max_batch, max_wait_us:
+        Coalescing policy (see :class:`~repro.serving.scheduler.
+        MicroBatchScheduler`).
+    max_queue:
+        Bounded queue depth — the backpressure limit (``<= 0``: unbounded).
+    autostart:
+        Start the worker thread immediately.  Benchmarks pass ``False`` (or
+        use :meth:`paused`) to pre-load the queue and get a deterministic
+        batch count: N pre-queued requests execute in exactly
+        ``ceil(N / max_batch)`` batches.
+    backend:
+        Environment-operator backend forwarded to ``evaluate_batch``.
+    """
+
+    def __init__(
+        self,
+        models: Optional[dict[str, "DeepPot"]] = None,
+        *,
+        max_batch: int = 8,
+        max_wait_us: float = 1000.0,
+        max_queue: int = 64,
+        autostart: bool = True,
+        backend: str = "optimized",
+    ):
+        from repro.dp.batch import BatchedEvaluator
+
+        self._engine_cls = BatchedEvaluator
+        self._models: dict[str, "DeepPot"] = {}
+        self._engines: dict[str, object] = {}
+        self.backend = backend
+        self.queue = RequestQueue(maxsize=max_queue)
+        self.scheduler = MicroBatchScheduler(
+            self.queue, max_batch=max_batch, max_wait_us=max_wait_us
+        )
+        self.stats = ServerStats()
+        self._gate = threading.Event()  # set = worker may take batches
+        self._thread: Optional[threading.Thread] = None
+        if models:
+            for name, model in models.items():
+                self.register(name, model)
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------- registry
+
+    def register(self, name: str, model: "DeepPot") -> "InferenceServer":
+        """Host ``model`` under ``name`` with its own persistent evaluator."""
+        if name in self._models:
+            raise ValueError(f"model {name!r} already registered")
+        self._models[name] = model
+        self._engines[name] = self._engine_cls(model)
+        return self
+
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def model(self, name: str) -> "DeepPot":
+        return self._models[name]
+
+    @classmethod
+    def from_zoo(
+        cls, names: Sequence[str] = ("water",), cache_dir: Optional[str] = None,
+        **kwargs,
+    ) -> "InferenceServer":
+        """A server hosting pre-trained zoo models.
+
+        Names are ``water`` / ``copper``, optionally suffixed with the
+        network precision: ``water-double`` (default) or ``water-single``
+        (the fp32-network mixed-precision engine; ``-mixed`` is accepted as
+        an alias).  Models are trained on first use and cached by the zoo.
+        """
+        from repro import zoo
+
+        builders = {"water": zoo.get_water_model, "copper": zoo.get_copper_model}
+        # Resolve (and validate) every model BEFORE constructing the server:
+        # with autostart a bad name would otherwise leak a parked worker
+        # thread attached to a server nobody holds a reference to.
+        models: dict[str, "DeepPot"] = {}
+        for name in names:
+            base, _, prec = name.partition("-")
+            if base not in builders:
+                raise KeyError(
+                    f"unknown zoo model {name!r} (expected water/copper"
+                    f"[-double|-single])"
+                )
+            prec = {"": "double", "double": "double",
+                    "single": "mixed", "mixed": "mixed"}.get(prec)
+            if prec is None:
+                raise KeyError(f"unknown precision suffix in {name!r}")
+            models[name] = builders[base](precision=prec, cache_dir=cache_dir)
+        return cls(models, **kwargs)
+
+    # ------------------------------------------------------------ submission
+
+    def submit(
+        self,
+        model: str,
+        system: "System",
+        pair_i: Optional[np.ndarray] = None,
+        pair_j: Optional[np.ndarray] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future":
+        """Queue one frame for evaluation; returns its future.
+
+        The neighbor pair list is computed here (caller's thread) when not
+        supplied, keeping the worker thread free for graph execution.
+        Raises :class:`KeyError` for an unregistered model,
+        :class:`QueueFull` under backpressure, :class:`ServerClosed` after
+        shutdown.
+        """
+        if model not in self._models:
+            raise KeyError(
+                f"model {model!r} not registered (have {self.model_names()})"
+            )
+        if pair_i is None or pair_j is None:
+            from repro.md.neighbor import neighbor_pairs
+
+            pair_i, pair_j = neighbor_pairs(
+                system, self._models[model].config.rcut
+            )
+        request = InferenceRequest(
+            model=model, system=system, pair_i=pair_i, pair_j=pair_j
+        )
+        # Count the submission BEFORE the request becomes visible to the
+        # worker, so requests_completed can never transiently exceed
+        # requests_submitted; a refused put takes the count back.
+        self.stats.record_submit()
+        try:
+            self.queue.put(request, block=block, timeout=timeout)
+        except QueueFull:
+            self.stats.undo_submit()
+            self.stats.record_reject()
+            raise
+        except ServerClosed:
+            self.stats.undo_submit()
+            raise
+        request.future.request = request  # serving metadata for callers/tests
+        return request.future
+
+    def client(self, model: Optional[str] = None):
+        """An :class:`~repro.serving.client.InferenceClient` bound to
+        ``model`` (defaults to the sole registered model)."""
+        from repro.serving.client import InferenceClient
+
+        if model is None:
+            if len(self._models) != 1:
+                raise ValueError(
+                    f"server hosts {self.model_names()}; pick one explicitly"
+                )
+            model = next(iter(self._models))
+        return InferenceClient(self, model)
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "InferenceServer":
+        if self.running:
+            return self
+        if self.queue.closed:
+            raise ServerClosed("server was stopped; build a new one")
+        self._gate.set()
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="repro-serving-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def pause(self) -> None:
+        """Stop taking new batches (in-flight batch finishes first)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+        self.queue.kick()
+
+    @contextmanager
+    def paused(self):
+        """``with server.paused(): submit(...)`` — requests accumulate in
+        the queue, then coalesce maximally on resume.  Batch counts are
+        fully deterministic when the server is idle at pause time (the
+        benchmark pattern); under live traffic a batch the worker is
+        already gathering still executes."""
+        self.pause()
+        try:
+            yield self
+        finally:
+            self.resume()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down the worker.
+
+        ``drain=True`` completes every queued request first; ``drain=False``
+        cancels pending futures (waiters get ``CancelledError``).  In-flight
+        batches always complete — results are never discarded mid-execution.
+        Draining needs a live worker: on a server that was never started,
+        pending requests are cancelled either way.
+        """
+        if drain and self._thread is not None:
+            self.queue.close()
+        else:
+            pending = self.queue.close_and_drain()
+            dropped = sum(1 for r in pending if r.future.cancel())
+            self.stats.record_cancelled(dropped)
+        if self._thread is None:
+            return
+        self._gate.set()  # a paused server must still wind down
+        self.queue.kick()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - join timeout
+            raise RuntimeError("serving worker did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=exc == (None, None, None))
+
+    # ------------------------------------------------------------ worker loop
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self.scheduler.next_batch(gate=self._gate)
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[InferenceRequest]) -> None:
+        dispatched_at = time.perf_counter()
+        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if len(live) < len(batch):
+            self.stats.record_cancelled(len(batch) - len(live))
+        if not live:
+            return
+        name = live[0].model
+        engine = self._engines[name]
+        seqs = tuple(r.seq for r in live)
+        waits = tuple(dispatched_at - r.enqueued_at for r in live)
+        try:
+            results = engine.evaluate_batch(
+                [r.system for r in live],
+                [(r.pair_i, r.pair_j) for r in live],
+                backend=self.backend,
+            )
+        except BaseException as exc:
+            # One poisoned frame fails its whole batch, never the server:
+            # the exception lands in each affected future and the loop moves
+            # on to the next batch.
+            for r in live:
+                r.future.set_exception(exc)
+            self.stats.record_batch(name, seqs, waits, failed=True)
+            return
+        for r, result in zip(live, results):
+            r.future.set_result(result)
+        self.stats.record_batch(name, seqs, waits)

@@ -225,9 +225,25 @@ def bmm(a: Node, b: Node) -> Node:
     return Node("bmm", (a, b))
 
 
+def _fwd_matmul_2d(a, b):
+    # BLAS picks its matrix-vector kernel by row count, so an N==1 product
+    # can give bitwise-different rows depending on how many other rows are
+    # stacked with them — which would break the batched engine's guarantee
+    # that a frame's result is independent of its batch-mates.  Reduce
+    # row-wise instead: per-row pairwise sums over K never see the row count.
+    if (
+        a.ndim == 2
+        and b.ndim == 2
+        and b.shape[1] == 1
+        and a.shape[1] == b.shape[0]  # let `a @ b` raise on K mismatch
+    ):
+        return (a * b[:, 0]).sum(axis=1, keepdims=True)
+    return a @ b
+
+
 register_op(
     "matmul",
-    lambda inputs, attrs: inputs[0] @ inputs[1],
+    lambda inputs, attrs: _fwd_matmul_2d(inputs[0], inputs[1]),
     vjp=lambda node, g: [
         matmul(g, transpose(node.inputs[1])),
         matmul(transpose(node.inputs[0]), g),
@@ -239,7 +255,7 @@ register_op(
 def _fwd_gemm(inputs, attrs):
     a, b, c = inputs
     beta = attrs.get("beta", 1.0)
-    out = a @ b
+    out = _fwd_matmul_2d(a, b)
     if beta == 1.0:
         out += c
     elif beta != 0.0:

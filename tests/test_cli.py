@@ -11,7 +11,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "repro" in out
         assert "repro.dp" in out
+        assert "batched" in out  # the batched multi-frame engine is listed
+        assert "repro.serving" in out
         assert "model zoo" in out
+
+    def test_serve_bench_tiny(self, capsys):
+        assert main([
+            "serve-bench", "--tiny", "--clients", "2", "--requests", "2",
+            "--max-batch", "2", "--max-wait-us", "2000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 requests" in out
+        assert "occupancy" in out
+        assert "PASS" in out
+
+    def test_serve_bench_rejects_unknown_zoo_name(self):
+        with pytest.raises(KeyError):
+            main(["serve-bench", "--model", "helium", "--clients", "1",
+                  "--requests", "1"])
 
     def test_scaling_prints_tables(self, capsys):
         assert main(["scaling"]) == 0

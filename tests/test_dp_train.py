@@ -197,6 +197,49 @@ class TestActiveLearning:
         dev = ens.force_deviation(water_dataset[0].system)
         assert dev > 0
 
+    def test_batched_deviation_matches_per_frame_screen(
+        self, water_dataset, tiny_cfg
+    ):
+        """The one-batched-call-per-model screen returns exactly the values
+        of frame-by-frame evaluation (batch-composition independence)."""
+        ens = ModelEnsemble(tiny_cfg, n_models=3)
+        frames = [water_dataset[i].system for i in range(3)]
+        batched = ens.force_deviations(frames)
+        assert batched.shape == (3,)
+        for frame, dev in zip(frames, batched):
+            pi, pj = neighbor_pairs(frame, tiny_cfg.rcut)
+            forces = np.stack(
+                [m.evaluate(frame, pi, pj).forces for m in ens.models]
+            )
+            mean = forces.mean(axis=0)
+            var = ((forces - mean) ** 2).mean(axis=0).sum(axis=1)
+            assert dev == np.sqrt(var).max()
+        # each member ran the whole stack as ONE batched evaluation
+        for engine in ens.engines:
+            assert engine.batch_evaluations == 1
+            assert engine.frames_evaluated == 3
+        assert ens.force_deviations([]).shape == (0,)
+
+    def test_deviation_chunking_is_invisible(self, water_dataset, tiny_cfg):
+        """Bounding the batch size (scratch-memory cap on huge harvests)
+        must not change a single deviation value — batch-composition
+        independence makes chunked and unchunked screens bitwise equal."""
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        frames = [water_dataset[i].system for i in range(3)]
+        whole = ens.force_deviations(frames)
+        chunked = ens.force_deviations(frames, chunk=2)
+        assert np.array_equal(whole, chunked)
+        with pytest.raises(ValueError):
+            ens.force_deviations(frames, chunk=0)
+
+    def test_deviation_screen_reuses_engine_scratch(self, water_dataset, tiny_cfg):
+        ens = ModelEnsemble(tiny_cfg, n_models=2)
+        frames = [water_dataset[i].system for i in range(2)]
+        ens.force_deviations(frames)  # warm-up allocates the pools
+        counts = [e.scratch.alloc_count for e in ens.engines]
+        ens.force_deviations(frames)
+        assert [e.scratch.alloc_count for e in ens.engines] == counts
+
     def test_selection_windows(self, water_dataset, tiny_cfg):
         ens = ModelEnsemble(tiny_cfg, n_models=2)
         learner = ActiveLearner(
@@ -207,6 +250,9 @@ class TestActiveLearning:
         )
         frames = [water_dataset[i].system for i in range(3)]
         candidates, stats = learner.select(frames)
+        assert stats["candidate"] == 3 and len(candidates) == 3
+        # a generator harvest must work too (select iterates frames twice)
+        candidates, stats = learner.select(f for f in frames)
         assert stats["candidate"] == 3 and len(candidates) == 3
         learner.trust_lo = np.inf  # now everything is "accurate"
         candidates, stats = learner.select(frames)

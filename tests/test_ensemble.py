@@ -5,9 +5,10 @@ Covers the three contracts of :mod:`repro.dp.batch` / :mod:`repro.md.ensemble`:
 1. R=1 through the batched engine is *bitwise* identical to the serial path
    (energies, forces, virials, atomic energies), so the single-replica MD
    driver lost nothing by routing through the engine;
-2. R>1 replicas agree with independent serial evaluations — forces/virials
-   bitwise (scatter-add orderings are preserved per replica), energies to
-   ~1 ulp (GEMM blocking at larger row counts);
+2. R>1 replicas are bitwise identical to independent serial evaluations —
+   forces/virials (scatter-add orderings are preserved per replica) AND
+   energies/atomic energies (tfmini's matrix-vector kernel is row-count
+   independent, so GEMM results never depend on batch composition);
 3. the steady-state loop reuses the engine's persistent scratch buffers —
    no new large allocations after warm-up (deterministic counter assert).
 """
@@ -19,7 +20,7 @@ from repro.analysis.structures import water_box
 from repro.dp.batch import BatchedEvaluator
 from repro.dp.model import DeepPot, DPConfig
 from repro.dp.pair import DeepPotPair
-from repro.md.ensemble import EnsembleSimulation
+from repro.md.ensemble import EnsembleMSD, EnsembleSimulation
 from repro.md.neighbor import fitted_neighbor_list, neighbor_pairs
 from repro.md.simulation import Simulation
 from repro.md.velocity import boltzmann_velocities
@@ -79,14 +80,13 @@ class TestBatchedEquivalence:
         assert len(batch) == 4
         for system, (pi, pj), res in zip(reps, pls, batch):
             ser = model.evaluate_serial(system, pi, pj)
-            # forces/virials keep their per-replica scatter-add order: exact
+            # forces/virials keep their per-replica scatter-add order, and
+            # the row-count-independent matvec kernel makes the energies
+            # batch-composition independent too: everything is exact.
             assert np.array_equal(res.forces, ser.forces)
             assert np.array_equal(res.virial, ser.virial)
-            # energies: GEMM row-blocking differs at R>1 -> agree to ~1 ulp
-            assert res.energy == pytest.approx(ser.energy, rel=1e-12)
-            np.testing.assert_allclose(
-                res.atom_energies, ser.atom_energies, rtol=1e-10, atol=1e-13
-            )
+            assert res.energy == ser.energy
+            assert np.array_equal(res.atom_energies, ser.atom_energies)
 
     def test_multi_replica_general_path_agrees(self, model, base_system):
         """Per-replica nloc forces the non-stacked staging path; results must
@@ -99,7 +99,7 @@ class TestBatchedEquivalence:
         for system, (pi, pj), nloc, res in zip(reps, pls, nlocs, batch):
             ser = model.evaluate_serial(system, pi, pj, nloc=nloc)
             assert np.array_equal(res.forces, ser.forces)
-            assert res.energy == pytest.approx(ser.energy, rel=1e-12)
+            assert res.energy == ser.energy
             assert res.atom_energies.shape == (nloc,)
 
     def test_replicas_independent_of_batch_composition(self, model, base_system):
@@ -196,6 +196,74 @@ class TestEnsembleSimulation:
         assert ens.force_evaluations == 4
         assert ens.engine.batch_evaluations == 4
         assert ens.engine.frames_evaluated == 16
+
+
+class TestEnsembleMSD:
+    def test_shapes_zero_origin_and_replica_mean(self, model, base_system):
+        ens = EnsembleSimulation.from_system(
+            base_system, model, n_replicas=3, dt=0.0005
+        )
+        msd = EnsembleMSD(ens, every=2)
+        ens.run(6, callback=msd)
+        # frame 0 (construction) + steps 2, 4, 6
+        assert msd.n_frames == 4
+        assert msd.n_replicas == 3
+        per = msd.replica_msd()
+        assert per.shape == (3, 4)
+        assert np.all(per[:, 0] == 0.0)  # MSD is relative to frame 0
+        assert np.all(per[:, -1] > 0.0)  # thermal motion happened
+        mean, stderr = msd.msd()
+        assert np.array_equal(mean, per.mean(axis=0))
+        assert stderr.shape == (4,)
+        assert np.all(stderr >= 0.0)
+        # replicas have different seeds -> genuinely different curves
+        assert not np.array_equal(per[0], per[1])
+
+    def test_diffusion_estimate_with_error_bar(self, model, base_system):
+        ens = EnsembleSimulation.from_system(
+            base_system, model, n_replicas=3, dt=0.0005
+        )
+        msd = EnsembleMSD(ens, every=2)
+        ens.run(8, callback=msd)
+        est = msd.diffusion(fit_from=0.25)
+        assert est.per_replica.shape == (3,)
+        assert np.isfinite(est.mean)
+        assert est.stderr >= 0.0
+        assert est.mean == pytest.approx(est.per_replica.mean())
+        expected_err = est.per_replica.std(ddof=1) / np.sqrt(3)
+        assert est.stderr == pytest.approx(expected_err)
+
+    def test_single_replica_has_zero_stderr(self, model, base_system):
+        ens = EnsembleSimulation.from_system(
+            base_system, model, n_replicas=1, dt=0.0005
+        )
+        msd = EnsembleMSD(ens, every=2)
+        ens.run(4, callback=msd)
+        _, stderr = msd.msd()
+        assert np.all(stderr == 0.0)
+        assert msd.diffusion(fit_from=0.0).stderr == 0.0
+
+    def test_attaching_after_equilibration_keeps_uniform_spacing(
+        self, model, base_system
+    ):
+        """Frames are spaced ``every`` steps from the attachment point, so
+        an equilibration run of any length (not a multiple of ``every``)
+        may precede the collector without skewing the time axis."""
+        ens = EnsembleSimulation.from_system(
+            base_system, model, n_replicas=1, dt=0.0005
+        )
+        ens.run(3)  # equilibration; 3 is not a multiple of every=2
+        msd = EnsembleMSD(ens, every=2)
+        ens.run(4, callback=msd)
+        # frame 0 at step 3 (attachment) + steps 5 and 7
+        assert msd.n_frames == 3
+
+    def test_rejects_bad_stride(self, model, base_system):
+        ens = EnsembleSimulation.from_system(
+            base_system, model, n_replicas=1, dt=0.0005
+        )
+        with pytest.raises(ValueError):
+            EnsembleMSD(ens, every=0)
 
 
 class TestBufferReuse:

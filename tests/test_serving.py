@@ -1,0 +1,450 @@
+"""Semantics of the micro-batching inference service (:mod:`repro.serving`).
+
+Five contracts, all asserted deterministically (no wall-clock thresholds —
+see the bench-timing policy):
+
+1. **correspondence** — every future resolves to *its own* frame's result,
+   bitwise identical to a direct ``DeepPot.evaluate``, under concurrent
+   submitters and regardless of batch composition;
+2. **FIFO fairness** — batches take requests in submission order; requests
+   for other models keep their queue positions (no reordering, no mixing);
+3. **backpressure** — a bounded queue rejects (or blocks) submissions at
+   the configured depth and counts the rejections;
+4. **shutdown** — drain completes every pending request, no-drain cancels
+   them; either way the worker exits and later submissions are refused;
+5. **stats** — the ``ServerStats`` counter block is an exact, reproducible
+   function of the request schedule.
+
+Determinism device: ``server.paused()`` parks the worker between batches,
+so a submission schedule can be staged in full before coalescing begins —
+N pre-queued same-model requests then execute in exactly
+``ceil(N / max_batch)`` batches.
+"""
+
+import threading
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import water_box
+from repro.dp.model import DeepPot, DPConfig
+from repro.md.neighbor import neighbor_pairs
+from repro.serving import (
+    InferenceClient,
+    InferenceRequest,
+    InferenceServer,
+    MicroBatchScheduler,
+    QueueFull,
+    RequestQueue,
+    ServerClosed,
+    ServerStats,
+)
+
+WAIT = 60.0  # generous future timeouts; the suite never sleeps this long
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DeepPot(DPConfig.tiny(sel=(8, 16), rcut=3.0))
+
+
+@pytest.fixture(scope="module")
+def model_b(model):
+    """A second, independently seeded model over the same type vocabulary —
+    lets multi-model tests share one pool of water frames."""
+    return DeepPot(DPConfig.tiny(sel=(8, 16), rcut=3.0, seed=7))
+
+
+@pytest.fixture(scope="module")
+def base():
+    return water_box((2, 2, 2), seed=0)
+
+
+def perturbed(base, n, seed0=0, scale=0.02):
+    out = []
+    for k in range(n):
+        s = base.copy()
+        rng = np.random.default_rng(seed0 + k)
+        s.positions = s.positions + rng.normal(scale=scale, size=s.positions.shape)
+        out.append(s)
+    return out
+
+
+def direct(model, system):
+    return model.evaluate(system, *neighbor_pairs(system, model.config.rcut))
+
+
+def assert_bitwise(result, reference):
+    assert result.energy == reference.energy
+    assert np.array_equal(result.forces, reference.forces)
+    assert np.array_equal(result.virial, reference.virial)
+    assert np.array_equal(result.atom_energies, reference.atom_energies)
+
+
+class TestCorrespondence:
+    def test_concurrent_submitters_bitwise(self, model, base):
+        """4 closed-loop clients; every result corresponds to its own frame
+        and is bitwise identical to a direct evaluation."""
+        server = InferenceServer(
+            {"water": model}, max_batch=4, max_wait_us=2000
+        )
+        served: dict[int, list] = {}
+
+        def run_client(tid):
+            client = server.client("water")
+            frames = perturbed(base, 5, seed0=100 * tid)
+            served[tid] = [(f, client.evaluate(f, timeout=WAIT)) for f in frames]
+
+        threads = [
+            threading.Thread(target=run_client, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.stop()
+        assert server.stats.snapshot()["requests_completed"] == 20
+        for results in served.values():
+            for frame, result in results:
+                assert_bitwise(result, direct(model, frame))
+
+    def test_pipelined_futures_resolve_in_submission_order(self, model, base):
+        frames = perturbed(base, 10)
+        server = InferenceServer({"water": model}, max_batch=4, autostart=False)
+        client = server.client()
+        futures = [client.submit(f) for f in frames]
+        server.start()
+        results = [f.result(WAIT) for f in futures]
+        server.stop()
+        for frame, result in zip(frames, results):
+            assert_bitwise(result, direct(model, frame))
+
+    def test_mixed_boxes_take_general_path_bitwise(self, model, base):
+        """Frames with different boxes cannot share the single-lexsort fast
+        path; the coalesced batch falls back to per-frame staging and stays
+        bitwise."""
+        small = perturbed(base, 1)[0]
+        big = water_box((3, 3, 3), seed=3)
+        server = InferenceServer({"water": model}, max_batch=4, autostart=False)
+        futures = [server.submit("water", s) for s in (small, big)]
+        server.start()
+        results = [f.result(WAIT) for f in futures]
+        server.stop()
+        engine = server._engines["water"]
+        assert engine.general_batches == 1
+        assert engine.stacked_batches == 0
+        assert server.stats.snapshot()["batches"] == 1
+        assert_bitwise(results[0], direct(model, small))
+        assert_bitwise(results[1], direct(model, big))
+
+    def test_evaluate_many_round_trip(self, model, base):
+        frames = perturbed(base, 6, seed0=50)
+        with InferenceServer({"water": model}, max_batch=8) as server:
+            results = server.client("water").evaluate_many(frames, timeout=WAIT)
+        for frame, result in zip(frames, results):
+            assert_bitwise(result, direct(model, frame))
+
+
+class TestFifoFairness:
+    def test_single_model_batches_are_fifo_runs(self, model, base):
+        frames = perturbed(base, 10)
+        server = InferenceServer({"water": model}, max_batch=4, autostart=False)
+        futures = [server.submit("water", f) for f in frames]
+        server.start()
+        for f in futures:
+            f.result(WAIT)
+        server.stop()
+        assert server.stats.batch_log == [
+            ("water", (0, 1, 2, 3)),
+            ("water", (4, 5, 6, 7)),
+            ("water", (8, 9)),
+        ]
+
+    def test_interleaved_models_never_mix_and_keep_order(
+        self, model, model_b, base
+    ):
+        """Batches gather same-model requests FIFO, skipping (not
+        reordering) the other model's requests."""
+        frames = perturbed(base, 8)
+        server = InferenceServer(
+            {"a": model, "b": model_b}, max_batch=4, autostart=False
+        )
+        futures = []
+        for k, frame in enumerate(frames):
+            futures.append(server.submit("a" if k % 2 == 0 else "b", frame))
+        server.start()
+        results = [f.result(WAIT) for f in futures]
+        server.stop()
+        assert server.stats.batch_log == [
+            ("a", (0, 2, 4, 6)),
+            ("b", (1, 3, 5, 7)),
+        ]
+        for k, (frame, result) in enumerate(zip(frames, results)):
+            assert_bitwise(result, direct(model if k % 2 == 0 else model_b, frame))
+
+    def test_max_batch_one_serializes(self, model, base):
+        frames = perturbed(base, 3)
+        server = InferenceServer({"water": model}, max_batch=1, autostart=False)
+        futures = [server.submit("water", f) for f in frames]
+        server.start()
+        for f in futures:
+            f.result(WAIT)
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["batches"] == 3
+        assert snap["max_batch_frames"] == 1
+
+
+class TestBackpressure:
+    def test_bounded_queue_rejects_when_full(self, model, base):
+        frames = perturbed(base, 5)
+        server = InferenceServer(
+            {"water": model}, max_batch=8, max_queue=3, autostart=False
+        )
+        held = [server.submit("water", f, block=False) for f in frames[:3]]
+        with pytest.raises(QueueFull):
+            server.submit("water", frames[3], block=False)
+        with pytest.raises(QueueFull):
+            server.submit("water", frames[4], block=True, timeout=0.05)
+        snap = server.stats.snapshot()
+        assert snap["requests_rejected"] == 2
+        assert snap["requests_submitted"] == 3
+        server.start()
+        for f in held:
+            f.result(WAIT)
+        server.stop()
+        assert server.stats.snapshot()["requests_completed"] == 3
+
+    def test_client_evaluate_timeout_bounds_the_enqueue_wait(self, model, base):
+        """A stalled server with a full queue must not hang a synchronous
+        client past its timeout — admission is bounded too."""
+        server = InferenceServer(
+            {"water": model}, max_batch=8, max_queue=1, autostart=False
+        )
+        server.submit("water", base)  # fills the queue; worker never runs
+        client = server.client("water")
+        with pytest.raises(QueueFull):
+            client.evaluate(perturbed(base, 1)[0], timeout=0.05)
+        with pytest.raises(QueueFull):
+            client.evaluate_many(perturbed(base, 1, seed0=9), timeout=0.05)
+        server.stop(drain=False)
+
+    def test_blocked_submitter_proceeds_when_space_frees(self, model, base):
+        frames = perturbed(base, 4)
+        server = InferenceServer(
+            {"water": model}, max_batch=2, max_queue=3, autostart=False
+        )
+        first = [server.submit("water", f) for f in frames[:3]]
+        fourth = {}
+
+        def blocked_submit():
+            fourth["future"] = server.submit("water", frames[3], block=True)
+
+        t = threading.Thread(target=blocked_submit)
+        t.start()
+        server.start()  # worker drains the queue, freeing space
+        t.join(WAIT)
+        assert not t.is_alive()
+        for f in first + [fourth["future"]]:
+            assert f.result(WAIT) is not None
+        server.stop()
+        assert server.stats.snapshot()["requests_completed"] == 4
+
+
+class TestShutdown:
+    def test_drain_completes_pending_requests(self, model, base):
+        frames = perturbed(base, 5)
+        server = InferenceServer({"water": model}, max_batch=2, autostart=False)
+        futures = [server.submit("water", f) for f in frames]
+        server.start()
+        server.stop(drain=True, timeout=WAIT)
+        assert not server.running
+        for frame, f in zip(frames, futures):
+            assert_bitwise(f.result(timeout=0), direct(model, frame))
+        snap = server.stats.snapshot()
+        assert snap["requests_completed"] == 5
+        assert snap["requests_cancelled"] == 0
+
+    def test_no_drain_cancels_pending_futures(self, model, base):
+        frames = perturbed(base, 5)
+        server = InferenceServer({"water": model}, max_batch=2, autostart=False)
+        futures = [server.submit("water", f) for f in frames]
+        # worker never started: everything is still pending
+        server.stop(drain=False, timeout=WAIT)
+        for f in futures:
+            assert f.cancelled()
+            with pytest.raises(CancelledError):
+                f.result(timeout=0)
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 5
+        assert snap["requests_completed"] == 0
+
+    def test_submit_after_stop_is_refused(self, model, base):
+        server = InferenceServer({"water": model}, max_batch=2)
+        server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit("water", base)
+        with pytest.raises(ServerClosed):
+            server.start()
+
+    def test_stop_while_paused_still_drains(self, model, base):
+        frames = perturbed(base, 3)
+        server = InferenceServer({"water": model}, max_batch=4)
+        server.pause()
+        futures = [server.submit("water", f) for f in frames]
+        server.stop(drain=True, timeout=WAIT)
+        for f in futures:
+            assert f.result(timeout=0) is not None
+        # maximal coalescing: everything was pending when the worker woke
+        assert server.stats.snapshot()["batches"] == 1
+
+    def test_closed_loop_helper_reraises_client_failures(self, model, base):
+        """A broken serving stack must surface as an error from the load
+        helper, never as a silently empty result set (which would let
+        `repro validate` pass vacuously)."""
+        from repro.serving import perturbed_frames, run_closed_loop_clients
+
+        class BoomEngine:
+            def evaluate_batch(self, systems, pair_lists, backend="optimized"):
+                raise RuntimeError("boom")
+
+        server = InferenceServer({"water": model}, max_batch=4)
+        server._engines["water"] = BoomEngine()
+        with pytest.raises(RuntimeError, match="serving client 0 failed"):
+            run_closed_loop_clients(
+                server, "water", {0: perturbed_frames(base, 1)}, timeout=WAIT
+            )
+        server.stop(drain=False)
+
+    def test_failed_batch_poisons_only_its_futures(self, model, base):
+        class BoomEngine:
+            def evaluate_batch(self, systems, pair_lists, backend="optimized"):
+                raise RuntimeError("boom")
+
+        frames = perturbed(base, 2)
+        server = InferenceServer(
+            {"water": model, "boom": model}, max_batch=4, autostart=False
+        )
+        server._engines["boom"] = BoomEngine()
+        bad = server.submit("boom", frames[0])
+        good = server.submit("water", frames[1])
+        server.start()
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.result(WAIT)
+        assert_bitwise(good.result(WAIT), direct(model, frames[1]))
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_failed"] == 1
+        assert snap["requests_completed"] == 1
+
+
+class TestStatsAndRegistry:
+    def test_counters_are_exact(self, model, base):
+        frames = perturbed(base, 5)
+        server = InferenceServer({"water": model}, max_batch=4, autostart=False)
+        futures = [server.submit("water", f) for f in frames]
+        server.start()
+        for f in futures:
+            f.result(WAIT)
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_submitted"] == 5
+        assert snap["requests_completed"] == 5
+        assert snap["requests_failed"] == 0
+        assert snap["batches"] == 2  # ceil(5 / 4)
+        assert snap["frames"] == 5
+        assert snap["occupancy"] == pytest.approx(2.5)
+        assert snap["max_batch_frames"] == 4
+        assert snap["frames_per_model"] == {"water": 5}
+        assert server.stats.pending() == 0
+        report = server.stats.report()
+        assert "occupancy 2.50" in report
+        assert "water: 5" in report
+
+    def test_batch_log_is_bounded_but_counters_are_complete(self):
+        stats = ServerStats(batch_log_limit=2)
+        for k in range(5):
+            stats.record_batch("m", (k,), (0.0,))
+        assert stats.batch_log == [("m", (3,)), ("m", (4,))]
+        assert stats.batches == 5
+        assert stats.frames == 5
+
+    def test_registry_rejects_duplicates_and_unknown_names(self, model, base):
+        server = InferenceServer({"water": model}, autostart=False)
+        with pytest.raises(ValueError):
+            server.register("water", model)
+        with pytest.raises(KeyError):
+            server.submit("copper", base)
+        with pytest.raises(KeyError):
+            InferenceClient(server, "copper")
+        assert server.model_names() == ["water"]
+        assert server.model("water") is model
+
+    def test_default_client_needs_unambiguous_model(self, model, model_b):
+        server = InferenceServer({"a": model, "b": model_b}, autostart=False)
+        with pytest.raises(ValueError):
+            server.client()
+        assert server.client("a").model == "a"
+
+    def test_client_pair_list_validation(self, model, base):
+        server = InferenceServer({"water": model}, autostart=False)
+        client = server.client()
+        with pytest.raises(ValueError):
+            client.evaluate_many([base, base], pair_lists=[(None, None)])
+
+    def test_future_carries_request_metadata(self, model, base):
+        server = InferenceServer({"water": model}, autostart=False)
+        fut = server.submit("water", base)
+        assert isinstance(fut.request, InferenceRequest)
+        assert fut.request.seq == 0
+        assert fut.request.model == "water"
+        server.stop(drain=False)
+
+
+class TestQueueAndScheduler:
+    def test_seq_stamping_is_admission_order(self):
+        q = RequestQueue(maxsize=4)
+        reqs = [
+            InferenceRequest("m", None, None, None) for _ in range(3)
+        ]
+        for r in reqs:
+            q.put(r)
+        assert [r.seq for r in reqs] == [0, 1, 2]
+        assert len(q) == 3
+
+    def test_pop_batch_gathers_same_key_fifo(self):
+        q = RequestQueue(maxsize=0)
+        for name in ["a", "b", "a", "a", "b"]:
+            q.put(InferenceRequest(name, None, None, None))
+        batch = q.pop_batch(max_batch=2, max_wait=0.0, key=lambda r: r.model)
+        assert [r.seq for r in batch] == [0, 2]
+        batch = q.pop_batch(max_batch=8, max_wait=0.0, key=lambda r: r.model)
+        assert [r.seq for r in batch] == [1, 4]  # b-requests kept their order
+        batch = q.pop_batch(max_batch=8, max_wait=0.0, key=lambda r: r.model)
+        assert [r.seq for r in batch] == [3]
+
+    def test_closed_queue_refuses_puts_and_drains(self):
+        q = RequestQueue(maxsize=4)
+        q.put(InferenceRequest("m", None, None, None))
+        q.close()
+        with pytest.raises(ServerClosed):
+            q.put(InferenceRequest("m", None, None, None))
+        batch = q.pop_batch(max_batch=4, max_wait=1.0, key=lambda r: r.model)
+        assert len(batch) == 1  # close cuts the wait budget short
+        assert q.pop_batch(4, 0.0, key=lambda r: r.model) is None
+
+    def test_close_and_drain_returns_pending(self):
+        q = RequestQueue(maxsize=4)
+        reqs = [InferenceRequest("m", None, None, None) for _ in range(3)]
+        for r in reqs:
+            q.put(r)
+        assert q.close_and_drain() == reqs
+        assert len(q) == 0
+
+    def test_scheduler_validates_policy(self):
+        q = RequestQueue()
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(q, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(q, max_wait_us=-1.0)

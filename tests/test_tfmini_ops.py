@@ -104,6 +104,47 @@ class TestMatrixOps:
         )
         np.testing.assert_allclose(out, a_val @ w_val + 2.0 * c_val)
 
+    def test_matvec_row_count_independent(self, sess, rng):
+        """N==1 products must give bitwise-identical rows no matter how many
+        other rows share the call — BLAS's matrix-vector kernels do not
+        (they switch strategy with the row count), which is why matmul/gemm
+        use a dedicated row-wise reduction for this shape.  The batched
+        engine's frame-independence guarantee (repro.dp.batch, repro.serving)
+        rests on this property."""
+        w_val = rng.normal(size=(32, 1))
+        b_val = rng.normal(size=1)
+        for m in (10, 54, 100, 333):
+            a_val = rng.normal(size=(m, 32))
+            extra = rng.normal(size=(2 * m, 32))
+            stacked = np.vstack([a_val, extra])
+            alone = sess.run(tf.matmul(tf.constant(a_val), tf.constant(w_val)))
+            together = sess.run(
+                tf.matmul(tf.constant(stacked), tf.constant(w_val))
+            )
+            assert np.array_equal(alone, together[:m])
+            alone_g = sess.run(
+                tf.gemm(tf.constant(a_val), tf.constant(w_val), tf.constant(b_val))
+            )
+            together_g = sess.run(
+                tf.gemm(tf.constant(stacked), tf.constant(w_val), tf.constant(b_val))
+            )
+            assert np.array_equal(alone_g, together_g[:m])
+
+    def test_matvec_matches_reference_product(self, sess, rng):
+        a_val = rng.normal(size=(9, 5))
+        w_val = rng.normal(size=(5, 1))
+        out = sess.run(tf.matmul(tf.constant(a_val), tf.constant(w_val)))
+        np.testing.assert_allclose(out, a_val @ w_val)
+        assert out.shape == (9, 1)
+
+    def test_matvec_shape_mismatch_still_raises(self, sess, rng):
+        """The row-wise kernel must not let broadcasting swallow a K
+        mismatch that `a @ b` would reject."""
+        a_val = rng.normal(size=(3, 4))
+        w_val = rng.normal(size=(1, 1))
+        with pytest.raises(ValueError):
+            sess.run(tf.matmul(tf.constant(a_val), tf.constant(w_val)))
+
     def test_bmm(self, sess, rng):
         a_val = rng.normal(size=(6, 3, 5))
         b_val = rng.normal(size=(6, 5, 2))
