@@ -31,7 +31,19 @@ PAPER_GEMM_SHARE = {
 
 
 def _measure(model, system, n_evals=3):
+    import gc
+
     pi, pj = neighbor_pairs(system, model.config.rcut)
+    # Measurement hygiene: earlier planned evaluations leave the engine's
+    # buffer arena resident (hundreds of MB at paper-sized sel), which
+    # distorts the *allocating* serial path this breakdown profiles — the
+    # SLICE/Others categories are allocation-bound and slow down several-
+    # fold under that heap pressure.  Release the persistent buffers so the
+    # profiled oracle runs in the same allocator state as a standalone
+    # process.
+    if model._batched is not None:
+        model.batched.release_buffers()
+    gc.collect()
     model.session = tf.Session(profile=True)
     for _ in range(n_evals):
         # The serial path keeps energy reduction and ProdVirial inside the

@@ -31,6 +31,13 @@ Design notes
   live in a :class:`ScratchPool` keyed by name and are reused while shapes
   are steady — the steady-state MD loop performs no new large allocations
   (asserted via ``ScratchPool.alloc_count`` in the tests).
+* Compiled graph execution.  The DP graph itself runs through a compiled
+  execution plan (:mod:`repro.tfmini.plan`): the forward+backward DAG is
+  topo-sorted once per engine, and every evaluation is a flat slot-indexed
+  tape walk into a persistent, liveness-recycled buffer arena — no per-run
+  graph traversal, dict dispatch, or per-op output allocation.  Results stay
+  bitwise identical to ``Session.run`` (the retained oracle; pass
+  ``use_plan=False`` to execute through it for differential testing).
 """
 
 from __future__ import annotations
@@ -115,9 +122,11 @@ class BatchedEvaluator:
     scratch shapes steady; the model itself stays stateless across engines.
     """
 
-    def __init__(self, model: "DeepPot"):
+    def __init__(self, model: "DeepPot", use_plan: bool = True):
         self.model = model
         self.scratch = ScratchPool()
+        self.use_plan = use_plan
+        self._plan = None  # compiled lazily: one topo_sort per engine
         # Reusable neighbor layouts (nlist storage recycling), keyed by
         # ("stacked", rows) or (replica, rows) so alternating batch shapes
         # keep their own layouts instead of thrashing one slot.
@@ -130,6 +139,37 @@ class BatchedEvaluator:
         # workload actually exercised.
         self.stacked_batches = 0
         self.general_batches = 0
+
+    @property
+    def plan(self):
+        """The engine's compiled execution plan (lazily compiled).
+
+        Feed order is the engine's staging order; fetches are the batched
+        path's graph outputs.  The plan is per-engine — like the scratch
+        pool, each driver keeps its own arena so shapes stay steady.
+        """
+        if self._plan is None:
+            from repro.tfmini.plan import compile_plan
+
+            m = self.model
+            self._plan = compile_plan(
+                [m._f_forces, m._f_net_deriv] + list(m._f_e_atoms),
+                list(m.ph_env)
+                + [m.ph_em_deriv, m.ph_rij, m.ph_nlist, m.ph_atom_idx, m.ph_natoms],
+                copy_fetches=False,  # results are unpacked before the next run
+            )
+        return self._plan
+
+    def release_buffers(self) -> None:
+        """Drop all persistent storage: scratch pool, cached neighbor
+        layouts, and the compiled plan's buffer arenas (the compiled tape
+        survives).  The next evaluation re-warms; results are unaffected.
+        Useful before allocation-sensitive measurements or when a shape
+        regime is finished."""
+        self.scratch.clear()
+        self._fmts.clear()
+        if self._plan is not None:
+            self._plan.release_arenas()
 
     # ------------------------------------------------------------------ core
 
@@ -313,20 +353,35 @@ class BatchedEvaluator:
         nlist_sorted = scratch.get("nlist_sorted", nlist_g.shape, np.int64)
         np.take(nlist_g, order, axis=0, out=nlist_sorted)
 
-        feeds = {}
+        # Feed values in the plan's positional order: per-type environment
+        # rows, then the shared geometry tensors.
+        feed_vals = []
         for t in range(cfg.n_types):
             idx_t = order[sorted_types == t]
             em_t = scratch.get(f"em_t{t}", (idx_t.size, nnei, 4))
             np.take(em_n, idx_t, axis=0, out=em_t)
-            feeds[model.ph_env[t]] = em_t
-        feeds[model.ph_em_deriv] = ed_sorted
-        feeds[model.ph_rij] = rij_sorted
-        feeds[model.ph_nlist] = nlist_sorted
-        feeds[model.ph_atom_idx] = gidx_sorted
-        feeds[model.ph_natoms] = np.array([total_atoms], dtype=np.int64)
+            feed_vals.append(em_t)
+        feed_vals += [
+            ed_sorted,
+            rij_sorted,
+            nlist_sorted,
+            gidx_sorted,
+            np.array([total_atoms], dtype=np.int64),
+        ]
 
-        fetches = [model._f_forces, model._f_net_deriv] + list(model._f_e_atoms)
-        out = model.session.run(fetches, feeds)
+        if self.use_plan:
+            out = self.plan.run_list(feed_vals, session=model.session)
+        else:
+            # Reference oracle path: identical fetches/feeds via Session.run.
+            feed_nodes = list(model.ph_env) + [
+                model.ph_em_deriv,
+                model.ph_rij,
+                model.ph_nlist,
+                model.ph_atom_idx,
+                model.ph_natoms,
+            ]
+            fetches = [model._f_forces, model._f_net_deriv] + list(model._f_e_atoms)
+            out = model.session.run(fetches, dict(zip(feed_nodes, feed_vals)))
         forces_all, net_deriv = out[0], out[1]
         e_atoms_t = [np.atleast_1d(e) for e in out[2:]]
         self.batch_evaluations += 1
@@ -363,7 +418,9 @@ class BatchedEvaluator:
             if R == 1:
                 atom_e[gidx_sorted] = e_sorted
                 virial = -np.einsum("ija,ijb->ab", rij_sorted, slot)
-                forces = forces_all
+                # The graph output is a plan-arena buffer (overwritten by the
+                # next evaluation); results hand the caller an owned copy.
+                forces = forces_all.copy()
             else:
                 rows_r = sorted_rep == r
                 atom_e[gidx_sorted[rows_r] - atom_off[r]] = e_sorted[rows_r]

@@ -330,13 +330,34 @@ class DeepPot:
         Drivers that batch many replicas (:class:`repro.md.ensemble.
         EnsembleSimulation`) should construct their own
         :class:`~repro.dp.batch.BatchedEvaluator` so scratch-buffer shapes
-        stay steady instead of thrashing between batch sizes.
+        (and the engine's compiled-plan arena) stay steady instead of
+        thrashing between batch sizes.
         """
         if self._batched is None:
             from repro.dp.batch import BatchedEvaluator
 
             self._batched = BatchedEvaluator(self)
         return self._batched
+
+    def plan_stats(self) -> dict:
+        """Executor counters of the default engine's compiled plan.
+
+        ``topo_sorts`` stays at 1 for the engine's lifetime and
+        ``arena_allocs`` stops growing once every batch shape has been seen
+        — the two fixed costs the plan layer eliminates (see
+        :mod:`repro.tfmini.plan`).
+        """
+        if self._batched is None or self._batched._plan is None:
+            return {"compiled": False}
+        plan = self._batched.plan
+        return {
+            "compiled": True,
+            "topo_sorts": plan.stats.topo_sorts,
+            "runs": plan.stats.runs,
+            "arena_builds": plan.stats.arena_builds,
+            "arena_allocs": plan.alloc_count(),
+            "arena_nbytes": plan.arena_nbytes(),
+        }
 
     def evaluate(
         self,
@@ -350,9 +371,11 @@ class DeepPot:
         """Energy of the first ``nloc`` atoms + forces on all atoms.
 
         Routes through the batched engine as an R=1 stack — the single-replica
-        MD path and the multi-replica ensemble path share one executor, and
-        the results are bitwise identical to :meth:`evaluate_serial` (the
-        pre-engine reference implementation, kept for differential testing).
+        MD path and the multi-replica ensemble path share one executor (a
+        compiled execution plan over the post-fusion graph, see
+        :mod:`repro.tfmini.plan`), and the results are bitwise identical to
+        :meth:`evaluate_serial` (the ``Session.run`` reference path, kept
+        for differential testing).
 
         In domain-decomposition mode (nloc < n_atoms) the returned forces
         array covers locals *and* ghosts; the caller reverse-communicates the
@@ -390,7 +413,8 @@ class DeepPot:
         pbc: bool = True,
     ) -> PotentialResult:
         """The original single-frame path: per-call feeds, in-graph ProdForce/
-        ProdVirial.  Reference oracle for the batched engine's R=1 results."""
+        ProdVirial, uncompiled ``Session.run`` execution.  Reference oracle
+        for the batched engine's (compiled-plan) R=1 results."""
         nloc = system.n_atoms if nloc is None else int(nloc)
         feeds, order = self.prepare_feeds(
             system, pair_i, pair_j, backend=backend, nloc=nloc, pbc=pbc

@@ -127,11 +127,35 @@ def _fwd_prod_force_grad(inputs, attrs):
     return np.einsum("ijck,ijk->ijc", em_deriv, diff)
 
 
+def _out_prod_force(inputs, attrs, out):
+    # Same einsum + np.add.at accumulation order as the allocating kernel,
+    # just scattering into a zeroed caller-owned buffer.
+    net_deriv, em_deriv, nlist, atom_idx, _natoms_vec = inputs
+    nlist = nlist.astype(np.int64)
+    out.fill(0.0)
+    slot = np.einsum("ijc,ijck->ijk", net_deriv, em_deriv)
+    np.add.at(out, atom_idx.astype(np.int64), slot.sum(axis=1))
+    mask = nlist != PAD
+    np.add.at(out, nlist[mask], -slot[mask])
+
+
+def _out_prod_force_grad(inputs, attrs, out):
+    g, em_deriv, nlist, atom_idx = inputs
+    nlist = nlist.astype(np.int64)
+    atom_idx = atom_idx.astype(np.int64)
+    mask = nlist != PAD
+    safe = np.where(mask, nlist, 0)
+    g_nb = np.where(mask[..., None], g[safe], 0.0)
+    diff = g[atom_idx][:, None, :] - g_nb
+    np.einsum("ijck,ijk->ijc", em_deriv, diff, out=out)
+
+
 register_op(
     "prod_force",
     _fwd_prod_force,
     vjp=_vjp_prod_force,
     flops=lambda node, ins, out: ins[0].size * 3 * 2,
+    forward_out=_out_prod_force,
 )
 register_op(
     "prod_force_grad",
@@ -139,6 +163,7 @@ register_op(
     # Second-order: linear in g, so its VJP is prod_force applied to the
     # cotangent — but training never needs third derivatives; omit.
     flops=lambda node, ins, out: out.size * 3 * 2,
+    forward_out=_out_prod_force_grad,
 )
 
 
@@ -158,14 +183,29 @@ def _fwd_prod_virial_grad(inputs, attrs):
     return -np.einsum("ab,ija,ijcb->ijc", g, rij, em_deriv)
 
 
+def _out_prod_virial(inputs, attrs, out):
+    net_deriv, em_deriv, rij, _nlist = inputs
+    slot = np.einsum("ijc,ijck->ijk", net_deriv, em_deriv)
+    np.einsum("ija,ijb->ab", rij, slot, out=out)
+    np.negative(out, out=out)
+
+
+def _out_prod_virial_grad(inputs, attrs, out):
+    g, em_deriv, rij = inputs
+    np.einsum("ab,ija,ijcb->ijc", g, rij, em_deriv, out=out)
+    np.negative(out, out=out)
+
+
 register_op(
     "prod_virial",
     _fwd_prod_virial,
     vjp=_vjp_prod_virial,
     flops=lambda node, ins, out: ins[0].size * 9 * 2,
+    forward_out=_out_prod_virial,
 )
 register_op(
     "prod_virial_grad",
     _fwd_prod_virial_grad,
     flops=lambda node, ins, out: out.size * 9 * 2,
+    forward_out=_out_prod_virial_grad,
 )

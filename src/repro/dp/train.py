@@ -57,14 +57,29 @@ class TrainRecord:
 
 
 class Trainer:
-    """Single-frame-batch Adam trainer for a DeepPot model."""
+    """Single-frame-batch Adam trainer for a DeepPot model.
 
-    def __init__(self, model: DeepPot, dataset: Dataset, config: TrainConfig = None):
+    The forward+backward+double-backward loss graph executes through a
+    compiled execution plan (:mod:`repro.tfmini.plan`) — topo-sorted once at
+    first step, then a flat tape walk per step with persistent output
+    buffers (frames of equal size share one arena).  ``use_plan=False``
+    keeps the step on ``Session.run``, the bitwise reference oracle.
+    """
+
+    def __init__(
+        self,
+        model: DeepPot,
+        dataset: Dataset,
+        config: TrainConfig = None,
+        use_plan: bool = True,
+    ):
         if len(dataset) == 0:
             raise ValueError("dataset is empty")
         self.model = model
         self.dataset = dataset
         self.config = config or TrainConfig()
+        self.use_plan = use_plan
+        self._plan = None  # compiled lazily: one topo_sort per trainer
         self._rng = np.random.default_rng(self.config.seed)
 
         decay_rate = self._decay_rate()
@@ -113,6 +128,28 @@ class Trainer:
         self._fetches = [self.node_loss, m.node_energy, m.node_forces] + [
             g if g is not None else tf.constant(0.0) for g in self.grad_nodes
         ]
+        self._feed_nodes = (
+            list(m.ph_env)
+            + [m.ph_em_deriv, m.ph_rij, m.ph_nlist, m.ph_atom_idx, m.ph_natoms]
+            + [
+                self.ph_e_label,
+                self.ph_f_label,
+                self.ph_inv_natoms,
+                self.ph_pref_e,
+                self.ph_pref_f,
+            ]
+        )
+        if self.config.use_virial:
+            self._feed_nodes += [self.ph_v_label, self.ph_pref_v]
+
+    @property
+    def plan(self):
+        """Compiled execution plan of the training-step fetches (lazy)."""
+        if self._plan is None:
+            self._plan = tf.compile_plan(
+                self._fetches, self._feed_nodes, copy_fetches=False
+            )
+        return self._plan
 
     # ---------------------------------------------------------------- feeding
 
@@ -147,7 +184,10 @@ class Trainer:
     def step(self) -> float:
         frame = self.dataset[self._rng.integers(len(self.dataset))]
         feeds, _n = self._frame_feeds(frame)
-        out = self.model.session.run(self._fetches, feeds)
+        if self.use_plan:
+            out = self.plan.run(feeds, session=self.model.session)
+        else:
+            out = self.model.session.run(self._fetches, feeds)
         loss = float(out[0])
         grads = out[3:]
         self.optimizer.apply(self.variables, grads)

@@ -8,7 +8,11 @@ Architecture (the ROADMAP's "batched serving endpoint")::
 
 Many client threads submit frames; a single worker thread coalesces them
 into per-model micro-batches and runs each batch through that model's
-persistent :class:`~repro.dp.batch.BatchedEvaluator`.  One worker per server
+persistent :class:`~repro.dp.batch.BatchedEvaluator` — whose graph executes
+as a compiled execution plan (:mod:`repro.tfmini.plan`): compiled once at
+model registration, with a warm buffer arena per batch shape, so the
+steady-state serving loop performs no graph traversal and no per-op output
+allocation.  One worker per server
 means one ``session.run`` at a time per model — the tfmini session and the
 evaluator's scratch pool are only ever touched from the worker thread, so
 no locking is needed on the hot path (client threads touch only the queue).
@@ -102,15 +106,42 @@ class InferenceServer:
     # ------------------------------------------------------------- registry
 
     def register(self, name: str, model: "DeepPot") -> "InferenceServer":
-        """Host ``model`` under ``name`` with its own persistent evaluator."""
+        """Host ``model`` under ``name`` with its own persistent evaluator.
+
+        The evaluator's compiled execution plan is built here (one graph
+        topo-sort, at registration) so the first served request only pays
+        the per-batch-shape arena warm-up, never graph compilation.
+        """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
         self._models[name] = model
-        self._engines[name] = self._engine_cls(model)
+        engine = self._engine_cls(model)
+        engine.plan  # compile now, off the serving hot path
+        self._engines[name] = engine
         return self
 
     def model_names(self) -> list[str]:
         return sorted(self._models)
+
+    def executor_stats(self) -> dict[str, dict]:
+        """Per-model compiled-plan counters (deterministic, lock-free reads).
+
+        For each hosted model: ``topo_sorts`` (1 per engine lifetime),
+        ``runs``, ``arena_builds`` (one per distinct batch shape seen) and
+        ``arena_allocs`` — a steady workload stops growing everything except
+        ``runs``.
+        """
+        out = {}
+        for name, engine in self._engines.items():
+            plan = engine.plan
+            out[name] = {
+                "topo_sorts": plan.stats.topo_sorts,
+                "runs": plan.stats.runs,
+                "arena_builds": plan.stats.arena_builds,
+                "arena_allocs": plan.alloc_count(),
+                "arena_nbytes": plan.arena_nbytes(),
+            }
+        return out
 
     def model(self, name: str) -> "DeepPot":
         return self._models[name]

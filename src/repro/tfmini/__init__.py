@@ -11,6 +11,11 @@ original DeePMD-kit builds on.  It provides exactly the machinery the paper's
 * an instrumented executor with per-operator wall time, FLOP and byte
   accounting (:mod:`repro.tfmini.executor`) — the source of the Fig-3 style
   operator breakdowns,
+* compiled execution plans (:mod:`repro.tfmini.plan`): the graph is
+  topo-sorted once into a slot-indexed tape with a liveness-recycled buffer
+  arena per steady feed shape — the fixed-cost elimination all hot paths
+  (evaluate, train, serving) execute through, with ``Session.run`` kept as
+  the bitwise reference oracle,
 * graph rewrite passes implementing the paper's fusions:
   MATMUL+SUM -> GEMM, CONCAT+SUM -> GEMM with an (I,I) right factor, and
   TANH/TANHGrad kernel fusion (:mod:`repro.tfmini.passes`),
@@ -43,6 +48,7 @@ from repro.tfmini.ops import (
 )
 from repro.tfmini.autodiff import grad
 from repro.tfmini.executor import Session, OpStats
+from repro.tfmini.plan import ExecutionPlan, compile_plan
 from repro.tfmini.passes import optimize_graph
 from repro.tfmini.optimizer import Adam, ExponentialDecay
 
@@ -72,6 +78,8 @@ __all__ = [
     "grad",
     "Session",
     "OpStats",
+    "ExecutionPlan",
+    "compile_plan",
     "optimize_graph",
     "Adam",
     "ExponentialDecay",

@@ -70,11 +70,31 @@ def _result_nbytes(value) -> int:
 
 
 class Session:
-    """Evaluates graph fetches with feed substitution and optional profiling."""
+    """Evaluates graph fetches with feed substitution and optional profiling.
+
+    ``run`` re-derives everything per call (topological order, per-node dict
+    dispatch, fresh output allocations) and is the *reference oracle* for
+    compiled execution plans (:mod:`repro.tfmini.plan`), which pay those
+    fixed costs once and must match it bitwise.  Hot loops should compile a
+    plan (:meth:`compile`); ``run`` stays for one-off evaluations and
+    differential testing.
+    """
 
     def __init__(self, profile: bool = False):
         self.profile = profile
         self.stats = OpStats()
+
+    def compile(
+        self,
+        fetches: Sequence[Node] | Node,
+        feed_nodes: Sequence[Node],
+        copy_fetches: bool = True,
+    ):
+        """Compile ``fetches`` into an :class:`~repro.tfmini.plan.
+        ExecutionPlan`; pass ``self`` to its ``run`` for profiling parity."""
+        from repro.tfmini.plan import compile_plan
+
+        return compile_plan(fetches, feed_nodes, copy_fetches=copy_fetches)
 
     def run(
         self,
@@ -87,12 +107,46 @@ class Session:
         """
         single = isinstance(fetches, Node)
         fetch_list: list[Node] = [fetches] if single else list(fetches)
-        feeds = feeds or {}
-        feed_vals = {id(k): np.asarray(v) for k, v in feeds.items()}
+        # Feeds from hot paths are already ndarrays — don't re-wrap them.
+        feed_vals = (
+            {
+                id(k): (v if type(v) is np.ndarray else np.asarray(v))
+                for k, v in feeds.items()
+            }
+            if feeds
+            else {}
+        )
 
         values: dict[int, np.ndarray] = {}
         order = topo_sort(fetch_list)
-        profile = self.profile
+        if self.profile:
+            self._run_profiled(order, feed_vals, values)
+        else:
+            self._run_plain(order, feed_vals, values)
+
+        results = [values[id(f)] for f in fetch_list]
+        return results[0] if single else results
+
+    def _run_plain(self, order, feed_vals, values) -> None:
+        # The oracle's fast loop: no timing, no FLOP/byte accounting.
+        for node in order:
+            nid = id(node)
+            if nid in feed_vals:
+                values[nid] = feed_vals[nid]
+                continue
+            if isinstance(node, Variable):
+                values[nid] = node.value
+                continue
+            if node.op == "constant":
+                values[nid] = node.attrs["value"]
+                continue
+            if node.op == "placeholder":
+                raise KeyError(f"placeholder '{node.name}' was not fed")
+            values[nid] = get_op(node.op).forward(
+                [values[id(i)] for i in node.inputs], node.attrs
+            )
+
+    def _run_profiled(self, order, feed_vals, values) -> None:
         for node in order:
             nid = id(node)
             if nid in feed_vals:
@@ -108,16 +162,10 @@ class Session:
                 raise KeyError(f"placeholder '{node.name}' was not fed")
             opdef = get_op(node.op)
             inputs = [values[id(i)] for i in node.inputs]
-            if profile:
-                t0 = time.perf_counter()
-                out = opdef.forward(inputs, node.attrs)
-                dt = time.perf_counter() - t0
-                self.stats.record(
-                    node.op, dt, op_flops(node, inputs, out), _result_nbytes(out)
-                )
-            else:
-                out = opdef.forward(inputs, node.attrs)
+            t0 = time.perf_counter()
+            out = opdef.forward(inputs, node.attrs)
+            dt = time.perf_counter() - t0
+            self.stats.record(
+                node.op, dt, op_flops(node, inputs, out), _result_nbytes(out)
+            )
             values[nid] = out
-
-        results = [values[id(f)] for f in fetch_list]
-        return results[0] if single else results

@@ -126,12 +126,20 @@ def variable(value, name: str = "") -> Variable:
     return Variable(np.asarray(value), name=name)
 
 
+# Global invocation counter.  Compiled execution plans (repro.tfmini.plan)
+# exist to pay this traversal once per graph instead of once per run; the
+# plan benchmarks assert on deltas of this counter to prove it.
+TOPO_SORT_CALLS = 0
+
+
 def topo_sort(fetches: Iterable[Node]) -> list[Node]:
     """Return all nodes reachable from ``fetches`` in topological order.
 
     Iterative DFS — graphs from deep backprop chains overflow Python's
     recursion limit otherwise.
     """
+    global TOPO_SORT_CALLS
+    TOPO_SORT_CALLS += 1
     order: list[Node] = []
     seen: set[int] = set()
     stack: list[tuple[Node, bool]] = [(f, False) for f in fetches]

@@ -34,14 +34,26 @@ class OpDef:
     forward: Callable
     vjp: Optional[Callable] = None
     flops: Optional[Callable] = None
+    # ``forward_out(inputs, attrs, out) -> None`` — destination-passing
+    # kernel variant used by compiled execution plans (repro.tfmini.plan).
+    # Contract: fully overwrite ``out`` (which never aliases an input) with
+    # a result bitwise identical to ``forward(inputs, attrs)``.  Ops without
+    # one still work under plans via the allocate-and-copy-into-slot
+    # fallback.
+    forward_out: Optional[Callable] = None
 
 
 _REGISTRY: dict[str, OpDef] = {}
 
 
-def register_op(name: str, forward, vjp=None, flops=None) -> None:
+def register_op(name: str, forward, vjp=None, flops=None, forward_out=None) -> None:
     """Register an operator.  Used by DP custom ops as well as the built-ins."""
-    _REGISTRY[name] = OpDef(forward, vjp, flops)
+    _REGISTRY[name] = OpDef(forward, vjp, flops, forward_out)
+
+
+def register_out_kernel(name: str, forward_out) -> None:
+    """Attach (or replace) the destination-passing kernel of a registered op."""
+    get_op(name).forward_out = forward_out
 
 
 def get_op(name: str) -> OpDef:
@@ -104,6 +116,7 @@ register_op(
     lambda inputs, attrs: np.broadcast_to(inputs[0], inputs[1].shape).copy(),
     vjp=lambda node, g: [reduce_to_shape(g, node.inputs[0]), None],
     flops=lambda node, ins, out: 0,
+    forward_out=lambda inputs, attrs, out: np.copyto(out, inputs[0]),
 )
 
 
@@ -158,6 +171,7 @@ register_op(
         reduce_to_shape(g, node.inputs[1]),
     ],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.add(inputs[0], inputs[1], out=out),
 )
 
 register_op(
@@ -168,6 +182,9 @@ register_op(
         reduce_to_shape(neg(g), node.inputs[1]),
     ],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.subtract(
+        inputs[0], inputs[1], out=out
+    ),
 )
 
 register_op(
@@ -178,6 +195,9 @@ register_op(
         reduce_to_shape(mul(g, node.inputs[0]), node.inputs[1]),
     ],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.multiply(
+        inputs[0], inputs[1], out=out
+    ),
 )
 
 register_op(
@@ -185,6 +205,7 @@ register_op(
     lambda inputs, attrs: -inputs[0],
     vjp=lambda node, g: [neg(g)],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.negative(inputs[0], out=out),
 )
 
 register_op(
@@ -192,6 +213,9 @@ register_op(
     lambda inputs, attrs: inputs[0] * inputs[0],
     vjp=lambda node, g: [mul(g, scale(node.inputs[0], 2.0))],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.multiply(
+        inputs[0], inputs[0], out=out
+    ),
 )
 
 register_op(
@@ -199,6 +223,9 @@ register_op(
     lambda inputs, attrs: inputs[0] * attrs["s"],
     vjp=lambda node, g: [scale(g, node.attrs["s"])],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.multiply(
+        inputs[0], attrs["s"], out=out
+    ),
 )
 
 
@@ -241,6 +268,24 @@ def _fwd_matmul_2d(a, b):
     return a @ b
 
 
+def _out_matmul_2d(a, b, out):
+    """Destination-passing twin of :func:`_fwd_matmul_2d`.
+
+    The N==1 matvec branch keeps the exact row-count-independent reduction
+    (its temporary survives; only the result lands in ``out``); the general
+    branch hands ``out`` straight to the same BLAS gufunc ``a @ b`` calls.
+    """
+    if (
+        a.ndim == 2
+        and b.ndim == 2
+        and b.shape[1] == 1
+        and a.shape[1] == b.shape[0]
+    ):
+        np.copyto(out, (a * b[:, 0]).sum(axis=1, keepdims=True))
+    else:
+        np.matmul(a, b, out=out)
+
+
 register_op(
     "matmul",
     lambda inputs, attrs: _fwd_matmul_2d(inputs[0], inputs[1]),
@@ -249,6 +294,9 @@ register_op(
         matmul(transpose(node.inputs[0]), g),
     ],
     flops=lambda node, ins, out: 2 * ins[0].shape[0] * ins[0].shape[1] * ins[1].shape[1],
+    forward_out=lambda inputs, attrs, out: _out_matmul_2d(
+        inputs[0], inputs[1], out
+    ),
 )
 
 
@@ -263,6 +311,16 @@ def _fwd_gemm(inputs, attrs):
     return out
 
 
+def _out_gemm(inputs, attrs, out):
+    a, b, c = inputs
+    beta = attrs.get("beta", 1.0)
+    _out_matmul_2d(a, b, out)
+    if beta == 1.0:
+        out += c
+    elif beta != 0.0:
+        out += beta * c
+
+
 register_op(
     "gemm",
     _fwd_gemm,
@@ -273,6 +331,7 @@ register_op(
     ],
     flops=lambda node, ins, out: 2 * ins[0].shape[0] * ins[0].shape[1] * ins[1].shape[1]
     + out.size,
+    forward_out=_out_gemm,
 )
 
 register_op(
@@ -287,6 +346,9 @@ register_op(
     * ins[0].shape[1]
     * ins[0].shape[2]
     * ins[1].shape[2],
+    forward_out=lambda inputs, attrs, out: np.matmul(
+        inputs[0], inputs[1], out=out
+    ),
 )
 
 
@@ -335,7 +397,24 @@ def _fwd_slice_axis_grad(inputs, attrs):
     return out
 
 
-register_op("slice_axis", _fwd_slice_axis, _vjp_slice_axis, lambda n, i, o: 0)
+def _out_slice_axis(inputs, attrs, out):
+    x = inputs[0]
+    np.copyto(out, x[_slicer(x.ndim, attrs["axis"], attrs["start"], attrs["stop"])])
+
+
+def _out_slice_axis_grad(inputs, attrs, out):
+    g, x = inputs
+    out.fill(0)
+    out[_slicer(x.ndim, attrs["axis"], attrs["start"], attrs["stop"])] = g
+
+
+register_op(
+    "slice_axis",
+    _fwd_slice_axis,
+    _vjp_slice_axis,
+    lambda n, i, o: 0,
+    forward_out=_out_slice_axis,
+)
 register_op(
     "slice_axis_grad",
     _fwd_slice_axis_grad,
@@ -344,6 +423,7 @@ register_op(
         None,
     ],
     flops=lambda n, i, o: 0,
+    forward_out=_out_slice_axis_grad,
 )
 
 
@@ -378,6 +458,9 @@ register_op(
     lambda inputs, attrs: np.concatenate(inputs, axis=attrs["axis"]),
     vjp=_vjp_concat,
     flops=lambda node, ins, out: 0,
+    forward_out=lambda inputs, attrs, out: np.concatenate(
+        inputs, axis=attrs["axis"], out=out
+    ),
 )
 
 def _vjp_split_part(node, g):
@@ -398,6 +481,18 @@ def _fwd_split_part_grad(inputs, attrs):
     return out
 
 
+def _out_split_part_grad(inputs, attrs, out):
+    h, a, b = inputs
+    axis = attrs["axis"]
+    out.fill(0)
+    na = a.shape[axis]
+    sl = [slice(None)] * out.ndim
+    sl[axis] = slice(0, na) if attrs["part"] == 0 else slice(na, None)
+    out[tuple(sl)] = h
+
+
+# split_part's forward is a zero-cost view; under plans the generic
+# copy-into-slot fallback already materializes it, so no out= kernel.
 register_op(
     "split_part",
     _fwd_split_part,
@@ -409,6 +504,7 @@ register_op(
     _fwd_split_part_grad,
     vjp=lambda node, g: [Node("split_part", (g, node.inputs[1], node.inputs[2]), dict(node.attrs)), None, None],
     flops=lambda node, ins, out: 0,
+    forward_out=_out_split_part_grad,
 )
 
 
@@ -423,6 +519,12 @@ def _fwd_slice_grad(inputs, attrs):
     return out
 
 
+def _out_slice_grad(inputs, attrs, out):
+    g, _x = inputs
+    out.fill(0)
+    out[..., attrs["start"] : attrs["stop"]] = g
+
+
 register_op(
     "slice",
     lambda inputs, attrs: np.ascontiguousarray(
@@ -430,6 +532,9 @@ register_op(
     ),
     vjp=_vjp_slice,
     flops=lambda node, ins, out: 0,
+    forward_out=lambda inputs, attrs, out: np.copyto(
+        out, inputs[0][..., attrs["start"] : attrs["stop"]]
+    ),
 )
 register_op(
     "slice_grad",
@@ -439,6 +544,7 @@ register_op(
         None,
     ],
     flops=lambda node, ins, out: 0,
+    forward_out=_out_slice_grad,
 )
 
 register_op(
@@ -467,7 +573,15 @@ def _vjp_transpose(node, g):
     return [transpose(g, inv)]
 
 
-register_op("transpose", _fwd_transpose, vjp=_vjp_transpose, flops=lambda n, i, o: 0)
+register_op(
+    "transpose",
+    _fwd_transpose,
+    vjp=_vjp_transpose,
+    flops=lambda n, i, o: 0,
+    forward_out=lambda inputs, attrs, out: np.copyto(
+        out, np.transpose(inputs[0], attrs["perm"])
+    ),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -516,6 +630,19 @@ def _fwd_bcast_reduce_grad(inputs, attrs):
     return out
 
 
+def _out_bcast_reduce_grad(inputs, attrs, out):
+    g, x = inputs
+    axis = attrs["axis"]
+    if axis is None:
+        np.copyto(out, g)
+        denom = x.size
+    else:
+        np.copyto(out, np.expand_dims(g, axis))
+        denom = x.shape[axis]
+    if attrs["mean"]:
+        out /= denom
+
+
 register_op("reduce_sum", _fwd_reduce_sum, _vjp_reduce_sum, lambda n, i, o: i[0].size)
 register_op("reduce_mean", _fwd_reduce_mean, _vjp_reduce_mean, lambda n, i, o: i[0].size)
 register_op(
@@ -528,6 +655,7 @@ register_op(
         None,
     ],
     flops=lambda n, i, o: o.size,
+    forward_out=_out_bcast_reduce_grad,
 )
 
 
@@ -550,12 +678,21 @@ register_op(
     lambda inputs, attrs: np.tanh(inputs[0]),
     vjp=lambda node, g: [tanh_grad(node, g)],
     flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+    forward_out=lambda inputs, attrs, out: np.tanh(inputs[0], out=out),
 )
 
 
 def _fwd_tanh_grad(inputs, attrs):
     y, dy = inputs
     return dy * (1.0 - y * y)
+
+
+def _out_tanh_grad(inputs, attrs, out):
+    # Same ufunc sequence as the allocating kernel: y*y, 1-(..), dy*(..).
+    y, dy = inputs
+    np.multiply(y, y, out=out)
+    np.subtract(1.0, out, out=out)
+    np.multiply(dy, out, out=out)
 
 
 def _vjp_tanh_grad(node, g):
@@ -572,6 +709,7 @@ register_op(
     _fwd_tanh_grad,
     _vjp_tanh_grad,
     flops=lambda node, ins, out: 3 * out.size,
+    forward_out=_out_tanh_grad,
 )
 
 
@@ -584,6 +722,7 @@ register_op(
     lambda inputs, attrs: np.exp(inputs[0]),
     vjp=lambda node, g: [mul(g, node)],
     flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+    forward_out=lambda inputs, attrs, out: np.exp(inputs[0], out=out),
 )
 
 
@@ -596,6 +735,7 @@ register_op(
     lambda inputs, attrs: np.log(inputs[0]),
     vjp=lambda node, g: [Node("div", (g, node.inputs[0]))],
     flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+    forward_out=lambda inputs, attrs, out: np.log(inputs[0], out=out),
 )
 
 
@@ -615,6 +755,9 @@ register_op(
     lambda inputs, attrs: inputs[0] / inputs[1],
     vjp=_vjp_div,
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.divide(
+        inputs[0], inputs[1], out=out
+    ),
 )
 
 
@@ -628,11 +771,20 @@ register_op(
     # d sqrt(x) = 1/(2 sqrt(x)) = 0.5 / y
     vjp=lambda node, g: [mul(g, scale(Node("div", (constant(np.float64(1.0)), node)), 0.5))],
     flops=lambda node, ins, out: 4 * out.size,
+    forward_out=lambda inputs, attrs, out: np.sqrt(inputs[0], out=out),
 )
 
 
 def sigmoid(a: Node) -> Node:
     return Node("sigmoid", (a,))
+
+
+def _out_sigmoid(inputs, attrs, out):
+    # Same ufunc sequence as the allocating kernel: -x, exp, 1+, 1/.
+    np.negative(inputs[0], out=out)
+    np.exp(out, out=out)
+    np.add(1.0, out, out=out)
+    np.divide(1.0, out, out=out)
 
 
 register_op(
@@ -641,6 +793,7 @@ register_op(
     # d sigma = sigma * (1 - sigma)
     vjp=lambda node, g: [mul(g, mul(node, Node("one_minus", (node,))))],
     flops=lambda node, ins, out: TANH_FLOPS_PER_ELEM * out.size,
+    forward_out=_out_sigmoid,
 )
 
 register_op(
@@ -648,6 +801,7 @@ register_op(
     lambda inputs, attrs: 1.0 - inputs[0],
     vjp=lambda node, g: [neg(g)],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.subtract(1.0, inputs[0], out=out),
 )
 
 
@@ -660,6 +814,7 @@ register_op(
     lambda inputs, attrs: np.maximum(inputs[0], 0.0),
     vjp=lambda node, g: [mul(g, Node("step_mask", (node.inputs[0],)))],
     flops=lambda node, ins, out: out.size,
+    forward_out=lambda inputs, attrs, out: np.maximum(inputs[0], 0.0, out=out),
 )
 
 register_op(
@@ -685,6 +840,9 @@ register_op(
     lambda inputs, attrs: inputs[0] ** attrs["p"],
     vjp=_vjp_pow_scalar,
     flops=lambda node, ins, out: 4 * out.size,
+    forward_out=lambda inputs, attrs, out: np.power(
+        inputs[0], attrs["p"], out=out
+    ),
 )
 
 
@@ -704,11 +862,24 @@ def _fwd_tanh_fused(inputs, attrs):
     return (y, g)
 
 
+def _out_tanh_fused(inputs, attrs, out):
+    # ``out`` is the (y, g) buffer pair; same ufunc sequence as the
+    # allocating kernel: tanh, y*y, 1-(..).
+    y, g = out
+    np.tanh(inputs[0], out=y)
+    np.multiply(y, y, out=g)
+    np.subtract(1.0, g, out=g)
+
+
 register_op(
     "tanh_fused",
     _fwd_tanh_fused,
     flops=lambda node, ins, out: (TANH_FLOPS_PER_ELEM + 2) * out[0].size,
+    forward_out=_out_tanh_fused,
 )
+# ``item`` is a pure component selector on a tuple-valued input — compiled
+# plans treat it as an aliasing op (its output shares the producer's
+# storage), so it gets no destination-passing kernel on purpose.
 register_op(
     "item",
     lambda inputs, attrs: inputs[0][attrs["index"]],
@@ -732,6 +903,12 @@ register_op(
     lambda inputs, attrs: inputs[0].astype(attrs["dtype"], copy=False),
     vjp=lambda node, g: [cast(g, node.inputs[0].dtype or np.float64)],
     flops=lambda node, ins, out: 0,
+    # astype(copy=False) may return the input itself (same dtype); the
+    # destination-passing variant always materializes — same bits either way,
+    # and it keeps plan buffers free of aliasing.
+    forward_out=lambda inputs, attrs, out: np.copyto(
+        out, inputs[0], casting="unsafe"
+    ),
 )
 
 

@@ -1,0 +1,506 @@
+"""Compiled execution plans — tfmini's steady-shape fast path.
+
+``Session.run`` pays a set of fixed costs on every call: a full
+:func:`~repro.tfmini.graph.topo_sort` of the fetched DAG, an id-keyed dict
+lookup per node input, and a fresh output allocation for every operator.
+Those are exactly the per-step fixed costs the paper removes from the TF
+execution graph (Sec 5.3 fusions, Table 3 custom ops), and in an MD loop
+they are pure waste: the graph never changes and — because MD shapes are
+steady — neither do the tensor shapes.
+
+:func:`compile_plan` pays the graph traversal ONCE, flattening the DAG into
+a dense tape of records ``(forward, input_slots, attrs, out_slot)`` indexed
+by integer *slots* (positions in the topological order).  Executing the plan
+is a single flat loop over the tape — no sorting, no dict-by-id, no
+isinstance dispatch per node.
+
+Because shapes are steady, the plan also owns a :class:`BufferArena` per
+feed-shape signature: persistent per-record output buffers handed to the
+destination-passing (``out=``) kernel variants registered in
+:mod:`repro.tfmini.ops`.  A liveness pass recycles the buffer of a value
+whose last consumer has run for later records with the same shape and dtype,
+so the arena is smaller than the live set of the naive executor.  Ops
+without an ``out=`` kernel fall back to allocate-and-copy-into-slot (the
+slot buffer stays stable; only the op's own temporary churns), and a small
+set of *aliasing* ops (``reshape``, ``item``, ...) whose outputs share their
+input's storage are executed as-is with their storage lifetimes unioned so
+recycling can never clobber a live view.
+
+When a feed arrives with a new shape signature the plan re-plans
+automatically: one extra "warm" run executes through the plain kernels,
+records every output's shape/dtype, and builds a fresh arena for that
+signature.  Previously-seen signatures keep their warm arenas, so drivers
+alternating between batch shapes (R=1 MD steps interleaved with R=8 serving
+batches) stop allocating once each shape has been seen — the same policy as
+:class:`repro.dp.batch.ScratchPool`, now applied inside the executor.
+
+Numerical contract: a plan run is **bitwise identical** to ``Session.run``
+on the same fetches and feeds — every ``out=`` kernel reproduces its
+allocating twin bit-for-bit, and the tape preserves ``Session.run``'s
+execution order.  ``Session.run`` remains the reference oracle
+(``tests/test_tfmini_plan.py`` asserts the correspondence across the model
+zoo, fused and unfused graphs, batched evaluation, and a training step).
+
+Profiling: pass the owning :class:`~repro.tfmini.executor.Session` to
+:meth:`ExecutionPlan.run`; when ``session.profile`` is set the plan records
+per-operator wall time, FLOPs and bytes into ``session.stats`` exactly like
+``Session.run`` — the Fig-3 operator breakdown works unchanged on planned
+execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tfmini.executor import _result_nbytes
+from repro.tfmini.graph import Node, Variable, topo_sort
+from repro.tfmini.ops import get_op, op_flops
+
+_INF = 1 << 62
+
+# Execution modes for tape records.
+_MODE_OUT = 0  # destination-passing kernel into an arena buffer
+_MODE_COPY = 1  # allocating kernel, result copied into a stable arena buffer
+_MODE_ALIAS = 2  # output shares the input's storage; run as-is, union lifetimes
+
+# Ops whose forward may return a view of (or exactly) one of its inputs.
+# They keep their zero-copy behavior under plans; the liveness pass unions
+# their storage with their inputs' so a live view is never recycled over.
+# Third-party view-producing ops can be added via :func:`mark_alias_op`;
+# unknown ops default to the copy fallback, which is alias-safe by
+# construction (values are copied out of whatever the op returned).
+ALIAS_OPS = {"reshape", "reshape_like", "item", "reduce_to_shape"}
+
+
+def mark_alias_op(name: str) -> None:
+    """Declare that op ``name`` may return a view of an input.
+
+    Affects plans compiled afterwards; already-compiled plans keep their
+    tape.
+    """
+    ALIAS_OPS.add(name)
+
+
+@dataclass
+class PlanStats:
+    """Deterministic counters the plan tests and benchmarks assert on."""
+
+    topo_sorts: int = 0  # graph traversals performed (1 per compile)
+    arena_builds: int = 0  # warm runs: first sight of a feed-shape signature
+    arena_evictions: int = 0  # warm arenas dropped by the max_arenas cap
+    runs: int = 0  # total executions, warm and steady
+
+
+class _Record:
+    """One operator application on the flattened tape."""
+
+    __slots__ = (
+        "node",
+        "op",
+        "forward",
+        "forward_out",
+        "input_slots",
+        "attrs",
+        "out_slot",
+        "mode",
+    )
+
+    def __init__(self, node, forward, forward_out, input_slots, attrs, out_slot, mode):
+        self.node = node
+        self.op = node.op
+        self.forward = forward
+        self.forward_out = forward_out
+        self.input_slots = input_slots
+        self.attrs = attrs
+        self.out_slot = out_slot
+        self.mode = mode
+
+
+class BufferArena:
+    """Persistent per-record output buffers for one feed-shape signature.
+
+    ``buffers[i]`` is the destination for tape record ``i``: an ndarray, a
+    tuple of ndarrays (multi-output kernels like ``tanh_fused``), or ``None``
+    for alias records and exotic outputs.  ``alloc_count``/``alloc_bytes``
+    only ever grow at build time — a warmed plan performs zero arena
+    allocations, which the benchmarks assert deterministically.
+    """
+
+    __slots__ = ("signature", "buffers", "alloc_count", "alloc_bytes")
+
+    def __init__(self, signature):
+        self.signature = signature
+        self.buffers: list = []
+        self.alloc_count = 0
+        self.alloc_bytes = 0
+
+    def _new(self, shape, dtype):
+        buf = np.empty(shape, dtype)
+        self.alloc_count += 1
+        self.alloc_bytes += buf.nbytes
+        return buf
+
+
+class ExecutionPlan:
+    """A compiled, slot-indexed execution tape for fixed (fetches, feeds).
+
+    Parameters
+    ----------
+    fetches:
+        Node or sequence of nodes to evaluate (same convention as
+        ``Session.run``; a single node yields a single result).
+    feed_nodes:
+        The nodes whose values are supplied per run, in the positional order
+        :meth:`run_list` expects.  Every reachable placeholder must be
+        listed; extra entries that the fetches never touch are ignored.
+    copy_fetches:
+        When True (default) fetched arrays are copied out of the arena, so
+        results stay valid forever.  Hot-path consumers that consume results
+        before the next run pass False and skip the copies — fetched arrays
+        are then views of arena buffers, valid until the next ``run``.
+    max_arenas:
+        Cap on warm arenas held at once (default 32).  A workload cycling
+        through more shape signatures than this evicts the oldest arena
+        (FIFO) and re-warms it on revisit — bounding resident memory for
+        servers whose micro-batch occupancy varies freely.  Steady
+        workloads never hit the cap.
+
+    A plan owns mutable run state (the slot value table and the arenas), so
+    a single plan must not be run from two threads at once — one plan per
+    driver, like the batched engine's scratch pool (the serving worker's
+    one-thread-per-server design satisfies this by construction).
+    """
+
+    def __init__(
+        self,
+        fetches: Sequence[Node] | Node,
+        feed_nodes: Sequence[Node],
+        copy_fetches: bool = True,
+        max_arenas: int = 32,
+    ):
+        self._single = isinstance(fetches, Node)
+        fetch_list: list[Node] = [fetches] if self._single else list(fetches)
+        self._copy_fetches = copy_fetches
+        self.max_arenas = max(int(max_arenas), 1)
+        self.stats = PlanStats()
+
+        order = topo_sort(fetch_list)
+        self.stats.topo_sorts += 1
+        n_slots = len(order)
+        slot_of = {id(n): i for i, n in enumerate(order)}
+        self._n_slots = n_slots
+        self._values: list = [None] * n_slots
+        self._fetch_slots = [slot_of[id(f)] for f in fetch_list]
+
+        feed_ids = {id(n) for n in feed_nodes}
+        self._feed_nodes = list(feed_nodes)
+        self._feed_slots = [slot_of.get(id(n), -1) for n in feed_nodes]
+
+        self._var_slots: list[tuple[int, Variable]] = []
+        self._const_slots: list[tuple[int, np.ndarray]] = []
+        records: list[_Record] = []
+        for i, node in enumerate(order):
+            if id(node) in feed_ids:
+                continue
+            if isinstance(node, Variable):
+                self._var_slots.append((i, node))
+                continue
+            if node.op == "constant":
+                self._values[i] = node.attrs["value"]
+                self._const_slots.append((i, node.attrs["value"]))
+                continue
+            if node.op == "placeholder":
+                raise KeyError(
+                    f"placeholder '{node.name}' is reachable from the fetches "
+                    f"but not listed in feed_nodes"
+                )
+            opdef = get_op(node.op)
+            if node.op in ALIAS_OPS:
+                mode = _MODE_ALIAS
+            elif opdef.forward_out is not None:
+                mode = _MODE_OUT
+            else:
+                mode = _MODE_COPY
+            records.append(
+                _Record(
+                    node,
+                    opdef.forward,
+                    opdef.forward_out,
+                    tuple(slot_of[id(inp)] for inp in node.inputs),
+                    node.attrs,
+                    i,
+                    mode,
+                )
+            )
+        self._records = records
+
+        # --- liveness: last tape position reading each slot ---------------
+        last_use = [-1] * n_slots
+        for r_idx, rec in enumerate(records):
+            for s in rec.input_slots:
+                last_use[s] = r_idx  # records iterate in ascending order
+        for s in self._fetch_slots:
+            last_use[s] = _INF
+
+        # Storage groups: alias outputs share their inputs' storage, so a
+        # group dies only when its *last* member does.
+        parent = list(range(n_slots))
+
+        def find(s: int) -> int:
+            while parent[s] != s:
+                parent[s] = parent[parent[s]]
+                s = parent[s]
+            return s
+
+        for rec in records:
+            if rec.mode == _MODE_ALIAS:
+                root = find(rec.out_slot)
+                for s in rec.input_slots:
+                    parent[find(s)] = root
+        death: dict[int, int] = {}
+        for s in range(n_slots):
+            r = find(s)
+            d = last_use[s]
+            if d > death.get(r, -1):
+                death[r] = d
+        self._find = find
+        self._death = death
+
+        self._arenas: dict[tuple, BufferArena] = {}
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def arenas(self) -> dict[tuple, BufferArena]:
+        return self._arenas
+
+    def alloc_count(self) -> int:
+        """Total arena buffer allocations across all shape signatures.
+
+        Safe to call from a monitoring thread while the owning thread runs
+        the plan: the arena table is snapshotted (atomic under the GIL)
+        before summing.
+        """
+        return sum(a.alloc_count for a in list(self._arenas.values()))
+
+    def arena_nbytes(self) -> int:
+        return sum(a.alloc_bytes for a in list(self._arenas.values()))
+
+    def release_arenas(self) -> None:
+        """Drop every buffer arena (the compiled tape is kept).
+
+        The arena holds roughly the graph's peak live set *persistently*;
+        long-lived processes that are done with a shape regime (or want to
+        hand the memory back before measuring something allocation-
+        sensitive) release here and re-warm on the next run.  ``stats``
+        counters are cumulative and unaffected; ``alloc_count()`` restarts
+        from zero.
+        """
+        self._arenas.clear()
+        self._values = [None] * self._n_slots
+        for slot, value in self._const_slots:
+            self._values[slot] = value
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, feeds: Optional[dict] = None, session=None):
+        """Evaluate the fetches; mirrors ``Session.run(fetches, feeds)``.
+
+        ``session`` (optional) supplies profiling: when ``session.profile``
+        is set, per-operator stats are recorded into ``session.stats``.
+        """
+        feeds = feeds or {}
+        vals = []
+        for node, slot in zip(self._feed_nodes, self._feed_slots):
+            if slot < 0:
+                vals.append(None)
+                continue
+            try:
+                vals.append(feeds[node])
+            except KeyError:
+                raise KeyError(
+                    f"plan feed '{node.name}' missing from feeds"
+                ) from None
+        return self.run_list(vals, session=session)
+
+    def run_list(self, feed_values: Sequence, session=None):
+        """Evaluate with feed values positionally matching ``feed_nodes``."""
+        if len(feed_values) != len(self._feed_slots):
+            # Without this, zip truncation would silently reuse the previous
+            # run's array for the missing feed — wrong results, no exception.
+            raise ValueError(
+                f"plan expects {len(self._feed_slots)} feed values "
+                f"(got {len(feed_values)})"
+            )
+        values = self._values
+        sig = []
+        for slot, v in zip(self._feed_slots, feed_values):
+            if slot < 0:
+                continue
+            if type(v) is not np.ndarray:
+                v = np.asarray(v)
+            values[slot] = v
+            # Tiny integer feeds are shape *parameters* (e.g. the DP graph's
+            # ``natoms``: ProdForce's output row count), so they join the
+            # signature by value — same-shaped feeds with a different count
+            # must not share an arena.
+            if v.dtype.kind in "iu" and v.size <= 4:
+                sig.append((v.shape, v.dtype, v.tobytes()))
+            else:
+                sig.append((v.shape, v.dtype))
+        for slot, var in self._var_slots:
+            values[slot] = var.value
+        signature = tuple(sig)
+
+        profile = session is not None and session.profile
+        arena = self._arenas.get(signature)
+        if arena is None:
+            self._warm_run(profile, session)
+            while len(self._arenas) >= self.max_arenas:
+                # FIFO eviction: drop the oldest warm arena (re-warms on
+                # revisit) so free-form signature churn can't grow memory
+                # without bound.
+                self._arenas.pop(next(iter(self._arenas)))
+                self.stats.arena_evictions += 1
+            self._arenas[signature] = self._build_arena(signature)
+            self.stats.arena_builds += 1
+        elif profile:
+            self._steady_run_profiled(arena, session)
+        else:
+            self._steady_run(arena)
+        self.stats.runs += 1
+
+        outs = [values[s] for s in self._fetch_slots]
+        if self._copy_fetches:
+            outs = [
+                tuple(e.copy() for e in o)
+                if isinstance(o, tuple)
+                else (o.copy() if isinstance(o, np.ndarray) else o)
+                for o in outs
+            ]
+        return outs[0] if self._single else outs
+
+    # ----------------------------------------------------------- execution
+
+    def _warm_run(self, profile: bool, session) -> None:
+        """First run for a signature: plain kernels, shapes recorded."""
+        values = self._values
+        for rec in self._records:
+            ins = [values[s] for s in rec.input_slots]
+            if profile:
+                t0 = time.perf_counter()
+                out = rec.forward(ins, rec.attrs)
+                dt = time.perf_counter() - t0
+                session.stats.record(
+                    rec.op, dt, op_flops(rec.node, ins, out), _result_nbytes(out)
+                )
+            else:
+                out = rec.forward(ins, rec.attrs)
+            values[rec.out_slot] = out
+
+    def _build_arena(self, signature) -> BufferArena:
+        """Assign (and recycle) persistent buffers from the warm run's shapes."""
+        values = self._values
+        arena = BufferArena(signature)
+        buffers = arena.buffers
+        pool: dict[tuple, list] = {}
+        heap: list = []  # (death, r_idx, key, buffer)
+        find, death = self._find, self._death
+        for r_idx, rec in enumerate(self._records):
+            while heap and heap[0][0] < r_idx:
+                _, _, key, buf = heappop(heap)
+                pool.setdefault(key, []).append(buf)
+            if rec.mode == _MODE_ALIAS:
+                buffers.append(None)
+                continue
+            val = values[rec.out_slot]
+            if isinstance(val, np.ndarray):
+                key = (val.shape, val.dtype)
+            elif isinstance(val, tuple) and all(
+                isinstance(e, np.ndarray) for e in val
+            ):
+                key = ("tuple",) + tuple((e.shape, e.dtype) for e in val)
+            else:  # exotic output — leave unmanaged
+                buffers.append(None)
+                continue
+            free = pool.get(key)
+            if free:
+                buf = free.pop()
+            elif key[0] == "tuple":
+                buf = tuple(arena._new(s, d) for s, d in key[1:])
+            else:
+                buf = arena._new(*key)
+            buffers.append(buf)
+            d = death[find(rec.out_slot)]
+            if d < _INF:
+                heappush(heap, (d, r_idx, key, buf))
+        return arena
+
+    def _steady_run(self, arena: BufferArena) -> None:
+        """The hot loop: flat tape, slot indexing, arena destinations."""
+        values = self._values
+        for rec, buf in zip(self._records, arena.buffers):
+            ins = [values[s] for s in rec.input_slots]
+            if buf is None:
+                values[rec.out_slot] = rec.forward(ins, rec.attrs)
+            elif rec.mode == _MODE_OUT:
+                rec.forward_out(ins, rec.attrs, buf)
+                values[rec.out_slot] = buf
+            else:  # _MODE_COPY
+                out = rec.forward(ins, rec.attrs)
+                if type(buf) is tuple:
+                    for b, o in zip(buf, out):
+                        np.copyto(b, o)
+                else:
+                    np.copyto(buf, out)
+                values[rec.out_slot] = buf
+
+    def _steady_run_profiled(self, arena: BufferArena, session) -> None:
+        values = self._values
+        stats = session.stats
+        for rec, buf in zip(self._records, arena.buffers):
+            ins = [values[s] for s in rec.input_slots]
+            t0 = time.perf_counter()
+            if buf is None:
+                out = rec.forward(ins, rec.attrs)
+            elif rec.mode == _MODE_OUT:
+                rec.forward_out(ins, rec.attrs, buf)
+                out = buf
+            else:
+                res = rec.forward(ins, rec.attrs)
+                if type(buf) is tuple:
+                    for b, o in zip(buf, res):
+                        np.copyto(b, o)
+                else:
+                    np.copyto(buf, res)
+                out = buf
+            dt = time.perf_counter() - t0
+            stats.record(rec.op, dt, op_flops(rec.node, ins, out), _result_nbytes(out))
+            values[rec.out_slot] = out
+
+
+def compile_plan(
+    fetches: Sequence[Node] | Node,
+    feed_nodes: Sequence[Node],
+    copy_fetches: bool = True,
+    max_arenas: int = 32,
+) -> ExecutionPlan:
+    """Compile ``fetches`` into an :class:`ExecutionPlan`.
+
+    Topo-sorts the DAG exactly once; every subsequent :meth:`ExecutionPlan.
+    run` is a flat tape walk with persistent, liveness-recycled output
+    buffers.  Results are bitwise identical to ``Session.run`` on the same
+    fetches and feeds.
+    """
+    return ExecutionPlan(
+        fetches, feed_nodes, copy_fetches=copy_fetches, max_arenas=max_arenas
+    )
