@@ -35,6 +35,8 @@ def main() -> None:
     parser.add_argument("--requests", type=int, default=10)
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-us", type=float, default=1500.0)
+    parser.add_argument("--workers", default="per-model",
+                        help="'per-model' or an integer shared-pool size")
     args = parser.parse_args()
 
     model = get_water_model()
@@ -43,9 +45,11 @@ def main() -> None:
         {"water": model},
         max_batch=args.max_batch,
         max_wait_us=args.max_wait_us,
+        workers=args.workers,  # 'per-model' or an int (server coerces)
     )
     print(f"server up: model 'water' ({base.n_atoms}-atom frames), "
-          f"max_batch={args.max_batch}, max_wait={args.max_wait_us:.0f} us")
+          f"max_batch={args.max_batch}, max_wait={args.max_wait_us:.0f} us, "
+          f"workers={server.workers}")
 
     frame_sets = {
         tid: perturbed_frames(base, args.requests, seed0=100 * (tid + 1))

@@ -33,7 +33,7 @@ def cmd_info(_args) -> int:
         ("repro.md", "LAMMPS-like MD substrate + multi-replica ensembles"),
         ("repro.oracles", "ab-initio stand-in potentials"),
         ("repro.dp", "Deep Potential core + batched multi-frame engine"),
-        ("repro.serving", "micro-batching inference service (queue/scheduler/worker)"),
+        ("repro.serving", "micro-batching inference service (multi-worker pool)"),
         ("repro.parallel", "simulated MPI + domain decomposition"),
         ("repro.perfmodel", "calibrated Summit performance model"),
         ("repro.analysis", "RDF / MSD+diffusion / CNA / structures / stress"),
@@ -151,6 +151,7 @@ def cmd_serve_bench(args) -> int:
         served_matches_direct,
     )
 
+    workers = args.workers  # 'per-model' or an int (server coerces/validates)
     if args.tiny:
         from repro.dp.model import DeepPot, DPConfig
 
@@ -162,6 +163,7 @@ def cmd_serve_bench(args) -> int:
             max_batch=args.max_batch,
             max_wait_us=args.max_wait_us,
             max_queue=args.max_queue,
+            workers=workers,
         )
     else:
         name = args.model
@@ -170,6 +172,7 @@ def cmd_serve_bench(args) -> int:
             max_batch=args.max_batch,
             max_wait_us=args.max_wait_us,
             max_queue=args.max_queue,
+            workers=workers,
         )
         model = server.model(name)
         base = (
@@ -181,7 +184,8 @@ def cmd_serve_bench(args) -> int:
     n_clients, n_requests = args.clients, args.requests
     print(f"serving model {name!r}: {base.n_atoms}-atom frames, "
           f"{n_clients} closed-loop clients x {n_requests} requests, "
-          f"max_batch={args.max_batch}, max_wait={args.max_wait_us:.0f} us")
+          f"max_batch={args.max_batch}, max_wait={args.max_wait_us:.0f} us, "
+          f"workers={server.workers} ({', '.join(server.worker_ids())})")
 
     # Per-client frame sets (perturbed copies; decorrelated workloads).
     frames = {
@@ -190,7 +194,14 @@ def cmd_serve_bench(args) -> int:
     }
 
     t0 = time.perf_counter()
-    served = run_closed_loop_clients(server, name, frames, timeout=300)
+    # --tiny (the CI smoke path, 10-minute job timeout) keeps the join
+    # deadline tight so a wedged server fails WITH per-client progress
+    # instead of a hard job kill; real workloads scale with the helper's
+    # default (timeout * frames-per-client + slack).
+    served = run_closed_loop_clients(
+        server, name, frames, timeout=300,
+        join_timeout=270.0 if args.tiny else None,
+    )
     wall = time.perf_counter() - t0
     server.stop()
 
@@ -230,6 +241,9 @@ def main(argv=None) -> int:
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--max-wait-us", type=float, default=1000.0)
     serve.add_argument("--max-queue", type=int, default=64)
+    serve.add_argument("--workers", default="per-model",
+                       help="'per-model' (one worker per hosted model) or "
+                            "an integer shared-pool size")
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,

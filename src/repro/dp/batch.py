@@ -38,10 +38,19 @@ Design notes
   graph traversal, dict dispatch, or per-op output allocation.  Results stay
   bitwise identical to ``Session.run`` (the retained oracle; pass
   ``use_plan=False`` to execute through it for differential testing).
+* One engine, one thread.  The scratch pool, cached neighbor layouts, and
+  the plan's buffer arenas are all mutable run state, so an engine must
+  never be *executing* on two threads at once — one engine per driver
+  thread (the serving pool gives every worker its own; see
+  :mod:`repro.serving.worker`).  ``evaluate_batch`` guards the invariant:
+  concurrent entry from a second thread raises instead of silently
+  corrupting buffers.  Sequential use from different threads (warm on the
+  main thread, then hand the engine to a worker) is fine.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -133,6 +142,13 @@ class BatchedEvaluator:
         self._fmts: dict[tuple, FormattedNeighbors] = {}
         self.batch_evaluations = 0
         self.frames_evaluated = 0
+        # One-engine-one-thread guard: the thread currently inside
+        # evaluate_batch (None when idle), compare-and-set under a lock so
+        # simultaneous entry cannot slip past the check.  Scratch buffers
+        # and plan arenas are per-engine run state, so concurrent entry is
+        # always a caller bug (share the model, not the engine).
+        self._active_thread: Optional[int] = None
+        self._guard_lock = threading.Lock()
         # Staging-path counters: frames that arrive as separate requests
         # (the serving layer) only take the single-lexsort fast path when
         # their boxes match; these counters let callers see which path a
@@ -201,7 +217,43 @@ class BatchedEvaluator:
         -------
         One :class:`PotentialResult` per replica, bitwise identical to what
         the serial path would produce for that replica alone.
+
+        Raises
+        ------
+        RuntimeError
+            On concurrent entry from a second thread — the engine's scratch
+            pool and plan arenas are single-threaded run state (the
+            one-engine-one-thread invariant; give each thread its own
+            engine).
         """
+        me = threading.get_ident()
+        with self._guard_lock:
+            owner = self._active_thread
+            if owner is not None and owner != me:
+                raise RuntimeError(
+                    "BatchedEvaluator entered concurrently from two threads "
+                    f"(owner thread {owner}, caller {me}); engines hold "
+                    "single-threaded scratch/arena state — use one engine "
+                    "per thread (see repro.serving's worker pool)"
+                )
+            self._active_thread = me
+        try:
+            return self._evaluate_batch(
+                systems, pair_lists, backend=backend, nlocs=nlocs, pbc=pbc
+            )
+        finally:
+            with self._guard_lock:
+                if self._active_thread == me:
+                    self._active_thread = None
+
+    def _evaluate_batch(
+        self,
+        systems: Sequence[System],
+        pair_lists: Sequence[tuple[np.ndarray, np.ndarray]],
+        backend: str = "optimized",
+        nlocs: Optional[Sequence[int]] = None,
+        pbc: bool = True,
+    ) -> list[PotentialResult]:
         model = self.model
         cfg = model.config
         R = len(systems)

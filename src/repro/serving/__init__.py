@@ -4,13 +4,17 @@ The ROADMAP's "heavy traffic" north star, built on the batched evaluation
 engine (:mod:`repro.dp.batch`): many clients submit frames
 (positions/types/box), a scheduler coalesces whatever is pending — up to
 ``max_batch`` frames, waiting at most ``max_wait_us`` — into ONE batched
-graph execution per model, and results scatter back to per-request futures
-in submission order.  Per-frame results are bitwise identical to direct
-``DeepPot.evaluate`` calls regardless of batch composition.
+graph execution per model, executed by a pool of worker threads (one per
+model by default, so multi-model traffic overlaps inside numpy's
+GIL-releasing kernels), and results scatter back to per-request futures in
+submission order.  Per-frame results are bitwise identical to direct
+``DeepPot.evaluate`` calls regardless of batch composition or worker
+interleaving.
 
-    queue.py      bounded FIFO request queue (backpressure, seq stamping)
+    queue.py      bounded FIFO request queue (backpressure, seq stamping,
+                  per-key deques + key-aware wakeups)
     scheduler.py  micro-batching policy (max_batch / max_wait_us, per model)
-    worker.py     InferenceServer: model registry + the worker thread
+    worker.py     InferenceServer: model registry + the worker pool
     client.py     InferenceClient: sync and future-based submission
     metrics.py    ServerStats: deterministic counters + timing gauges
 
@@ -18,7 +22,7 @@ Quickstart::
 
     from repro.serving import InferenceServer
 
-    server = InferenceServer({"water": model}, max_batch=8)
+    server = InferenceServer({"water": m1, "copper": m2})  # 2 workers
     client = server.client("water")
     result = client.evaluate(system)          # sync
     futures = [client.submit(s) for s in frames]  # pipelined
@@ -31,7 +35,7 @@ from repro.serving.client import (
     run_closed_loop_clients,
     served_matches_direct,
 )
-from repro.serving.metrics import ServerStats
+from repro.serving.metrics import BatchRecord, ServerStats
 from repro.serving.queue import (
     InferenceRequest,
     QueueFull,
@@ -42,6 +46,7 @@ from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.worker import InferenceServer
 
 __all__ = [
+    "BatchRecord",
     "InferenceClient",
     "InferenceRequest",
     "InferenceServer",

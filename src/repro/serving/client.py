@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -81,12 +82,24 @@ class InferenceClient:
         full queue (a stalled server raises :class:`~repro.serving.queue.
         QueueFull` once it expires) is subtracted from the wait on the
         result, so the call returns or raises within ~``timeout`` seconds.
+
+        A request abandoned at its deadline is **cancelled**, not leaked:
+        if the result times out while the request is still queued, the
+        future is cancelled so the worker drops it at dispatch (counted in
+        ``ServerStats.requests_cancelled``, exactly once) instead of
+        burning a batch slot on a result nobody will read.  A request
+        already running when the deadline hits cannot be cancelled and
+        completes normally; only this caller's wait is abandoned.
         """
         if timeout is None:
             return self.submit(system, pair_i, pair_j).result(None)
         deadline = time.perf_counter() + timeout
         future = self.submit(system, pair_i, pair_j, timeout=timeout)
-        return future.result(max(0.0, deadline - time.perf_counter()))
+        try:
+            return future.result(max(0.0, deadline - time.perf_counter()))
+        except FutureTimeout:
+            future.cancel()
+            raise
 
     def evaluate_many(
         self,
@@ -98,7 +111,12 @@ class InferenceClient:
         lets the scheduler coalesce the whole stack into few batches.
 
         ``timeout`` is one total budget for all submissions and all results
-        (a shared deadline, like :meth:`evaluate`).
+        (a shared deadline, like :meth:`evaluate`).  On any abandonment of
+        the stack — a blown deadline, mid-stack backpressure
+        (:class:`~repro.serving.queue.QueueFull`), or shutdown — every
+        already-submitted, still-pending future is cancelled before the
+        exception propagates, so abandoned frames free their queue slots
+        instead of holding the queue full for results nobody will read.
         """
         deadline = (
             None if timeout is None else time.perf_counter() + timeout
@@ -109,18 +127,23 @@ class InferenceClient:
                 return None
             return max(0.0, deadline - time.perf_counter())
 
-        if pair_lists is None:
-            futures = [self.submit(s, timeout=left()) for s in systems]
-        else:
-            if len(pair_lists) != len(systems):
-                raise ValueError(
-                    f"{len(systems)} systems but {len(pair_lists)} pair lists"
-                )
-            futures = [
-                self.submit(s, pi, pj, timeout=left())
-                for s, (pi, pj) in zip(systems, pair_lists)
-            ]
-        return [f.result(left()) for f in futures]
+        if pair_lists is not None and len(pair_lists) != len(systems):
+            raise ValueError(
+                f"{len(systems)} systems but {len(pair_lists)} pair lists"
+            )
+        futures: list[Future] = []
+        try:
+            if pair_lists is None:
+                for s in systems:
+                    futures.append(self.submit(s, timeout=left()))
+            else:
+                for s, (pi, pj) in zip(systems, pair_lists):
+                    futures.append(self.submit(s, pi, pj, timeout=left()))
+            return [f.result(left()) for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
 
 
 def run_closed_loop_clients(
@@ -128,6 +151,7 @@ def run_closed_loop_clients(
     model: str,
     frame_sets: dict[int, Sequence["System"]],
     timeout: float = 300.0,
+    join_timeout: Optional[float] = None,
 ) -> dict[int, list]:
     """Drive the server with one closed-loop client thread per frame set.
 
@@ -137,31 +161,61 @@ def run_closed_loop_clients(
     the list of ``(frame, result)`` pairs.  A failure in any client thread
     (poisoned batch, backpressure timeout, shutdown) is re-raised here after
     all threads have joined — a broken serving stack can never masquerade as
-    an empty-but-successful run.  Shared by ``repro validate``,
-    ``repro serve-bench``, and ``examples/inference_service.py``.
+    an empty-but-successful run.
+
+    The join itself is **bounded**: client threads (daemonic) are joined
+    against a deadline — ``join_timeout`` seconds, defaulting to the
+    worst-case per-client budget ``timeout * max(len(frames)) + 30`` — and
+    a blown deadline raises with each hung client's progress instead of
+    hanging ``repro validate`` (and CI) forever on a stuck server.  Shared
+    by ``repro validate``, ``repro serve-bench``, and
+    ``examples/inference_service.py``.
     """
     import threading
 
-    served: dict[int, list] = {}
+    served: dict[int, list] = {tid: [] for tid in frame_sets}
+    progress: dict[int, int] = {tid: 0 for tid in frame_sets}
     errors: dict[int, BaseException] = {}
 
     def run_client(tid: int) -> None:
         try:
             client = server.client(model)
-            served[tid] = [
-                (frame, client.evaluate(frame, timeout=timeout))
-                for frame in frame_sets[tid]
-            ]
+            for frame in frame_sets[tid]:
+                served[tid].append(
+                    (frame, client.evaluate(frame, timeout=timeout))
+                )
+                progress[tid] += 1
         except BaseException as exc:  # re-raised on the caller's thread
             errors[tid] = exc
 
-    threads = [
-        threading.Thread(target=run_client, args=(tid,)) for tid in frame_sets
-    ]
-    for t in threads:
+    threads = {
+        tid: threading.Thread(target=run_client, args=(tid,), daemon=True)
+        for tid in frame_sets
+    }
+    for t in threads.values():
         t.start()
-    for t in threads:
-        t.join()
+    if join_timeout is None:
+        longest = max((len(v) for v in frame_sets.values()), default=0)
+        join_timeout = timeout * longest + 30.0
+    deadline = time.perf_counter() + join_timeout
+    for t in threads.values():
+        t.join(max(0.0, deadline - time.perf_counter()))
+    hung = {
+        tid: f"{progress[tid]}/{len(frame_sets[tid])} frames done"
+        for tid, t in threads.items()
+        if t.is_alive()
+    }
+    if hung:
+        # Chain the first fast-failing client's exception (if any): it is
+        # usually the root cause of the others hanging.
+        cause = errors[min(errors)] if errors else None
+        failed = (
+            f"; clients {sorted(errors)} failed first" if errors else ""
+        )
+        raise RuntimeError(
+            f"serving clients still running after the {join_timeout:.1f} s "
+            f"join deadline: {hung}{failed}"
+        ) from cause
     if errors:
         tid = min(errors)
         raise RuntimeError(f"serving client {tid} failed") from errors[tid]

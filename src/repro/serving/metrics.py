@@ -16,15 +16,32 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from typing import NamedTuple
+
+
+class BatchRecord(NamedTuple):
+    """One executed batch: which model, which request seqs, which worker.
+
+    Equality-compatible with plain ``(model, seqs, worker)`` tuples, so
+    tests can assert whole-log expectations literally.  ``worker`` is the
+    executing worker's id — the model name itself in per-model-pool mode
+    (making "each model's batches ran on its own worker" a one-line
+    deterministic assert), ``pool-<i>`` in shared-pool mode.
+    """
+
+    model: str
+    seqs: tuple
+    worker: str
 
 
 class ServerStats:
     """Thread-safe counter block for one :class:`~repro.serving.worker.
     InferenceServer`.
 
-    ``batch_log`` records, per executed batch, the model name and the
-    submission sequence numbers it coalesced — the ground truth the FIFO-
-    fairness and amortization tests (``tests/test_serving.py``,
+    ``batch_log`` records, per executed batch, the model name, the
+    submission sequence numbers it coalesced, and the worker that ran it —
+    the ground truth the FIFO-fairness, worker-ownership, and amortization
+    tests (``tests/test_serving.py``,
     ``benchmarks/test_serving_throughput.py``) assert against.  Only the
     most recent ``batch_log_limit`` entries are kept (the scalar counters
     are complete for the server's whole lifetime), so a long-running server
@@ -48,7 +65,9 @@ class ServerStats:
         self.frames = 0              # sum of batch sizes
         self.max_batch_frames = 0
         self.frames_per_model: Counter = Counter()
-        self.batch_log: list[tuple[str, tuple[int, ...]]] = []
+        self.frames_per_worker: Counter = Counter()
+        self.batches_per_worker: Counter = Counter()
+        self.batch_log: list[BatchRecord] = []
         # timing gauges (report-only)
         self.queue_wait_total = 0.0
         self.queue_wait_max = 0.0
@@ -79,6 +98,7 @@ class ServerStats:
         seqs: tuple[int, ...],
         waits: tuple[float, ...],
         failed: bool = False,
+        worker: str = "",
     ) -> None:
         with self._lock:
             n = len(seqs)
@@ -86,7 +106,9 @@ class ServerStats:
             self.frames += n
             self.max_batch_frames = max(self.max_batch_frames, n)
             self.frames_per_model[model] += n
-            self.batch_log.append((model, seqs))
+            self.frames_per_worker[worker] += n
+            self.batches_per_worker[worker] += 1
+            self.batch_log.append(BatchRecord(model, seqs, worker))
             if len(self.batch_log) > self.batch_log_limit:
                 del self.batch_log[: -self.batch_log_limit]
             if failed:
@@ -132,6 +154,8 @@ class ServerStats:
                 "frames": self.frames,
                 "max_batch_frames": self.max_batch_frames,
                 "frames_per_model": dict(self.frames_per_model),
+                "frames_per_worker": dict(self.frames_per_worker),
+                "batches_per_worker": dict(self.batches_per_worker),
                 "occupancy": self.frames / self.batches if self.batches else 0.0,
                 "queue_wait_total": self.queue_wait_total,
                 "queue_wait_max": self.queue_wait_max,
@@ -157,4 +181,10 @@ class ServerStats:
                 f"{m}: {n}" for m, n in sorted(s["frames_per_model"].items())
             )
             lines.append(f"models:   {per}")
+        if s["frames_per_worker"]:
+            per = ", ".join(
+                f"{w}: {n} frames/{s['batches_per_worker'].get(w, 0)} batches"
+                for w, n in sorted(s["frames_per_worker"].items())
+            )
+            lines.append(f"workers:  {per}")
         return "\n".join(lines)

@@ -1,14 +1,38 @@
 """Bounded, thread-safe FIFO request queue for the inference service.
 
-The queue is the only structure clients and the worker share.  Clients
+The queue is the only structure clients and the workers share.  Clients
 ``put`` :class:`InferenceRequest` objects (backpressure: a full queue blocks
-or raises :class:`QueueFull`); the worker-side scheduler removes coalescable
+or raises :class:`QueueFull`); worker-side schedulers remove coalescable
 runs of requests with :meth:`RequestQueue.pop_batch`.
 
 Sequence numbers are stamped *inside* ``put`` under the queue lock, so
 submission order, queue order, and sequence order are one and the same —
 that is the invariant the FIFO-fairness tests assert through
 ``ServerStats.batch_log``.
+
+Internally the queue is **segregated by key** (one deque per model): the
+request's key is computed exactly once, at admission (``key_calls`` counts
+the invocations — a deterministic assert that no code path rescans the
+queue re-deriving keys), and every per-key count the batching fill loop
+needs is an O(1) ``len`` of that key's deque, never an O(queue) scan.
+Global FIFO order across keys survives as the ``seq`` ordering of the
+per-key heads, so the head-of-queue key is found in O(#keys).
+
+Wakeups are **key-aware**: each key has its own condition variable (all
+sharing the queue lock), and ``put`` notifies only the admitted key's
+condition plus the any-key condition — a worker parked on
+``pop_batch(only=model)`` never wakes for another model's traffic (no
+thundering herd in the per-model-worker pool).
+
+Requests whose futures are **cancelled while queued** (a client gave up on
+its deadline — see ``InferenceClient.evaluate``) never burn a batch slot:
+a done-callback registered at admission removes a cancelled request from
+its deque immediately (freeing the bounded-queue slot for blocked
+submitters even when no worker is consuming), and ``pop_batch`` discards
+any that slip through the callback/extraction race.  Whichever side
+removes the request reports it through the ``on_drop`` callback, which the
+server wires to ``ServerStats.record_cancelled`` — every abandoned request
+is counted exactly once.
 """
 
 from __future__ import annotations
@@ -56,29 +80,72 @@ class InferenceRequest:
 class RequestQueue:
     """Bounded FIFO of pending requests with batch-oriented removal.
 
-    ``maxsize <= 0`` means unbounded.  The queue itself knows nothing about
-    models beyond the ``key`` callable ``pop_batch`` is given — the
-    coalescing *policy* (batch bound, wait budget, grouping) belongs to the
-    scheduler.
+    ``maxsize <= 0`` means unbounded.  ``key`` maps a request to its
+    coalescing key (default: the request's model name) and is evaluated
+    once per admission; the coalescing *policy* (batch bound, wait budget)
+    belongs to the scheduler.  ``on_drop(n)`` is invoked (under the queue
+    lock) whenever ``pop_batch`` discards ``n`` already-cancelled requests.
     """
 
-    def __init__(self, maxsize: int = 64):
+    def __init__(
+        self,
+        maxsize: int = 64,
+        key: Optional[Callable[[InferenceRequest], object]] = None,
+        on_drop: Optional[Callable[[int], None]] = None,
+    ):
         self.maxsize = int(maxsize)
-        self._items: deque[InferenceRequest] = deque()
+        self._key = key if key is not None else (lambda r: r.model)
+        self._on_drop = on_drop
         self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)  # any-key consumers
         self._not_full = threading.Condition(self._lock)
+        self._key_conds: dict[object, threading.Condition] = {}
+        self._by_key: dict[object, deque[InferenceRequest]] = {}
+        self._size = 0
         self._closed = False
         self._seq = 0
+        self.key_calls = 0  # deterministic: == admissions, never re-derived
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items)
+            return self._size
 
     @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    def pending_by_key(self) -> dict:
+        """Snapshot of per-key pending counts (the O(1) fill-loop counts)."""
+        with self._lock:
+            return {k: len(dq) for k, dq in self._by_key.items() if dq}
+
+    # ------------------------------------------------------------- internals
+
+    def _cond(self, key: object) -> threading.Condition:
+        """The key's wakeup condition (lazily created, shares the lock)."""
+        cond = self._key_conds.get(key)
+        if cond is None:
+            cond = self._key_conds[key] = threading.Condition(self._lock)
+        return cond
+
+    def _pending(self, only: Optional[object]) -> int:
+        if only is None:
+            return self._size
+        dq = self._by_key.get(only)
+        return len(dq) if dq is not None else 0
+
+    def _head_key(self) -> object:
+        """Key of the globally oldest pending request (min head seq)."""
+        return min(
+            (dq[0].seq, k) for k, dq in self._by_key.items() if dq
+        )[1]
+
+    def _notify_all_conds(self) -> None:
+        self._not_empty.notify_all()
+        self._not_full.notify_all()
+        for cond in self._key_conds.values():
+            cond.notify_all()
 
     # ------------------------------------------------------------- producer
 
@@ -92,18 +159,19 @@ class RequestQueue:
 
         A full queue raises :class:`QueueFull` immediately (``block=False``)
         or after ``timeout`` seconds; a closed queue raises
-        :class:`ServerClosed`.
+        :class:`ServerClosed`.  Only the request's key (and the any-key
+        condition) is notified.
         """
         with self._not_full:
             if self._closed:
                 raise ServerClosed("request queue is closed")
-            if self.maxsize > 0 and len(self._items) >= self.maxsize:
+            if self.maxsize > 0 and self._size >= self.maxsize:
                 if not block:
                     raise QueueFull(f"queue depth {self.maxsize} reached")
                 deadline = (
                     None if timeout is None else time.perf_counter() + timeout
                 )
-                while len(self._items) >= self.maxsize and not self._closed:
+                while self._size >= self.maxsize and not self._closed:
                     remaining = (
                         None
                         if deadline is None
@@ -116,12 +184,52 @@ class RequestQueue:
                     self._not_full.wait(remaining)
                 if self._closed:
                     raise ServerClosed("request queue closed while waiting")
+            k = self._key(request)
+            self.key_calls += 1
             request.seq = self._seq
             self._seq += 1
             request.enqueued_at = time.perf_counter()
-            self._items.append(request)
+            dq = self._by_key.get(k)
+            if dq is None:
+                dq = self._by_key[k] = deque()
+            dq.append(request)
+            self._size += 1
+            self._cond(k).notify_all()
             self._not_empty.notify_all()
-            return request
+        # A cancelled-while-queued request frees its (bounded) slot
+        # immediately — blocked submitters must not starve behind dead
+        # requests nobody will read.  Registered OUTSIDE the critical
+        # section: add_done_callback runs inline when the future is already
+        # done, and the callback takes the (non-reentrant) queue lock.
+        # Future.cancel() runs it on the cancelling thread, which never
+        # holds the queue lock.
+        request.future.add_done_callback(
+            lambda fut, req=request, key=k: self._discard_cancelled(req, key)
+        )
+        return request
+
+    def _discard_cancelled(self, request: InferenceRequest, key: object) -> None:
+        """Remove a cancelled request from its deque, if still queued.
+
+        Done-callback target: fires on completion too (cheap no-op) and on
+        cancellation, where it races the consumer's extraction — the queue
+        lock serializes them, and whichever side removes the request is the
+        one that reports it to ``on_drop`` (exactly-once accounting).
+        """
+        if not request.future.cancelled():
+            return  # normal completion: the request already left the queue
+        with self._lock:
+            dq = self._by_key.get(key)
+            if dq is None:
+                return
+            try:
+                dq.remove(request)
+            except ValueError:
+                return  # already extracted (or drained) by a consumer
+            self._size -= 1
+            self._not_full.notify_all()
+            if self._on_drop is not None:
+                self._on_drop(1)
 
     # ------------------------------------------------------------- consumer
 
@@ -129,7 +237,7 @@ class RequestQueue:
         self,
         max_batch: int,
         max_wait: float,
-        key: Callable[[InferenceRequest], object],
+        only: Optional[object] = None,
         gate: Optional[threading.Event] = None,
     ) -> Optional[list[InferenceRequest]]:
         """Remove the next coalescable batch, FIFO with same-key gathering.
@@ -137,80 +245,105 @@ class RequestQueue:
         Blocks until at least one request is pending (and ``gate``, if given,
         is set — the server's pause switch), then gives later arrivals up to
         ``max_wait`` seconds to fill the batch to ``max_batch`` requests
-        sharing the head request's key.  Non-matching requests keep their
-        queue positions.  Returns ``None`` once the queue is closed and
-        drained; a close cuts every wait short so shutdown never sleeps out
-        a wait budget.
+        sharing the batch key.  ``only=None`` takes the head-of-queue key
+        (shared-pool workers); ``only=key`` restricts the consumer to that
+        key's requests and parks it on that key's condition, so it never
+        wakes for other traffic (per-model workers).  Requests with other
+        keys keep their queue positions.  Requests whose futures are already
+        cancelled are discarded instead of returned (reported via
+        ``on_drop``).  Returns ``None`` once the queue is closed and this
+        consumer's view is drained; a close cuts every wait short so
+        shutdown never sleeps out a wait budget.
         """
-        with self._not_empty:
+        if only is None:
+            cond = self._not_empty
+        else:
+            with self._lock:  # _key_conds is only ever touched under lock
+                cond = self._cond(only)
+        with cond:
             while True:
                 # -- wait for work (or closure) --------------------------
-                while not self._items or (gate is not None and not gate.is_set()):
+                while (
+                    self._pending(only) == 0
+                    or (gate is not None and not gate.is_set())
+                ):
                     if self._closed:
-                        if not self._items:
+                        if self._pending(only) == 0:
                             return None
                         break  # closed with leftovers: drain even if gated
-                    self._not_empty.wait()
-                if not self._items:
+                    cond.wait()
+                if self._pending(only) == 0:
                     if self._closed:
                         return None
                     continue
 
                 # -- give the batch max_wait to fill ---------------------
-                # A pause (gate cleared) cuts the fill window short, so
-                # requests staged under pause() join the post-resume
-                # coalescing instead of riding a batch already gathering.
-                head_key = key(self._items[0])
+                # Per-key pending counts are O(1) deque lengths — no rescan
+                # of the queue per wakeup.  A pause (gate cleared) cuts the
+                # fill window short, so requests staged under pause() join
+                # the post-resume coalescing instead of riding a batch
+                # already gathering.
+                head_key = only if only is not None else self._head_key()
+                fill_cond = self._cond(head_key)
                 if max_wait > 0 and not self._closed:
                     deadline = time.perf_counter() + max_wait
                     while gate is None or gate.is_set():
-                        n_same = sum(
-                            1 for r in self._items if key(r) == head_key
-                        )
-                        if n_same >= max_batch or self._closed:
+                        pending = self._pending(head_key)
+                        if pending >= max_batch or pending == 0 or self._closed:
+                            # full batch, key drained by a racing shared-pool
+                            # worker (nothing left to fill — re-pick a head
+                            # instead of sleeping out the budget), or closing
                             break
                         remaining = deadline - time.perf_counter()
                         if remaining <= 0:
                             break
-                        self._not_empty.wait(remaining)
-                if not self._items:
-                    continue  # drained behind our back (shutdown cancel)
+                        fill_cond.wait(remaining)
 
                 # -- extract matching requests, preserving FIFO ----------
-                head_key = key(self._items[0])
+                dq = self._by_key.get(head_key)
+                if not dq:
+                    continue  # drained behind our back (shutdown/racing pop)
                 batch: list[InferenceRequest] = []
-                rest: deque[InferenceRequest] = deque()
-                for r in self._items:
-                    if len(batch) < max_batch and key(r) == head_key:
-                        batch.append(r)
+                dropped = 0
+                while dq and len(batch) < max_batch:
+                    r = dq[0]
+                    if r.future.cancelled():
+                        dq.popleft()  # abandoned deadline: free the slot
+                        dropped += 1
                     else:
-                        rest.append(r)
-                self._items = rest
-                self._not_full.notify_all()
+                        batch.append(dq.popleft())
+                self._size -= len(batch) + dropped
+                if batch or dropped:
+                    self._not_full.notify_all()
+                if dropped and self._on_drop is not None:
+                    self._on_drop(dropped)
                 if batch:
                     return batch
 
     # ------------------------------------------------------------- shutdown
 
     def kick(self) -> None:
-        """Wake a consumer blocked in ``pop_batch`` (used by resume)."""
-        with self._not_empty:
-            self._not_empty.notify_all()
+        """Wake every parked consumer (used by resume)."""
+        with self._lock:
+            self._notify_all_conds()
 
     def close(self) -> None:
         """Refuse further submissions; pending requests stay drainable."""
         with self._lock:
             self._closed = True
-            self._not_empty.notify_all()
-            self._not_full.notify_all()
+            self._notify_all_conds()
 
     def close_and_drain(self) -> list[InferenceRequest]:
         """Close and atomically remove every pending request (no-drain
-        shutdown path; the caller cancels the returned requests' futures)."""
+        shutdown path; the caller cancels the returned requests' futures).
+        Returned in global admission (seq) order."""
         with self._lock:
             self._closed = True
-            pending = list(self._items)
-            self._items.clear()
-            self._not_empty.notify_all()
-            self._not_full.notify_all()
+            pending = sorted(
+                (r for dq in self._by_key.values() for r in dq),
+                key=lambda r: r.seq,
+            )
+            self._by_key.clear()
+            self._size = 0
+            self._notify_all_conds()
             return pending

@@ -22,6 +22,12 @@ Requests for other models keep their queue positions while a batch is
 gathered, so per-model FIFO order is preserved and a busy model cannot
 starve an idle one indefinitely (its head becomes the new batch head as soon
 as the current batch is cut).
+
+The scheduler is consumed by one *or several* workers: a per-model worker
+passes ``only=model`` so it draws (and wakes) exclusively on its own
+model's requests, while a shared-pool worker passes ``only=None`` and takes
+whatever key heads the queue.  The request key itself lives in the queue
+(computed once at admission), so the fill loop's per-key counts are O(1).
 """
 
 from __future__ import annotations
@@ -50,18 +56,23 @@ class MicroBatchScheduler:
         self.max_wait_us = float(max_wait_us)
 
     def next_batch(
-        self, gate: Optional[threading.Event] = None
+        self,
+        gate: Optional[threading.Event] = None,
+        only: Optional[str] = None,
     ) -> Optional[list[InferenceRequest]]:
         """The next batch to execute, or ``None`` when the queue is closed
-        and fully drained (the worker's exit signal).
+        and this consumer's view of it is drained (the worker's exit
+        signal).
 
-        Blocks while the queue is empty or ``gate`` (the server's pause
-        switch) is cleared.  The returned requests share one model and
-        appear in submission order.
+        Blocks while there is no eligible request or ``gate`` (the server's
+        pause switch) is cleared.  ``only`` restricts the consumer to one
+        model's requests (the per-model worker mode — the consumer then
+        never wakes for other models' traffic).  The returned requests
+        share one model and appear in submission order.
         """
         return self.queue.pop_batch(
             self.max_batch,
             self.max_wait_us * 1e-6,
-            key=lambda r: r.model,
+            only=only,
             gate=gate,
         )

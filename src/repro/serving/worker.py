@@ -1,30 +1,54 @@
-"""The inference server: one worker thread driving batched evaluations.
+"""The inference server: a pool of worker threads driving batched evaluations.
 
-Architecture (the ROADMAP's "batched serving endpoint")::
+Architecture (the ROADMAP's "serving depth" rung)::
 
-    clients                 queue                scheduler          worker
-    ------- submit() ----> [bounded] -- pop_batch(max_batch, ----> evaluate_batch
-    futures <------------- results     max_wait_us, model) <------ scatter to futures
+    clients                  queue                    worker pool
+    ------- submit() --> [bounded FIFO, ---- pop_batch(only=model) --> worker "a"
+    futures <----------   per-key deques \\-- pop_batch(only=model) --> worker "b"
+                          + key-aware wakeups]        |  each: evaluate_batch
+                                                      |  on its OWN engine,
+                          results scattered back <----+  scatter to futures
 
-Many client threads submit frames; a single worker thread coalesces them
-into per-model micro-batches and runs each batch through that model's
-persistent :class:`~repro.dp.batch.BatchedEvaluator` — whose graph executes
-as a compiled execution plan (:mod:`repro.tfmini.plan`): compiled once at
-model registration, with a warm buffer arena per batch shape, so the
-steady-state serving loop performs no graph traversal and no per-op output
-allocation.  One worker per server
-means one ``session.run`` at a time per model — the tfmini session and the
-evaluator's scratch pool are only ever touched from the worker thread, so
-no locking is needed on the hot path (client threads touch only the queue).
+Many client threads submit frames; each worker thread coalesces its share
+into per-model micro-batches and runs each batch through a persistent
+:class:`~repro.dp.batch.BatchedEvaluator` — whose graph executes as a
+compiled execution plan (:mod:`repro.tfmini.plan`), so the steady-state
+serving loop performs no graph traversal and no per-op output allocation.
+
+Two pool shapes:
+
+``workers="per-model"`` (default)
+    One worker thread per registered model, parked on a key-aware queue
+    condition so it only ever wakes for its own model's requests.  Each
+    worker owns its model's registry engine exclusively; two-model traffic
+    overlaps plan execution inside numpy's GIL-releasing BLAS/ufunc kernels
+    instead of serializing behind one loop.  Per-model FIFO dispatch *and*
+    completion order are preserved (one worker per model).
+
+``workers=N``
+    A shared pool of N workers, each taking whatever model heads the queue.
+    A worker lazily acquires its **own** engine per model it serves (the
+    registry engine is claimed by the first worker to need it; later
+    workers build fresh ones), so N workers can run the same model's
+    batches concurrently.  Per-model dispatch stays FIFO, but completion
+    order across two in-flight batches of one model is not guaranteed.
+
+**One-engine-one-thread invariant**: an engine's scratch pool and its
+plan's buffer arenas are mutable run state, so an engine is only ever
+*executed* by the single worker that owns it — never shared across threads
+(``BatchedEvaluator`` guards against concurrent entry; see
+:mod:`repro.dp.batch`).  Client threads touch only the locked queue, and
+``executor_stats()`` reads are thread-safe counter snapshots.
 
 Numerical contract: every request's result is **bitwise identical** to a
 direct ``DeepPot.evaluate`` of the same frame, no matter which other
-requests it shared a batch with (the engine's per-frame independence
-guarantee; asserted under concurrent load in ``tests/test_serving.py``).
+requests it shared a batch with or which worker interleaving executed it
+(the engine's per-frame independence guarantee; asserted under genuinely
+concurrent two-model load in ``tests/test_serving.py``).
 
 Avoid calling ``model.evaluate`` on a model from another thread *while* the
 server is processing requests for it: the model's default R=1 engine and
-the server's engine hold separate scratch, but the profiling counters of a
+the server's engines hold separate scratch, but the profiling counters of a
 shared session are not synchronized.
 """
 
@@ -33,7 +57,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -53,6 +77,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.md.system import System
 
 
+class _Worker:
+    """One pool member: a thread plus the engines that thread owns.
+
+    ``only`` is the model name a per-model worker is bound to (``None`` for
+    shared-pool workers).  ``engines`` holds the evaluators this worker has
+    acquired — the structural form of the one-engine-one-thread invariant:
+    nothing in here is ever executed by another thread.
+    """
+
+    __slots__ = ("wid", "only", "thread", "engines")
+
+    def __init__(self, wid: str, only: Optional[str]):
+        self.wid = wid
+        self.only = only
+        self.thread: Optional[threading.Thread] = None
+        self.engines: dict[str, object] = {}
+
+
 class InferenceServer:
     """Multi-client, multi-model DP inference with dynamic micro-batching.
 
@@ -65,11 +107,16 @@ class InferenceServer:
         MicroBatchScheduler`).
     max_queue:
         Bounded queue depth — the backpressure limit (``<= 0``: unbounded).
+    workers:
+        ``"per-model"`` (default): one worker thread per registered model,
+        key-aware wakeups, strict per-model FIFO.  An integer ``N``: a
+        shared pool of N workers drawing on the whole queue (``workers=1``
+        reproduces the original single-worker loop exactly).
     autostart:
-        Start the worker thread immediately.  Benchmarks pass ``False`` (or
+        Start the worker pool immediately.  Benchmarks pass ``False`` (or
         use :meth:`paused`) to pre-load the queue and get a deterministic
         batch count: N pre-queued requests execute in exactly
-        ``ceil(N / max_batch)`` batches.
+        ``ceil(N / max_batch)`` batches per model.
     backend:
         Environment-operator backend forwarded to ``evaluate_batch``.
     """
@@ -81,22 +128,39 @@ class InferenceServer:
         max_batch: int = 8,
         max_wait_us: float = 1000.0,
         max_queue: int = 64,
+        workers: Union[int, str] = "per-model",
         autostart: bool = True,
         backend: str = "optimized",
     ):
         from repro.dp.batch import BatchedEvaluator
 
+        if workers != "per-model":
+            try:
+                workers = int(workers)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"workers must be 'per-model' or a positive integer, "
+                    f"got {workers!r}"
+                ) from None
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self._engine_cls = BatchedEvaluator
         self._models: dict[str, "DeepPot"] = {}
         self._engines: dict[str, object] = {}
         self.backend = backend
-        self.queue = RequestQueue(maxsize=max_queue)
+        self.stats = ServerStats()
+        self.queue = RequestQueue(
+            maxsize=max_queue, on_drop=self.stats.record_cancelled
+        )
         self.scheduler = MicroBatchScheduler(
             self.queue, max_batch=max_batch, max_wait_us=max_wait_us
         )
-        self.stats = ServerStats()
-        self._gate = threading.Event()  # set = worker may take batches
-        self._thread: Optional[threading.Thread] = None
+        self._gate = threading.Event()  # set = workers may take batches
+        self._workers: list[_Worker] = []
+        self._started = False  # start() called (even with zero models yet)
+        self._engine_lock = threading.Lock()
+        self._claimable: dict[str, object] = {}  # registry engines, unclaimed
         if models:
             for name, model in models.items():
                 self.register(name, model)
@@ -110,7 +174,9 @@ class InferenceServer:
 
         The evaluator's compiled execution plan is built here (one graph
         topo-sort, at registration) so the first served request only pays
-        the per-batch-shape arena warm-up, never graph compilation.
+        the per-batch-shape arena warm-up, never graph compilation.  On a
+        running per-model pool, registration also spawns the new model's
+        worker.
         """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
@@ -118,29 +184,61 @@ class InferenceServer:
         engine = self._engine_cls(model)
         engine.plan  # compile now, off the serving hot path
         self._engines[name] = engine
+        if self.workers != "per-model":
+            # Shared pools hand registry engines to the first worker that
+            # needs them; per-model workers read the registry directly.
+            with self._engine_lock:
+                self._claimable[name] = engine
+        # A started per-model pool grows a worker per registration — even
+        # when this is the FIRST model (zero workers alive, so `running`
+        # alone cannot stand in for "started").
+        if (
+            self.workers == "per-model"
+            and self._started
+            and not self.queue.closed
+        ):
+            self._spawn_worker(name, only=name)
         return self
 
     def model_names(self) -> list[str]:
         return sorted(self._models)
 
     def executor_stats(self) -> dict[str, dict]:
-        """Per-model compiled-plan counters (deterministic, lock-free reads).
+        """Per-engine compiled-plan counters (deterministic, lock-free
+        snapshots — safe to call from a monitoring thread mid-traffic).
 
-        For each hosted model: ``topo_sorts`` (1 per engine lifetime),
-        ``runs``, ``arena_builds`` (one per distinct batch shape seen) and
-        ``arena_allocs`` — a steady workload stops growing everything except
-        ``runs``.
+        Per-model pools report one entry per model (that model's worker
+        owns exactly one engine).  Shared pools report one entry per
+        *acquired* engine, keyed ``model@worker`` (plus any still-unclaimed
+        registry engine under its bare model name).  For each engine:
+        ``topo_sorts`` (1 per engine lifetime), ``runs``, ``arena_builds``
+        (one per distinct batch shape seen) and ``arena_allocs`` — a steady
+        workload stops growing everything except ``runs``.
         """
-        out = {}
-        for name, engine in self._engines.items():
+        out: dict[str, dict] = {}
+
+        def add(key: str, engine) -> None:
             plan = engine.plan
-            out[name] = {
+            out[key] = {
                 "topo_sorts": plan.stats.topo_sorts,
                 "runs": plan.stats.runs,
                 "arena_builds": plan.stats.arena_builds,
                 "arena_allocs": plan.alloc_count(),
                 "arena_nbytes": plan.arena_nbytes(),
             }
+
+        if self.workers == "per-model":
+            for name, engine in list(self._engines.items()):
+                add(name, engine)
+            return out
+        claimed: set[int] = set()
+        for w in self._workers:
+            for name, engine in list(w.engines.items()):
+                add(f"{name}@{w.wid}", engine)
+                claimed.add(id(engine))
+        for name, engine in list(self._engines.items()):
+            if id(engine) not in claimed:
+                add(name, engine)
         return out
 
     def model(self, name: str) -> "DeepPot":
@@ -162,8 +260,8 @@ class InferenceServer:
 
         builders = {"water": zoo.get_water_model, "copper": zoo.get_copper_model}
         # Resolve (and validate) every model BEFORE constructing the server:
-        # with autostart a bad name would otherwise leak a parked worker
-        # thread attached to a server nobody holds a reference to.
+        # with autostart a bad name would otherwise leak parked worker
+        # threads attached to a server nobody holds a reference to.
         models: dict[str, "DeepPot"] = {}
         for name in names:
             base, _, prec = name.partition("-")
@@ -193,7 +291,7 @@ class InferenceServer:
         """Queue one frame for evaluation; returns its future.
 
         The neighbor pair list is computed here (caller's thread) when not
-        supplied, keeping the worker thread free for graph execution.
+        supplied, keeping the worker threads free for graph execution.
         Raises :class:`KeyError` for an unregistered model,
         :class:`QueueFull` under backpressure, :class:`ServerClosed` after
         shutdown.
@@ -211,8 +309,13 @@ class InferenceServer:
         request = InferenceRequest(
             model=model, system=system, pair_i=pair_i, pair_j=pair_j
         )
+        # Serving metadata for callers/tests — attached BEFORE the request
+        # becomes visible to any worker: a worker may resolve the future
+        # (and fire done-callbacks that read ``future.request``) the instant
+        # the put returns.
+        request.future.request = request
         # Count the submission BEFORE the request becomes visible to the
-        # worker, so requests_completed can never transiently exceed
+        # workers, so requests_completed can never transiently exceed
         # requests_submitted; a refused put takes the count back.
         self.stats.record_submit()
         try:
@@ -224,7 +327,6 @@ class InferenceServer:
         except ServerClosed:
             self.stats.undo_submit()
             raise
-        request.future.request = request  # serving metadata for callers/tests
         return request.future
 
     def client(self, model: Optional[str] = None):
@@ -244,7 +346,25 @@ class InferenceServer:
 
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        return any(
+            w.thread is not None and w.thread.is_alive() for w in self._workers
+        )
+
+    def worker_ids(self) -> list[str]:
+        """Ids of the pool's workers (model names in per-model mode)."""
+        return [w.wid for w in self._workers]
+
+    def _spawn_worker(self, wid: str, only: Optional[str]) -> _Worker:
+        worker = _Worker(wid, only)
+        worker.thread = threading.Thread(
+            target=self._serve_loop,
+            args=(worker,),
+            name=f"repro-serving-{wid}",
+            daemon=True,
+        )
+        self._workers.append(worker)
+        worker.thread.start()
+        return worker
 
     def start(self) -> "InferenceServer":
         if self.running:
@@ -252,14 +372,19 @@ class InferenceServer:
         if self.queue.closed:
             raise ServerClosed("server was stopped; build a new one")
         self._gate.set()
-        self._thread = threading.Thread(
-            target=self._serve_loop, name="repro-serving-worker", daemon=True
-        )
-        self._thread.start()
+        self._started = True
+        if self.workers == "per-model":
+            spawned = {w.wid for w in self._workers if w.thread.is_alive()}
+            for name in self._models:
+                if name not in spawned:
+                    self._spawn_worker(name, only=name)
+        else:
+            for i in range(self.workers):
+                self._spawn_worker(f"pool-{i}", only=None)
         return self
 
     def pause(self) -> None:
-        """Stop taking new batches (in-flight batch finishes first)."""
+        """Stop taking new batches (in-flight batches finish first)."""
         self._gate.clear()
 
     def resume(self) -> None:
@@ -271,7 +396,7 @@ class InferenceServer:
         """``with server.paused(): submit(...)`` — requests accumulate in
         the queue, then coalesce maximally on resume.  Batch counts are
         fully deterministic when the server is idle at pause time (the
-        benchmark pattern); under live traffic a batch the worker is
+        benchmark pattern); under live traffic a batch a worker is
         already gathering still executes."""
         self.pause()
         try:
@@ -280,28 +405,36 @@ class InferenceServer:
             self.resume()
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Shut down the worker.
+        """Shut down the worker pool.
 
         ``drain=True`` completes every queued request first; ``drain=False``
         cancels pending futures (waiters get ``CancelledError``).  In-flight
         batches always complete — results are never discarded mid-execution.
-        Draining needs a live worker: on a server that was never started,
+        Draining needs live workers: on a server that was never started,
         pending requests are cancelled either way.
         """
-        if drain and self._thread is not None:
+        if drain and self._workers:
             self.queue.close()
         else:
             pending = self.queue.close_and_drain()
             dropped = sum(1 for r in pending if r.future.cancel())
             self.stats.record_cancelled(dropped)
-        if self._thread is None:
+        if not self._workers:
             return
-        self._gate.set()  # a paused server must still wind down
+        self._gate.set()  # a paused pool must still wind down
         self.queue.kick()
-        self._thread.join(timeout)
-        if self._thread.is_alive():  # pragma: no cover - join timeout
-            raise RuntimeError("serving worker did not stop in time")
-        self._thread = None
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        for w in self._workers:
+            w.thread.join(
+                None
+                if deadline is None
+                else max(0.0, deadline - time.perf_counter())
+            )
+        stuck = [w.wid for w in self._workers if w.thread.is_alive()]
+        if stuck:  # pragma: no cover - join timeout
+            raise RuntimeError(f"serving workers did not stop in time: {stuck}")
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -311,22 +444,50 @@ class InferenceServer:
 
     # ------------------------------------------------------------ worker loop
 
-    def _serve_loop(self) -> None:
+    def _serve_loop(self, worker: _Worker) -> None:
         while True:
-            batch = self.scheduler.next_batch(gate=self._gate)
+            batch = self.scheduler.next_batch(gate=self._gate, only=worker.only)
             if batch is None:
                 return
-            self._run_batch(batch)
+            self._run_batch(batch, worker)
 
-    def _run_batch(self, batch: list[InferenceRequest]) -> None:
+    def _engine_for(self, worker: _Worker, name: str):
+        """The engine ``worker`` executes ``name``'s batches on.
+
+        Per-model workers read the registry entry every batch (there is
+        exactly one consumer per model, so the entry is effectively owned
+        by that worker; tests may swap it to inject failures).  Shared-pool
+        workers acquire engines for themselves: the registry engine goes to
+        the first worker that needs the model, later workers build their
+        own — two threads never execute one engine.
+        """
+        if worker.only is not None:
+            return self._engines[name]
+        engine = worker.engines.get(name)
+        if engine is None:
+            with self._engine_lock:
+                engine = self._claimable.pop(name, None)
+            if engine is None:
+                engine = self._engine_cls(self._models[name])
+                # Compile before publishing: executor_stats() may reach
+                # engine.plan from a monitoring thread the moment this
+                # engine appears in worker.engines, and lazy compilation is
+                # not safe to race (nor welcome on the serving hot path).
+                engine.plan
+            worker.engines[name] = engine
+        return engine
+
+    def _run_batch(self, batch: list[InferenceRequest], worker: _Worker) -> None:
         dispatched_at = time.perf_counter()
         live = [r for r in batch if r.future.set_running_or_notify_cancel()]
         if len(live) < len(batch):
+            # Cancelled between queue extraction and dispatch (the queue
+            # already dropped — and counted — anything cancelled earlier).
             self.stats.record_cancelled(len(batch) - len(live))
         if not live:
             return
         name = live[0].model
-        engine = self._engines[name]
+        engine = self._engine_for(worker, name)
         seqs = tuple(r.seq for r in live)
         waits = tuple(dispatched_at - r.enqueued_at for r in live)
         try:
@@ -341,8 +502,10 @@ class InferenceServer:
             # on to the next batch.
             for r in live:
                 r.future.set_exception(exc)
-            self.stats.record_batch(name, seqs, waits, failed=True)
+            self.stats.record_batch(
+                name, seqs, waits, failed=True, worker=worker.wid
+            )
             return
         for r, result in zip(live, results):
             r.future.set_result(result)
-        self.stats.record_batch(name, seqs, waits)
+        self.stats.record_batch(name, seqs, waits, worker=worker.wid)

@@ -172,8 +172,14 @@ class ExecutionPlan:
 
     A plan owns mutable run state (the slot value table and the arenas), so
     a single plan must not be run from two threads at once — one plan per
-    driver, like the batched engine's scratch pool (the serving worker's
-    one-thread-per-server design satisfies this by construction).
+    driver, like the batched engine's scratch pool.  The serving pool
+    satisfies this by construction: every worker thread owns its engines
+    (and therefore their plans) exclusively, and ``BatchedEvaluator``
+    raises on concurrent entry.  *Different* plans may run on different
+    threads concurrently — the tape's kernels spend most of their time in
+    GIL-releasing BLAS/ufunc calls, which is exactly what the multi-worker
+    serving pool overlaps.  The counter accessors below (``alloc_count``,
+    ``arena_nbytes``) stay safe to call from a monitoring thread.
     """
 
     def __init__(

@@ -1,21 +1,28 @@
 """Semantics of the micro-batching inference service (:mod:`repro.serving`).
 
-Five contracts, all asserted deterministically (no wall-clock thresholds —
+Seven contracts, all asserted deterministically (no wall-clock thresholds —
 see the bench-timing policy):
 
 1. **correspondence** — every future resolves to *its own* frame's result,
    bitwise identical to a direct ``DeepPot.evaluate``, under concurrent
-   submitters and regardless of batch composition;
+   submitters and regardless of batch composition or worker interleaving;
 2. **FIFO fairness** — batches take requests in submission order; requests
    for other models keep their queue positions (no reordering, no mixing);
 3. **backpressure** — a bounded queue rejects (or blocks) submissions at
    the configured depth and counts the rejections;
 4. **shutdown** — drain completes every pending request, no-drain cancels
-   them; either way the worker exits and later submissions are refused;
+   them; either way the workers exit and later submissions are refused;
 5. **stats** — the ``ServerStats`` counter block is an exact, reproducible
-   function of the request schedule.
+   function of the request schedule;
+6. **worker pool** — per-model pools run each model's batches on that
+   model's own worker over its own engine (never shared across threads),
+   and shared pools give each worker private engines;
+7. **deadlines** — a request abandoned at its client deadline is cancelled
+   and counted exactly once, never completed; future metadata exists before
+   any worker can resolve the future; hung client threads are joined
+   against a deadline instead of forever.
 
-Determinism device: ``server.paused()`` parks the worker between batches,
+Determinism device: ``server.paused()`` parks the workers between batches,
 so a submission schedule can be staged in full before coalescing begins —
 N pre-queued same-model requests then execute in exactly
 ``ceil(N / max_batch)`` batches.
@@ -23,6 +30,7 @@ N pre-queued same-model requests then execute in exactly
 
 import threading
 from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeout
 
 import numpy as np
 import pytest
@@ -155,20 +163,22 @@ class TestFifoFairness:
         for f in futures:
             f.result(WAIT)
         server.stop()
+        # per-model pool: the model's own worker (id == model name) ran all
         assert server.stats.batch_log == [
-            ("water", (0, 1, 2, 3)),
-            ("water", (4, 5, 6, 7)),
-            ("water", (8, 9)),
+            ("water", (0, 1, 2, 3), "water"),
+            ("water", (4, 5, 6, 7), "water"),
+            ("water", (8, 9), "water"),
         ]
 
     def test_interleaved_models_never_mix_and_keep_order(
         self, model, model_b, base
     ):
         """Batches gather same-model requests FIFO, skipping (not
-        reordering) the other model's requests."""
+        reordering) the other model's requests.  A single shared worker
+        (workers=1) pins the global batch order deterministically."""
         frames = perturbed(base, 8)
         server = InferenceServer(
-            {"a": model, "b": model_b}, max_batch=4, autostart=False
+            {"a": model, "b": model_b}, max_batch=4, workers=1, autostart=False
         )
         futures = []
         for k, frame in enumerate(frames):
@@ -177,8 +187,8 @@ class TestFifoFairness:
         results = [f.result(WAIT) for f in futures]
         server.stop()
         assert server.stats.batch_log == [
-            ("a", (0, 2, 4, 6)),
-            ("b", (1, 3, 5, 7)),
+            ("a", (0, 2, 4, 6), "pool-0"),
+            ("b", (1, 3, 5, 7), "pool-0"),
         ]
         for k, (frame, result) in enumerate(zip(frames, results)):
             assert_bitwise(result, direct(model if k % 2 == 0 else model_b, frame))
@@ -365,10 +375,12 @@ class TestStatsAndRegistry:
     def test_batch_log_is_bounded_but_counters_are_complete(self):
         stats = ServerStats(batch_log_limit=2)
         for k in range(5):
-            stats.record_batch("m", (k,), (0.0,))
-        assert stats.batch_log == [("m", (3,)), ("m", (4,))]
+            stats.record_batch("m", (k,), (0.0,), worker="w0")
+        assert stats.batch_log == [("m", (3,), "w0"), ("m", (4,), "w0")]
         assert stats.batches == 5
         assert stats.frames == 5
+        assert stats.frames_per_worker == {"w0": 5}
+        assert stats.batches_per_worker == {"w0": 5}
 
     def test_registry_rejects_duplicates_and_unknown_names(self, model, base):
         server = InferenceServer({"water": model}, autostart=False)
@@ -417,12 +429,75 @@ class TestQueueAndScheduler:
         q = RequestQueue(maxsize=0)
         for name in ["a", "b", "a", "a", "b"]:
             q.put(InferenceRequest(name, None, None, None))
-        batch = q.pop_batch(max_batch=2, max_wait=0.0, key=lambda r: r.model)
+        batch = q.pop_batch(max_batch=2, max_wait=0.0)
         assert [r.seq for r in batch] == [0, 2]
-        batch = q.pop_batch(max_batch=8, max_wait=0.0, key=lambda r: r.model)
+        batch = q.pop_batch(max_batch=8, max_wait=0.0)
         assert [r.seq for r in batch] == [1, 4]  # b-requests kept their order
-        batch = q.pop_batch(max_batch=8, max_wait=0.0, key=lambda r: r.model)
+        batch = q.pop_batch(max_batch=8, max_wait=0.0)
         assert [r.seq for r in batch] == [3]
+
+    def test_pop_batch_only_restricts_to_one_key(self):
+        """A per-model consumer draws exclusively on its model, leaving
+        other models' requests (even older ones) untouched."""
+        q = RequestQueue(maxsize=0)
+        for name in ["a", "a", "b", "a", "b"]:
+            q.put(InferenceRequest(name, None, None, None))
+        batch = q.pop_batch(max_batch=8, max_wait=0.0, only="b")
+        assert [r.seq for r in batch] == [2, 4]
+        assert q.pending_by_key() == {"a": 3}
+        batch = q.pop_batch(max_batch=2, max_wait=0.0, only="a")
+        assert [r.seq for r in batch] == [0, 1]
+
+    def test_per_key_counts_and_single_key_derivation(self):
+        """The queue maintains per-key pending counts under its lock and
+        computes each request's key exactly once, at admission — the fill
+        loop never rescans the queue re-deriving keys (the O(queue)-per-
+        wakeup fix)."""
+        q = RequestQueue(maxsize=0)
+        for name in ["a", "b", "a", "b", "b", "c"]:
+            q.put(InferenceRequest(name, None, None, None))
+        assert q.pending_by_key() == {"a": 2, "b": 3, "c": 1}
+        assert q.key_calls == 6
+        q.pop_batch(max_batch=8, max_wait=0.0)        # takes the a-run
+        q.pop_batch(max_batch=1, max_wait=0.0, only="b")
+        assert q.pending_by_key() == {"b": 2, "c": 1}
+        assert len(q) == 3
+        assert q.key_calls == 6  # pops never re-derived a key
+
+    def test_pop_batch_drops_cancelled_requests(self):
+        """Requests whose futures were cancelled while queued are discarded
+        (reported via on_drop exactly once), never returned in a batch."""
+        drops = []
+        q = RequestQueue(maxsize=0, on_drop=drops.append)
+        reqs = [InferenceRequest("m", None, None, None) for _ in range(4)]
+        for r in reqs:
+            q.put(r)
+        assert reqs[0].future.cancel()
+        assert reqs[2].future.cancel()
+        batch = q.pop_batch(max_batch=8, max_wait=0.0)
+        assert [r.seq for r in batch] == [1, 3]
+        assert sum(drops) == 2
+        assert len(q) == 0
+
+    def test_cancel_frees_bounded_slot_without_a_consumer(self):
+        """Cancelling a queued request frees its bounded-queue slot
+        immediately — a blocked submitter must not starve behind dead
+        requests when no worker is consuming."""
+        drops = []
+        q = RequestQueue(maxsize=2, on_drop=drops.append)
+        reqs = [InferenceRequest("m", None, None, None) for _ in range(2)]
+        for r in reqs:
+            q.put(r)
+        with pytest.raises(QueueFull):
+            q.put(InferenceRequest("m", None, None, None), block=False)
+        assert reqs[0].future.cancel()
+        assert len(q) == 1  # the slot opened with no pop_batch involved
+        late = q.put(InferenceRequest("m", None, None, None), block=False)
+        assert late.seq == 2  # the refused put above consumed no seq
+        assert sum(drops) == 1
+        batch = q.pop_batch(max_batch=8, max_wait=0.0)
+        assert [r.seq for r in batch] == [1, 2]
+        assert sum(drops) == 1  # the earlier cancel is never re-counted
 
     def test_closed_queue_refuses_puts_and_drains(self):
         q = RequestQueue(maxsize=4)
@@ -430,16 +505,20 @@ class TestQueueAndScheduler:
         q.close()
         with pytest.raises(ServerClosed):
             q.put(InferenceRequest("m", None, None, None))
-        batch = q.pop_batch(max_batch=4, max_wait=1.0, key=lambda r: r.model)
+        batch = q.pop_batch(max_batch=4, max_wait=1.0)
         assert len(batch) == 1  # close cuts the wait budget short
-        assert q.pop_batch(4, 0.0, key=lambda r: r.model) is None
+        assert q.pop_batch(4, 0.0) is None
+        assert q.pop_batch(4, 0.0, only="m") is None
 
     def test_close_and_drain_returns_pending(self):
         q = RequestQueue(maxsize=4)
-        reqs = [InferenceRequest("m", None, None, None) for _ in range(3)]
+        reqs = [
+            InferenceRequest(name, None, None, None)
+            for name in ["a", "b", "a"]
+        ]
         for r in reqs:
             q.put(r)
-        assert q.close_and_drain() == reqs
+        assert q.close_and_drain() == reqs  # global admission order
         assert len(q) == 0
 
     def test_scheduler_validates_policy(self):
@@ -448,3 +527,322 @@ class TestQueueAndScheduler:
             MicroBatchScheduler(q, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatchScheduler(q, max_wait_us=-1.0)
+
+    def test_server_validates_workers(self, model):
+        with pytest.raises(ValueError):
+            InferenceServer({"water": model}, workers=0, autostart=False)
+        with pytest.raises(ValueError):
+            InferenceServer({"water": model}, workers="three", autostart=False)
+
+
+class TestWorkerPool:
+    """The multi-worker serving pool (one worker per model by default)."""
+
+    def test_per_model_workers_concurrent_two_model_bitwise(
+        self, model, model_b, base
+    ):
+        """Genuinely concurrent 2-model load on a per-model pool: every
+        served result is bitwise identical to a direct evaluation, every
+        batch of a model ran on that model's own worker, and per-model
+        dispatch order is FIFO regardless of worker interleaving."""
+        server = InferenceServer(
+            {"a": model, "b": model_b}, max_batch=4, max_wait_us=2000
+        )
+        assert sorted(server.worker_ids()) == ["a", "b"]
+        served: dict[tuple, list] = {}
+
+        def run_client(name, mdl, tid):
+            client = server.client(name)
+            frames = perturbed(base, 4, seed0=1000 * tid)
+            served[(name, tid)] = [
+                (mdl, f, client.evaluate(f, timeout=WAIT)) for f in frames
+            ]
+
+        threads = [
+            threading.Thread(target=run_client, args=(name, mdl, tid))
+            for tid, (name, mdl) in enumerate(
+                [("a", model), ("a", model), ("b", model_b), ("b", model_b)]
+            )
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT)
+        assert not any(t.is_alive() for t in threads)
+        server.stop()
+        for results in served.values():
+            for mdl, frame, result in results:
+                assert_bitwise(result, direct(mdl, frame))
+        log = server.stats.batch_log
+        # each model's batches executed by its own worker, FIFO per model
+        assert log and all(rec.worker == rec.model for rec in log)
+        for name in ("a", "b"):
+            seqs = [s for rec in log if rec.model == name for s in rec.seqs]
+            assert len(seqs) == 8
+            assert seqs == sorted(seqs)
+        snap = server.stats.snapshot()
+        assert snap["requests_completed"] == 16
+        assert snap["frames_per_worker"] == {"a": 8, "b": 8}
+
+    def test_per_model_prequeued_coalescing_is_deterministic(
+        self, model, model_b, base
+    ):
+        """Pre-queued interleaved 2-model traffic: each worker coalesces
+        its own model's FIFO runs into exactly ceil(8/4) = 2 batches —
+        batch contents are deterministic even though the two workers run
+        concurrently (only the global log interleaving is free)."""
+        frames = perturbed(base, 16)
+        server = InferenceServer(
+            {"a": model, "b": model_b}, max_batch=4, autostart=False
+        )
+        futures = [
+            server.submit("a" if k % 2 == 0 else "b", f)
+            for k, f in enumerate(frames)
+        ]
+        server.start()
+        for f in futures:
+            f.result(WAIT)
+        server.stop()
+        log = server.stats.batch_log
+        assert [rec.seqs for rec in log if rec.model == "a"] == [
+            (0, 2, 4, 6), (8, 10, 12, 14)
+        ]
+        assert [rec.seqs for rec in log if rec.model == "b"] == [
+            (1, 3, 5, 7), (9, 11, 13, 15)
+        ]
+        assert all(rec.worker == rec.model for rec in log)
+        assert server.stats.snapshot()["batches_per_worker"] == {
+            "a": 2, "b": 2
+        }
+
+    def test_shared_pool_workers_hold_private_engines(
+        self, model, model_b, base
+    ):
+        """workers=N shared pool: any worker may serve any model, but no
+        engine object is ever owned by two workers (scratch pools and plan
+        arenas are single-threaded state)."""
+        server = InferenceServer(
+            {"a": model, "b": model_b}, max_batch=2, max_wait_us=1000,
+            workers=2,
+        )
+        assert server.worker_ids() == ["pool-0", "pool-1"]
+        served = []
+
+        def run_client(name, mdl, tid):
+            client = server.client(name)
+            for f in perturbed(base, 3, seed0=500 * tid):
+                served.append((mdl, f, client.evaluate(f, timeout=WAIT)))
+
+        threads = [
+            threading.Thread(target=run_client, args=(name, mdl, tid))
+            for tid, (name, mdl) in enumerate(
+                [("a", model), ("b", model_b), ("a", model)]
+            )
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT)
+        server.stop()
+        for mdl, frame, result in served:
+            assert_bitwise(result, direct(mdl, frame))
+        engine_owners: dict[int, str] = {}
+        for w in server._workers:
+            for engine in w.engines.values():
+                assert id(engine) not in engine_owners, (
+                    f"engine shared by {engine_owners[id(engine)]} and {w.wid}"
+                )
+                engine_owners[id(engine)] = w.wid
+        assert server.stats.snapshot()["requests_completed"] == 9
+
+    def test_per_worker_engines_stop_allocating_steady_state(
+        self, model, model_b, base
+    ):
+        """Zero steady-state arena allocations per worker engine: a second
+        identical round of 2-model traffic grows only ``runs``."""
+        server = InferenceServer(
+            {"a": model, "b": model_b}, max_batch=4, max_wait_us=0.0
+        )
+        frames = perturbed(base, 8)
+
+        def round_trip():
+            with server.paused():
+                futs = [
+                    server.submit("a" if k % 2 == 0 else "b", f)
+                    for k, f in enumerate(frames)
+                ]
+            for f in futs:
+                f.result(WAIT)
+
+        round_trip()  # warm: builds each worker engine's batch-4 arena
+        es1 = server.executor_stats()
+        round_trip()  # steady state: identical shapes, zero new allocs
+        es2 = server.executor_stats()
+        server.stop()
+        for name in ("a", "b"):
+            assert es2[name]["topo_sorts"] == 1
+            assert es2[name]["arena_allocs"] == es1[name]["arena_allocs"]
+            assert es2[name]["arena_builds"] == es1[name]["arena_builds"]
+            assert es2[name]["runs"] == es1[name]["runs"] + 1
+        snap = server.stats.snapshot()
+        assert snap["frames_per_worker"] == {"a": 8, "b": 8}
+
+    def test_register_on_running_per_model_pool_spawns_worker(
+        self, model, model_b, base
+    ):
+        server = InferenceServer({"a": model}, max_batch=4)
+        assert server.worker_ids() == ["a"]
+        server.register("b", model_b)
+        assert sorted(server.worker_ids()) == ["a", "b"]
+        result = server.client("b").evaluate(base, timeout=WAIT)
+        server.stop()
+        assert_bitwise(result, direct(model_b, base))
+        assert server.stats.batch_log[-1].worker == "b"
+
+    def test_register_first_model_on_started_empty_server(self, model, base):
+        """A per-model server started with zero models must still spawn a
+        worker when its first model arrives (zero live workers does not
+        mean "not started")."""
+        server = InferenceServer()  # autostart=True, nothing registered yet
+        assert server.worker_ids() == []
+        server.register("water", model)
+        assert server.worker_ids() == ["water"]
+        result = server.client("water").evaluate(base, timeout=WAIT)
+        server.stop()
+        assert_bitwise(result, direct(model, base))
+
+    def test_engine_concurrent_entry_raises(self, model, base):
+        """The one-engine-one-thread invariant is guarded, not just
+        documented: entering an engine that another thread is inside
+        raises instead of corrupting scratch state."""
+        from repro.dp.batch import BatchedEvaluator
+        from repro.md.neighbor import neighbor_pairs as pairs
+
+        engine = BatchedEvaluator(model)
+        engine._active_thread = -1  # simulate another thread mid-evaluation
+        with pytest.raises(RuntimeError, match="concurrently"):
+            engine.evaluate_batch([base], [pairs(base, model.config.rcut)])
+        engine._active_thread = None
+        results = engine.evaluate_batch(
+            [base], [pairs(base, model.config.rcut)]
+        )
+        assert_bitwise(results[0], direct(model, base))
+
+
+class TestDeadlinesAndMetadata:
+    """The serving-layer race & deadline fixes (PR 4 satellites)."""
+
+    def test_metadata_attached_before_enqueue(self, model, base, monkeypatch):
+        """``future.request`` must exist before the request becomes visible
+        to any worker — a done-callback firing the instant the put returns
+        already sees the metadata."""
+        server = InferenceServer({"water": model}, autostart=False)
+        attached_at_put = []
+        orig_put = server.queue.put
+
+        def spy_put(request, **kwargs):
+            attached_at_put.append(
+                getattr(request.future, "request", None) is request
+            )
+            return orig_put(request, **kwargs)
+
+        monkeypatch.setattr(server.queue, "put", spy_put)
+        fut = server.submit("water", base)
+        assert attached_at_put == [True]
+        assert fut.request.model == "water"
+        server.stop(drain=False)
+
+    def test_timeout_cancels_queued_request_counted_once(self, model, base):
+        """A client that abandons its deadline cancels the queued request,
+        which leaves the queue immediately — counted in requests_cancelled
+        exactly once, never in requests_completed, and it burns no batch
+        slot."""
+        server = InferenceServer({"water": model}, max_batch=4, max_wait_us=0)
+        server.pause()  # worker parked: the request will sit queued
+        client = server.client("water")
+        abandoned = perturbed(base, 1)[0]
+        with pytest.raises(FutureTimeout):
+            client.evaluate(abandoned, timeout=0.05)
+        # the cancel freed the queue slot and counted, with no worker help
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 1
+        assert len(server.queue) == 0
+        live = client.submit(perturbed(base, 1, seed0=9)[0])
+        server.resume()
+        live.result(WAIT)
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 1  # exactly once
+        assert snap["requests_completed"] == 1
+        assert snap["frames"] == 1  # the dropped request used no batch slot
+        assert server.stats.pending() == 0
+        # the executed batch contains only the live request's seq
+        assert [rec.seqs for rec in server.stats.batch_log] == [(1,)]
+
+    def test_timeout_cancel_then_no_drain_stop_counted_once(self, model, base):
+        """The drain path must not double-count a request the client
+        already cancelled."""
+        server = InferenceServer({"water": model}, max_batch=4)
+        server.pause()
+        client = server.client("water")
+        with pytest.raises(FutureTimeout):
+            client.evaluate(base, timeout=0.05)
+        server.stop(drain=False)
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 1
+        assert snap["requests_completed"] == 0
+        assert server.stats.pending() == 0
+
+    def test_evaluate_many_cancels_pending_on_timeout(self, model, base):
+        server = InferenceServer({"water": model}, max_batch=4)
+        server.pause()
+        client = server.client("water")
+        frames = perturbed(base, 3, seed0=77)
+        with pytest.raises(FutureTimeout):
+            client.evaluate_many(frames, timeout=0.05)
+        server.resume()  # workers drop the whole abandoned stack
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 3
+        assert snap["requests_completed"] == 0
+        assert snap["frames"] == 0  # no batch ever executed
+        assert server.stats.pending() == 0
+
+    def test_evaluate_many_cancels_stack_on_midstream_backpressure(
+        self, model, base
+    ):
+        """A mid-stack QueueFull abandons the whole stack: the frames that
+        DID get queued are cancelled, freeing their queue slots, instead of
+        holding the bounded queue full for results nobody will read."""
+        server = InferenceServer({"water": model}, max_batch=4, max_queue=2)
+        server.pause()
+        client = server.client("water")
+        frames = perturbed(base, 4, seed0=31)
+        with pytest.raises(QueueFull):
+            client.evaluate_many(frames, timeout=0.05)
+        server.resume()  # workers drop the two queued, now-cancelled frames
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_cancelled"] == 2
+        assert snap["requests_completed"] == 0
+        assert snap["requests_rejected"] == 1
+        assert snap["frames"] == 0
+        assert server.stats.pending() == 0
+
+    def test_hung_clients_fail_the_join_deadline(self, model, base):
+        """A stalled server must fail run_closed_loop_clients at its join
+        deadline with per-client progress, not hang forever."""
+        from repro.serving import run_closed_loop_clients
+
+        server = InferenceServer({"water": model})
+        server.pause()  # nothing will ever be served
+        frame_sets = {
+            0: perturbed(base, 2, seed0=1),
+            1: perturbed(base, 2, seed0=5),
+        }
+        with pytest.raises(RuntimeError, match=r"0/2 frames done"):
+            run_closed_loop_clients(
+                server, "water", frame_sets, timeout=WAIT, join_timeout=0.3
+            )
+        # unwind: cancel pending so the daemonic client threads exit
+        server.stop(drain=False)
