@@ -5,8 +5,9 @@ Commands
 info        — package/system inventory and model-zoo status
 scaling     — regenerate the Summit scaling tables (Tables 1/4, Figs 5/6)
 validate    — quick self-check: DP forces vs finite differences,
-              distributed-vs-serial agreement, and a 2-client serving
-              round trip (seconds, not the full suite)
+              distributed-vs-serial agreement, a distributed-ensemble
+              bitwise smoke, and a 2-client serving round trip
+              (seconds, not the full suite)
 serve-bench — closed-loop load generator against the micro-batching
               inference service (N clients, deterministic counters +
               throughput report)
@@ -62,15 +63,15 @@ def cmd_validate(_args) -> int:
     from repro.dp.model import DeepPot, DPConfig
     from repro.md import boltzmann_velocities
     from repro.md.neighbor import neighbor_pairs
-    from repro.parallel import DistributedSimulation
+    from repro.parallel import DistributedEnsembleSimulation, DistributedSimulation
 
-    print("1/4 building a tiny DP model and a 81-atom water cell...")
+    print("1/5 building a tiny DP model and a 81-atom water cell...")
     model = DeepPot(DPConfig.tiny())
     sys = water_box((3, 3, 3), seed=0)
     pi, pj = neighbor_pairs(sys, model.config.rcut)
     res = model.evaluate(sys, pi, pj)
 
-    print("2/4 checking forces against finite differences...")
+    print("2/5 checking forces against finite differences...")
     eps, worst = 1e-5, 0.0
     for atom, comp in ((0, 0), (10, 1), (40, 2)):
         p0 = sys.positions[atom, comp]
@@ -86,7 +87,7 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_analytic - F_fd| = {worst:.2e} eV/Å")
     ok_fd = worst < 1e-7
 
-    print("3/4 checking distributed == serial...")
+    print("3/5 checking distributed == serial...")
     big = water_box((4, 4, 4), seed=1)
     boltzmann_velocities(big, 300.0, seed=2)
     a, b = neighbor_pairs(big, model.config.rcut)
@@ -96,7 +97,38 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_dist - F_serial| = {diff:.2e} eV/Å")
     ok_dist = diff < 1e-10
 
-    print("4/4 checking serving == direct (2-client micro-batch smoke)...")
+    print("4/5 checking distributed ensemble == independent runs (bitwise)...")
+    R, grid = 2, (2, 1, 1)
+    ens = DistributedEnsembleSimulation.from_system(
+        big, model, n_replicas=R, temperature=300.0, seed=5,
+        grid=grid, dt=5e-4, skin=1.0, rebuild_every=4,
+    )
+    before = ens.force_backend.evaluations
+    n_steps = 4
+    ens.run(n_steps)
+    evals = ens.force_backend.evaluations - before
+    ok_ens = True
+    for k in range(R):
+        solo_sys = big.copy()
+        boltzmann_velocities(solo_sys, 300.0, seed=5 + k)
+        solo = DistributedSimulation(
+            solo_sys, model, grid=grid, dt=5e-4, skin=1.0, rebuild_every=4,
+        )
+        solo.run(n_steps)
+        ok_ens = ok_ens and np.array_equal(
+            ens.replicas[k].current_system().positions,
+            solo.current_system().positions,
+        ) and np.array_equal(ens.replicas[k].forces_now(), solo.forces_now())
+    frames_per_step = R * int(np.prod(grid))
+    ok_ens = ok_ens and evals < n_steps * frames_per_step
+    print(
+        f"    {R}x{grid} replicas: {evals} batched evaluations for "
+        f"{n_steps} steps x {frames_per_step} frames "
+        f"({'bitwise identical to' if ok_ens else 'MISMATCH vs'} "
+        f"independent runs)"
+    )
+
+    print("5/5 checking serving == direct (2-client micro-batch smoke)...")
     from repro.serving import (
         InferenceServer,
         perturbed_frames,
@@ -126,7 +158,7 @@ def cmd_validate(_args) -> int:
           f"{'bitwise identical to' if ok_serve else 'MISMATCH vs'} "
           f"direct evaluate")
 
-    if ok_fd and ok_dist and ok_serve:
+    if ok_fd and ok_dist and ok_ens and ok_serve:
         print("\nvalidation PASSED")
         return 0
     print("\nvalidation FAILED")

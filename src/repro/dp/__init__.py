@@ -15,6 +15,9 @@ Submodules mirror the structure of the optimized DeePMD-kit:
   double or mixed precision (Sec 5.2.3);
 * :mod:`repro.dp.batch` — :class:`BatchedEvaluator`: R replica frames stacked
   through one set of batched GEMMs with persistent scratch buffers;
+* :mod:`repro.dp.backend` — :class:`ForceBackend`: the shape-bucketed
+  evaluation seam all MD drivers (serial, ensemble, distributed,
+  distributed-ensemble) feed :class:`ForceFrame` s into;
 * :mod:`repro.dp.pair` — the ``pair_style deepmd`` adapter into repro.md;
 * :mod:`repro.dp.train` — energy+force loss with double backprop, Adam;
 * :mod:`repro.dp.data` — labeled datasets generated from the oracles;
@@ -23,7 +26,13 @@ Submodules mirror the structure of the optimized DeePMD-kit:
 """
 
 from repro.dp.model import DeepPot, DPConfig
-from repro.dp.batch import BatchedEvaluator, ScratchPool
+from repro.dp.batch import (
+    BatchedEvaluator,
+    ScratchPool,
+    frame_bucket_key,
+    plan_frame_buckets,
+)
+from repro.dp.backend import ForceBackend, ForceFrame
 from repro.dp.pair import DeepPotPair
 from repro.dp.nlist_fmt import (
     FormattedNeighbors,
@@ -41,6 +50,10 @@ __all__ = [
     "DPConfig",
     "BatchedEvaluator",
     "ScratchPool",
+    "frame_bucket_key",
+    "plan_frame_buckets",
+    "ForceBackend",
+    "ForceFrame",
     "DeepPotPair",
     "FormattedNeighbors",
     "compress_entries",

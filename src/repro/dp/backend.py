@@ -1,0 +1,165 @@
+"""Unified force backend — the one evaluation seam behind every MD driver.
+
+The paper's scaling story (Sec 5.4, Fig 1a) is domain decomposition feeding
+a batched evaluator: MD parallelism produces many sub-domain frames per
+step, and the fixed per-evaluation cost (graph dispatch, staging, Python
+bookkeeping) must be amortized across them.  Before this layer existed each
+driver owned its own evaluate path — the serial :class:`~repro.md.
+simulation.Simulation` through ``DeepPotPair``, the replica ensemble through
+a private engine, and the distributed driver called ``DeepPot.evaluate``
+once per rank per step, so the R x P frames that replica x rank parallelism
+naturally produces never reached the batching machinery at all.
+
+:class:`ForceBackend` is that shared layer.  Drivers describe work as
+:class:`ForceFrame` s (a system snapshot + half pair list + ghost split) and
+call :meth:`ForceBackend.evaluate`; the backend groups the frames into
+shape buckets (:func:`repro.dp.batch.frame_bucket_key`), issues ONE batched
+graph evaluation per bucket through a :class:`~repro.dp.batch.
+BatchedEvaluator`, and returns per-frame results in order — each bitwise
+identical to evaluating its frame alone (the retained per-rank oracle
+path).  The bucket partition is cached between calls and recomputed only
+when the frame population changes shape — drivers call
+:meth:`invalidate_buckets` on reneighbor/migration, and a cheap per-call
+validation (atom counts, ghost splits, box lengths) catches anything the
+driver missed, so a stale partition can never produce wrong physics, only
+a suboptimal grouping.
+
+Swappable seam
+--------------
+The backend's contract is deliberately tiny — ``evaluate(frames) ->
+[PotentialResult]`` plus ``invalidate_buckets()`` — so alternative
+implementations can be dropped behind the same drivers.  In particular, an
+:class:`~repro.serving.worker.InferenceServer`-backed implementation that
+submits frames to a shared serving pool (so interactive clients and
+long-running samplers coalesce into one set of batches) only has to speak
+this protocol; the drivers do not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dp.batch import (
+    BatchedEvaluator,
+    frame_bucket_key,
+    frame_light_key,
+    plan_frame_buckets,
+)
+from repro.md.potential import PotentialResult
+
+
+@dataclass
+class ForceFrame:
+    """One unit of force-evaluation work submitted to a :class:`ForceBackend`.
+
+    ``system`` carries the atoms (locals first, then explicit ghosts when
+    ``nloc`` < ``n_atoms``); ``pair_i``/``pair_j`` is the half neighbor-pair
+    list; ``pbc`` selects minimum-image (True) or raw displacements (False —
+    the domain-decomposition mode, whose periodic images are explicit
+    ghosts).
+    """
+
+    system: object  # System (or duck-typed: positions/types/box/n_atoms)
+    pair_i: np.ndarray
+    pair_j: np.ndarray
+    nloc: Optional[int] = None  # None => every atom is local
+    pbc: bool = True
+
+    def light_key(self) -> tuple:
+        """Cheap per-step validation key: everything in the bucket key that
+        can drift between rebuilds (counts and box), minus the type
+        signature (types only change on migration, which drivers signal via
+        :meth:`ForceBackend.invalidate_buckets`).  Shares its structure
+        with :func:`repro.dp.batch.frame_bucket_key` by construction."""
+        return frame_light_key(self.system, self.nloc, self.pbc)
+
+
+class ForceBackend:
+    """Shape-bucketed batched force evaluation behind all MD drivers.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.dp.model.DeepPot` (a ``DeepPotPair`` wrapper is
+        unwrapped).
+    engine:
+        Optional :class:`~repro.dp.batch.BatchedEvaluator` to evaluate
+        through; by default the backend builds a dedicated engine so its
+        scratch/plan shapes are not thrashed by unrelated evaluations.
+        The engine's one-engine-one-thread invariant applies to the
+        backend as a whole.
+    op_backend:
+        Environment-operator backend ("optimized" | "baseline"), as in
+        ``DeepPot.evaluate``.
+
+    Deterministic counters: ``evaluations`` grows by exactly
+    ``bucket_count`` per :meth:`evaluate` call (one graph run per bucket —
+    the assert the distributed-ensemble tests pin; counted by the backend
+    itself, so sharing an engine with other callers cannot inflate it),
+    and ``rebuckets`` counts partition recomputations (one at first use,
+    then one per reneighbor/migration, not one per step).
+    """
+
+    def __init__(
+        self,
+        model,
+        engine: Optional[BatchedEvaluator] = None,
+        use_plan: bool = True,
+        op_backend: str = "optimized",
+    ):
+        model = getattr(model, "model", model)  # unwrap DeepPotPair
+        self.model = model
+        self.engine = (
+            engine
+            if engine is not None
+            else BatchedEvaluator(model, use_plan=use_plan)
+        )
+        self.op_backend = op_backend
+        self._buckets: Optional[list[list[int]]] = None
+        self._light_keys: Optional[list[tuple]] = None
+        self.rebuckets = 0
+        self.evaluations = 0  # batched graph runs this backend issued
+
+    # ------------------------------------------------------------- bucketing
+
+    @property
+    def bucket_count(self) -> int:
+        """Buckets in the cached partition (0 before the first evaluate)."""
+        return 0 if self._buckets is None else len(self._buckets)
+
+    def invalidate_buckets(self) -> None:
+        """Drop the cached partition; the next evaluate rebuckets.
+
+        Drivers call this on reneighbor/migration — the only events that
+        can change a frame's type signature without changing its counts.
+        """
+        self._buckets = None
+        self._light_keys = None
+
+    def _refresh_buckets(self, frames: Sequence[ForceFrame], light) -> None:
+        self._buckets = plan_frame_buckets(
+            [frame_bucket_key(f.system, f.nloc, f.pbc) for f in frames]
+        )
+        self._light_keys = light
+        self.rebuckets += 1
+
+    # ------------------------------------------------------------- evaluate
+
+    def evaluate(self, frames: Sequence[ForceFrame]) -> list[PotentialResult]:
+        """Evaluate all frames; one batched graph run per shape bucket.
+
+        Results are returned in frame order and are bitwise identical to
+        evaluating each frame alone.
+        """
+        frames = list(frames)
+        light = [f.light_key() for f in frames]
+        if self._buckets is None or light != self._light_keys:
+            self._refresh_buckets(frames, light)
+        results = self.engine.evaluate_frames(
+            frames, buckets=self._buckets, backend=self.op_backend
+        )
+        self.evaluations += len(self._buckets)
+        return results

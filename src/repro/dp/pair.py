@@ -19,10 +19,11 @@ from repro.md.system import System
 class DeepPotPair(Potential):
     """Potential interface around a DeepPot model.
 
-    ``compute`` routes through the model's batched evaluation engine as an
-    R=1 stack (see :mod:`repro.dp.batch`), so a serial ``Simulation`` and a
-    multi-replica ``EnsembleSimulation`` share one executor; ``compute_batch``
-    exposes the fused multi-frame evaluation directly.
+    ``compute`` feeds the shared :class:`~repro.dp.backend.ForceBackend`
+    seam as a one-frame workload (an R=1 shape bucket over the model's
+    default engine), so the serial ``Simulation`` driver goes through the
+    exact layer the ensemble and distributed drivers batch into;
+    ``compute_batch`` submits the whole frame stack at once.
     """
 
     model: DeepPot
@@ -30,14 +31,41 @@ class DeepPotPair(Potential):
 
     def __post_init__(self):
         self.cutoff = self.model.config.rcut
+        self._force_backend = None
+
+    @property
+    def force_backend(self):
+        """The pair style's :class:`~repro.dp.backend.ForceBackend` (lazy).
+
+        Built over the model's default engine, so counters/plan stats
+        observed through ``model.batched`` keep describing this driver.
+        """
+        if self._force_backend is None:
+            from repro.dp.backend import ForceBackend
+
+            self._force_backend = ForceBackend(
+                self.model, engine=self.model.batched, op_backend=self.backend
+            )
+        return self._force_backend
 
     def compute(
         self, system: System, pair_i: np.ndarray, pair_j: np.ndarray
     ) -> PotentialResult:
-        return self.model.evaluate(system, pair_i, pair_j, backend=self.backend)
+        from repro.dp.backend import ForceFrame
+
+        return self.force_backend.evaluate(
+            [ForceFrame(system, pair_i, pair_j)]
+        )[0]
 
     def compute_batch(
         self, systems, pair_lists
     ) -> list[PotentialResult]:
-        """Fused evaluation of R frames in one batched graph run."""
-        return self.model.evaluate_batch(systems, pair_lists, backend=self.backend)
+        """Fused evaluation of R frames (bucketed by shape)."""
+        from repro.dp.backend import ForceFrame
+
+        return self.force_backend.evaluate(
+            [
+                ForceFrame(s, pi, pj)
+                for s, (pi, pj) in zip(systems, pair_lists)
+            ]
+        )

@@ -67,7 +67,7 @@ class EnsembleSimulation:
         # Imported here, not at module scope: repro.dp modules import from
         # repro.md, so a top-level import would make package import order
         # significant (repro.dp before repro.md raised ImportError).
-        from repro.dp.batch import BatchedEvaluator
+        from repro.dp.backend import ForceBackend
 
         model = getattr(model, "model", model)  # unwrap DeepPotPair
         self.systems = list(systems)
@@ -76,9 +76,12 @@ class EnsembleSimulation:
         self.model = model
         self.dt = dt
         self.backend = backend
-        # A dedicated engine (not model.batched) so the R-replica scratch
-        # shapes are not thrashed by unrelated R=1 evaluations of the model.
-        self.engine = BatchedEvaluator(model)
+        # The shared evaluation seam (see repro.dp.backend): replicas are
+        # submitted as frames and bucketed into one stacked evaluation per
+        # step.  A dedicated engine (not model.batched) keeps the R-replica
+        # scratch shapes from being thrashed by unrelated R=1 evaluations.
+        self.force_backend = ForceBackend(model, op_backend=backend)
+        self.engine = self.force_backend.engine
         R = len(self.systems)
         self.integrators = (
             list(integrators)
@@ -150,10 +153,13 @@ class EnsembleSimulation:
         return len(self.systems)
 
     def _evaluate(self) -> list[PotentialResult]:
-        results = self.engine.evaluate_batch(
-            self.systems,
-            [(nl.pair_i, nl.pair_j) for nl in self.neighbors],
-            backend=self.backend,
+        from repro.dp.backend import ForceFrame
+
+        results = self.force_backend.evaluate(
+            [
+                ForceFrame(system, nl.pair_i, nl.pair_j)
+                for system, nl in zip(self.systems, self.neighbors)
+            ]
         )
         self.force_evaluations += 1
         self._results = results

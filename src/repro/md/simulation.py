@@ -6,11 +6,13 @@ every 20 steps, and wall-clock accounting split into setup time and loop
 time (the paper's time-to-solution definition in Sec 6.3).
 
 When the potential is a DP model (:class:`repro.dp.pair.DeepPotPair`), each
-``compute`` call routes through the batched evaluation engine as an R=1
-stack, so this single-replica driver and the multi-replica
-:class:`repro.md.ensemble.EnsembleSimulation` execute the same code path
-with bitwise-identical results; :meth:`Simulation.step_once` is the
-per-step sequence both drivers follow.
+``compute`` call submits a one-frame workload to the shared
+:class:`repro.dp.backend.ForceBackend` seam (an R=1 shape bucket on the
+batched engine), so this single-replica driver, the multi-replica
+:class:`repro.md.ensemble.EnsembleSimulation`, and the distributed drivers
+in :mod:`repro.parallel` all execute the same evaluation layer with
+bitwise-identical results; :meth:`Simulation.step_once` is the per-step
+sequence the lockstep drivers replay per replica.
 """
 
 from __future__ import annotations

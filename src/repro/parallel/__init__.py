@@ -10,14 +10,22 @@ LAMMPS-style spatial partitioning, ghost-region halo exchange, and
 * :class:`repro.parallel.decomp.DomainDecomposition` — 3D spatial partition
   with geometric ghost-region construction;
 * :class:`repro.parallel.driver.DistributedSimulation` — lockstep SPMD MD
-  driver whose trajectories match the serial engine exactly;
+  driver whose trajectories match the serial engine exactly; its rank
+  frames feed the shared :class:`repro.dp.backend.ForceBackend` (one
+  batched evaluation per shape bucket);
+* :class:`repro.parallel.driver.DistributedEnsembleSimulation` — R replicas
+  x P ranks in lockstep, all sub-domain frames fused into one backend call
+  per step;
 * :mod:`repro.parallel.staging` — the Sec 7.3 setup-time optimization
   (read-once + broadcast model loading, replicated structure build).
 """
 
 from repro.parallel.comm import SimComm, CommStats
-from repro.parallel.decomp import DomainDecomposition, RankDomain
-from repro.parallel.driver import DistributedSimulation
+from repro.parallel.decomp import DomainDecomposition, RankDomain, GhostBatch
+from repro.parallel.driver import (
+    DistributedEnsembleSimulation,
+    DistributedSimulation,
+)
 from repro.parallel.staging import baseline_setup, optimized_setup
 
 __all__ = [
@@ -25,7 +33,9 @@ __all__ = [
     "CommStats",
     "DomainDecomposition",
     "RankDomain",
+    "GhostBatch",
     "DistributedSimulation",
+    "DistributedEnsembleSimulation",
     "baseline_setup",
     "optimized_setup",
 ]

@@ -13,7 +13,7 @@ communication), exactly the LAMMPS/DeePMD-kit protocol of Sec 5.4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -25,7 +25,13 @@ from repro.parallel.comm import SimComm
 
 @dataclass
 class GhostBatch:
-    """One (src -> dst) ghost transfer list, fixed between rebuilds."""
+    """One (src -> dst) ghost transfer list, fixed between rebuilds.
+
+    All fields are required (no defaults), so the dataclass carries no
+    mutable-default hazard; ``src_indices`` and ``shift`` are stored as the
+    arrays the builder passes in — :meth:`DomainDecomposition.
+    build_ghost_lists` hands each batch its own freshly-built arrays.
+    """
 
     src: int
     dst: int
@@ -35,18 +41,26 @@ class GhostBatch:
 
 @dataclass
 class RankDomain:
-    """Per-rank state: owned atoms + ghost copies."""
+    """Per-rank state: owned atoms + ghost copies.
+
+    The per-atom fields are ``Optional`` and default to ``None`` (the
+    not-yet-assigned state before :meth:`DomainDecomposition.assign_atoms`
+    runs); ``None`` is immutable, so no ``field(default_factory=...)`` is
+    needed — sharing one default across instances cannot alias state.  Every
+    array field is (re)bound wholesale on assignment/exchange, never mutated
+    through a default.
+    """
 
     rank: int
     lo: np.ndarray  # (3,) domain lower corner
     hi: np.ndarray  # (3,) domain upper corner
-    global_idx: np.ndarray = None  # (n_own,) global atom ids
-    positions: np.ndarray = None  # (n_own, 3)
-    velocities: np.ndarray = None
-    types: np.ndarray = None
-    forces: np.ndarray = None
-    ghost_positions: np.ndarray = None  # (n_ghost, 3), shift-applied
-    ghost_types: np.ndarray = None
+    global_idx: Optional[np.ndarray] = None  # (n_own,) global atom ids
+    positions: Optional[np.ndarray] = None  # (n_own, 3)
+    velocities: Optional[np.ndarray] = None
+    types: Optional[np.ndarray] = None
+    forces: Optional[np.ndarray] = None
+    ghost_positions: Optional[np.ndarray] = None  # (n_ghost, 3), shift-applied
+    ghost_types: Optional[np.ndarray] = None
 
     @property
     def n_own(self) -> int:

@@ -1,4 +1,4 @@
-"""Distributed MD driver: lockstep SPMD over simulated ranks.
+"""Distributed MD drivers: lockstep SPMD over simulated ranks.
 
 One step follows the LAMMPS/DeePMD-kit schedule (Sec 5.4):
 
@@ -6,26 +6,38 @@ One step follows the LAMMPS/DeePMD-kit schedule (Sec 5.4):
 2. reneighbor check — on rebuild, atoms migrate to their new owners and the
    ghost exchange lists are rebuilt; otherwise ghost *positions* are
    forward-communicated along the fixed lists;
-3. DP force evaluation per rank over local+ghost atoms (nloc rows);
+3. DP force evaluation over the ranks' local+ghost frames.  The default
+   path submits every rank's frame to the shared
+   :class:`~repro.dp.backend.ForceBackend`, which groups frames into shape
+   buckets and issues ONE batched graph evaluation per bucket — the paper's
+   Fig 1 (a) picture of domain decomposition feeding a batched evaluator.
+   ``force_path="per-rank"`` retains the original one-evaluation-per-rank
+   loop as the bitwise oracle;
 4. reverse communication adds ghost forces back to their owner ranks;
 5. velocity-Verlet second half;
 6. every ``thermo_every`` steps, energy/virial are (I)allreduced — the
    output-frequency and non-blocking-reduction optimizations of Sec 5.4.
 
-The driver produces *identical physics* to the serial engine (see
-tests/test_parallel.py) while exercising the real communication pattern.
+Both drivers produce *identical physics* to the serial engine (see
+tests/test_parallel.py and tests/test_distributed_ensemble.py) while
+exercising the real communication pattern.
+:class:`DistributedEnsembleSimulation` advances R replicas x P ranks in
+lockstep and fuses all R x P sub-domain frames into the same per-step
+backend call, so replica-level parallelism multiplies the batch the
+evaluator amortizes over instead of multiplying graph dispatches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.dp.backend import ForceBackend, ForceFrame
 from repro.dp.model import DeepPot
 from repro.md.system import System
-from repro.md.thermo import ThermoState, compute_thermo
+from repro.md.thermo import ThermoState
 from repro.md.neighbor import neighbor_pairs
 from repro.parallel.comm import SimComm
 from repro.parallel.decomp import DomainDecomposition
@@ -34,7 +46,18 @@ from repro.units import MVV_TO_EV
 
 @dataclass
 class DistributedSimulation:
-    """Domain-decomposed DP molecular dynamics on simulated MPI ranks."""
+    """Domain-decomposed DP molecular dynamics on simulated MPI ranks.
+
+    ``force_path`` selects the evaluation route: ``"bucketed"`` (default)
+    submits all rank frames to a :class:`~repro.dp.backend.ForceBackend`
+    (one batched evaluation per shape bucket, bitwise identical results);
+    ``"per-rank"`` keeps the original one-``DeepPot.evaluate``-per-rank
+    loop — the retained oracle the bucketed path is asserted against.
+    A shared backend may be injected via ``force_backend`` (the
+    distributed-ensemble driver does, so R replicas' frames coalesce);
+    ``defer_initial_forces`` skips the setup-time evaluation so an
+    enclosing ensemble can batch it across replicas.
+    """
 
     system: System
     model: DeepPot
@@ -44,14 +67,28 @@ class DistributedSimulation:
     rebuild_every: int = 50
     thermo_every: int = 20
     use_iallreduce: bool = True
+    force_path: str = "bucketed"
+    force_backend: Optional[ForceBackend] = None
+    defer_initial_forces: bool = False
 
     def __post_init__(self):
+        if self.force_path not in ("bucketed", "per-rank"):
+            raise ValueError(
+                f"force_path must be 'bucketed' or 'per-rank', "
+                f"got {self.force_path!r}"
+            )
         self.comm = SimComm(int(np.prod(self.grid)))
         self.decomp = DomainDecomposition(self.grid, self.comm)
         self.step_count = 0
         self.thermo: list[ThermoState] = []
         self._ref_positions: Optional[dict[int, np.ndarray]] = None
         self._pending_thermo = []
+        self._rank_energy = np.zeros(self.comm.size)
+        self._rank_virial = np.zeros((self.comm.size, 3, 3))
+        if self.force_backend is None and self.force_path == "bucketed":
+            # A dedicated engine per driver keeps the rank-frame scratch
+            # and plan-arena shapes steady (same policy as the ensemble).
+            self.force_backend = ForceBackend(self.model)
         self._setup()
 
     # ----------------------------------------------------------------- setup
@@ -64,7 +101,8 @@ class DistributedSimulation:
         self.decomp.assign_atoms(self.system)
         self.decomp.build_ghost_lists(self.system.box, self.ghost_cutoff)
         self._snapshot_reference()
-        self._compute_forces()
+        if not self.defer_initial_forces:
+            self._compute_forces()
 
     def _snapshot_reference(self) -> None:
         self._ref_positions = {
@@ -87,26 +125,65 @@ class DistributedSimulation:
 
     # ----------------------------------------------------------------- forces
 
-    def _compute_forces(self) -> None:
-        """Per-rank DP evaluation + reverse ghost-force communication."""
-        ghost_forces: dict[int, np.ndarray] = {}
+    def _force_frames(self) -> tuple[list[ForceFrame], list[int]]:
+        """Per-rank local+ghost frames for the backend (empty ranks zeroed).
+
+        Resets the per-rank energy/virial accumulators; the matching
+        :meth:`_apply_force_results` fills them back in.
+        """
         self._rank_energy = np.zeros(self.comm.size)
         self._rank_virial = np.zeros((self.comm.size, 3, 3))
+        frames: list[ForceFrame] = []
+        ranks: list[int] = []
         for dom in self.decomp.domains:
             if dom.n_own == 0:
                 dom.forces = np.zeros((0, 3))
-                ghost_forces[dom.rank] = np.zeros((dom.n_ghost, 3))
                 continue
             local = dom.local_system(
                 self.system.box, self.system.masses, self.system.type_names
             )
             pi, pj = neighbor_pairs(local, self.model.config.rcut, pbc=False)
-            res = self.model.evaluate(local, pi, pj, nloc=dom.n_own, pbc=False)
+            frames.append(ForceFrame(local, pi, pj, nloc=dom.n_own, pbc=False))
+            ranks.append(dom.rank)
+        return frames, ranks
+
+    def _apply_force_results(self, ranks: Sequence[int], results) -> None:
+        """Unpack per-rank results and reverse-communicate ghost forces."""
+        by_rank = dict(zip(ranks, results))
+        ghost_forces: dict[int, np.ndarray] = {}
+        for dom in self.decomp.domains:
+            res = by_rank.get(dom.rank)
+            if res is None:  # rank owns no atoms this interval
+                ghost_forces[dom.rank] = np.zeros((dom.n_ghost, 3))
+                continue
             dom.forces = res.forces[: dom.n_own].copy()
             ghost_forces[dom.rank] = res.forces[dom.n_own :]
             self._rank_energy[dom.rank] = res.energy
             self._rank_virial[dom.rank] = res.virial
         self.decomp.reverse_exchange(ghost_forces)
+
+    def _compute_forces(self) -> None:
+        """Force evaluation + reverse ghost-force communication."""
+        if self.force_path == "per-rank":
+            self._compute_forces_per_rank()
+            return
+        frames, ranks = self._force_frames()
+        results = self.force_backend.evaluate(frames)
+        self._apply_force_results(ranks, results)
+
+    def _compute_forces_per_rank(self) -> None:
+        """The retained oracle: one ``DeepPot.evaluate`` per rank.
+
+        Shares the frame-build and unpack/reverse-exchange logic with the
+        bucketed path — only the evaluation schedule differs, so the two
+        paths cannot drift apart anywhere but the property under test.
+        """
+        frames, ranks = self._force_frames()
+        results = [
+            self.model.evaluate(f.system, f.pair_i, f.pair_j, nloc=f.nloc, pbc=False)
+            for f in frames
+        ]
+        self._apply_force_results(ranks, results)
 
     # ------------------------------------------------------------------- run
 
@@ -117,9 +194,13 @@ class DistributedSimulation:
         self._flush_pending_thermo()
         return self.thermo
 
-    def _step(self) -> None:
+    # The step is split into phases so the distributed-ensemble driver can
+    # interleave R replicas around ONE fused force evaluation; ``_step``
+    # remains the canonical single-replica sequence.
+
+    def _first_half_kick(self) -> None:
+        """Phase 1: first half kick + drift (per rank); advances the step."""
         dt = self.dt
-        # 1. first half kick + drift (per rank)
         for dom in self.decomp.domains:
             if dom.n_own == 0:
                 continue
@@ -128,26 +209,36 @@ class DistributedSimulation:
             dom.positions += dt * dom.velocities
         self.step_count += 1
 
-        # 2. reneighbor or forward-communicate ghosts
+    def _prepare_neighbors(self) -> bool:
+        """Phase 2: reneighbor (atom migration + ghost list rebuild) or
+        forward-communicate ghost positions.  Returns True on rebuild —
+        the event that rebuckets the backend."""
         if self._needs_rebuild():
             snapshot = self.decomp.gather_system(self._template())
             self.decomp.assign_atoms(snapshot)
             self.decomp.build_ghost_lists(self.system.box, self.ghost_cutoff)
             self._snapshot_reference()
-        else:
-            self.decomp.forward_exchange()
+            if self.force_backend is not None:
+                self.force_backend.invalidate_buckets()
+            return True
+        self.decomp.forward_exchange()
+        return False
 
-        # 3-4. forces + reverse communication
-        self._compute_forces()
-
-        # 5. second half kick
+    def _second_half_kick(self) -> None:
+        """Phase 5: second half kick."""
+        dt = self.dt
         for dom in self.decomp.domains:
             if dom.n_own == 0:
                 continue
             inv_m = 1.0 / (self.system.masses[dom.types] * MVV_TO_EV)
             dom.velocities += 0.5 * dt * dom.forces * inv_m[:, None]
 
-        # 6. thermo reduction at the paper's reduced output frequency
+    def _step(self) -> None:
+        self._first_half_kick()
+        self._prepare_neighbors()
+        self._compute_forces()
+        self._second_half_kick()
+        # thermo reduction at the paper's reduced output frequency
         self._maybe_record_thermo()
 
     def _template(self) -> System:
@@ -228,3 +319,170 @@ class DistributedSimulation:
         for dom in self.decomp.domains:
             out[dom.global_idx] = dom.forces
         return out
+
+
+class DistributedEnsembleSimulation:
+    """R domain-decomposed replicas x P ranks advanced in lockstep.
+
+    Every replica is a full :class:`DistributedSimulation` (own communicator,
+    decomposition, thermo reductions, rebuild schedule), but all R x P
+    sub-domain frames of a step are submitted to ONE shared
+    :class:`~repro.dp.backend.ForceBackend` call, which buckets them by
+    shape and issues one batched graph evaluation per bucket — the
+    evaluations-per-step counter equals the bucket count, not R x P.
+    Physics is bitwise identical to running the R replicas as independent
+    ``DistributedSimulation`` s (and therefore to the serial engine), because
+    every frame's result is independent of the batch it was coalesced into.
+
+    Parameters mirror :class:`DistributedSimulation`; ``systems`` carries
+    one snapshot per replica (typically the same structure with different
+    velocity seeds — see :meth:`from_system`).
+    """
+
+    def __init__(
+        self,
+        systems: Sequence[System],
+        model,
+        grid: tuple[int, int, int] = (2, 1, 1),
+        dt: float = 0.001,
+        skin: float = 2.0,
+        rebuild_every: int = 50,
+        thermo_every: int = 20,
+        use_iallreduce: bool = True,
+        force_backend: Optional[ForceBackend] = None,
+    ):
+        model = getattr(model, "model", model)  # unwrap DeepPotPair
+        systems = list(systems)
+        if not systems:
+            raise ValueError(
+                "DistributedEnsembleSimulation needs at least one replica"
+            )
+        self.model = model
+        self.force_backend = (
+            force_backend if force_backend is not None else ForceBackend(model)
+        )
+        self.replicas = [
+            DistributedSimulation(
+                system=s,
+                model=model,
+                grid=grid,
+                dt=dt,
+                skin=skin,
+                rebuild_every=rebuild_every,
+                thermo_every=thermo_every,
+                use_iallreduce=use_iallreduce,
+                force_backend=self.force_backend,
+                defer_initial_forces=True,
+            )
+            for s in systems
+        ]
+        self.loop_seconds = 0.0
+        # Setup-time forces for ALL replicas in one fused backend call.
+        self._evaluate_all()
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_system(
+        cls,
+        system: System,
+        model,
+        n_replicas: int,
+        temperature: float | Sequence[float] = 330.0,
+        seed: int | Sequence[int] = 0,
+        **kwargs,
+    ) -> "DistributedEnsembleSimulation":
+        """Clone one structure into R replicas with fresh Boltzmann
+        velocities (scalar seeds are offset per replica), mirroring
+        :meth:`repro.md.ensemble.EnsembleSimulation.from_system`."""
+        from repro.md.velocity import boltzmann_velocities
+
+        temps = (
+            [float(temperature)] * n_replicas
+            if np.ndim(temperature) == 0
+            else [float(t) for t in temperature]
+        )
+        seeds = (
+            [int(seed) + k for k in range(n_replicas)]
+            if np.ndim(seed) == 0
+            else [int(s) for s in seed]
+        )
+        if len(temps) != n_replicas or len(seeds) != n_replicas:
+            raise ValueError(
+                "temperature/seed sequences must have one entry per replica"
+            )
+        replicas = []
+        for k in range(n_replicas):
+            rep = system.copy()
+            boltzmann_velocities(rep, temps[k], seed=seeds[k])
+            replicas.append(rep)
+        return cls(replicas, model, **kwargs)
+
+    # ---------------------------------------------------------------- stepping
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def step_count(self) -> int:
+        return self.replicas[0].step_count
+
+    @property
+    def thermo(self) -> list[list[ThermoState]]:
+        """Per-replica thermo logs (one list per replica)."""
+        return [rep.thermo for rep in self.replicas]
+
+    def _evaluate_all(self) -> None:
+        """One fused force evaluation over every replica's rank frames."""
+        frames: list[ForceFrame] = []
+        owners: list[tuple[DistributedSimulation, list[int], int]] = []
+        for rep in self.replicas:
+            rep_frames, ranks = rep._force_frames()
+            frames.extend(rep_frames)
+            owners.append((rep, ranks, len(rep_frames)))
+        results = self.force_backend.evaluate(frames)
+        pos = 0
+        for rep, ranks, count in owners:
+            rep._apply_force_results(ranks, results[pos : pos + count])
+            pos += count
+
+    def _step(self) -> None:
+        for rep in self.replicas:
+            rep._first_half_kick()
+        for rep in self.replicas:
+            # Rebuilds invalidate the shared backend's bucket cache.
+            rep._prepare_neighbors()
+        self._evaluate_all()
+        for rep in self.replicas:
+            rep._second_half_kick()
+            rep._maybe_record_thermo()
+
+    def run(self, n_steps: int) -> list[list[ThermoState]]:
+        """Advance all replicas ``n_steps`` in lockstep."""
+        import time
+
+        for rep in self.replicas:
+            rep._maybe_record_thermo()
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            self._step()
+        self.loop_seconds += time.perf_counter() - t0
+        for rep in self.replicas:
+            rep._flush_pending_thermo()
+        return self.thermo
+
+    # ----------------------------------------------------------------- metrics
+
+    def total_atoms(self) -> int:
+        return sum(rep.system.n_atoms for rep in self.replicas)
+
+    def time_to_solution(self) -> float:
+        """Seconds per MD step per atom, aggregated over all replicas."""
+        if self.step_count == 0:
+            return float("nan")
+        return self.loop_seconds / self.step_count / self.total_atoms()
+
+    def current_systems(self) -> list[System]:
+        """Per-replica global systems gathered from their ranks."""
+        return [rep.current_system() for rep in self.replicas]

@@ -94,6 +94,9 @@ class PlanStats:
     arena_builds: int = 0  # warm runs: first sight of a feed-shape signature
     arena_evictions: int = 0  # warm arenas dropped by the max_arenas cap
     runs: int = 0  # total executions, warm and steady
+    feed_allocs: int = 0  # plan-owned feed staging buffers allocated
+    feed_evictions: int = 0  # feed buffers dropped by the store cap
+    in_place_feeds: int = 0  # run feeds already staged in plan feed buffers
 
 
 class _Record:
@@ -278,6 +281,15 @@ class ExecutionPlan:
         self._death = death
 
         self._arenas: dict[tuple, BufferArena] = {}
+        # Plan-owned feed staging buffers (the "arena-aware batched engine"
+        # seam): callers stage feed values directly into these persistent
+        # slots instead of a second scratch pool, so one pool serves both
+        # the staging side and the execution side.  Keyed by an arbitrary
+        # caller key + shape + dtype, like ScratchPool; id-indexed so
+        # ``run_list`` can count in-place feeds without hashing arrays.
+        self._feed_store: dict[tuple, np.ndarray] = {}
+        self._feed_ids: set[int] = set()
+        self.feed_nbytes = 0
 
     # ------------------------------------------------------------------ info
 
@@ -301,8 +313,47 @@ class ExecutionPlan:
     def arena_nbytes(self) -> int:
         return sum(a.alloc_bytes for a in list(self._arenas.values()))
 
+    def feed_buffer(self, key, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """Persistent plan-owned staging destination for a feed value.
+
+        The batched engine stages its sorted feed tensors directly into
+        these slots (``np.take(..., out=plan.feed_buffer(...))``) instead of
+        into a separate scratch pool, unifying feed staging with the plan's
+        storage — the first slice of the ROADMAP "arena-aware batched
+        engine" item.  Buffers are keyed ``(key, shape, dtype)`` and
+        allocated once per distinct shape (``stats.feed_allocs``); a value
+        passed to :meth:`run_list` that *is* one of these buffers (or a view
+        of one) counts toward ``stats.in_place_feeds``.
+
+        The store is bounded like the arenas: beyond ``8 * max_arenas``
+        buffers the oldest is dropped (FIFO, ``stats.feed_evictions``) and
+        re-allocated on revisit, so free-form shape churn — a server whose
+        batch occupancy varies, a migration-heavy distributed run — cannot
+        grow resident memory without bound.  Steady workloads (a handful of
+        feed shapes) never hit the cap.
+
+        Like the arenas, feed buffers are single-threaded run state —
+        callers stage and run from the one thread that owns the plan.
+        """
+        store_key = (key, tuple(shape), np.dtype(dtype))
+        buf = self._feed_store.get(store_key)
+        if buf is None:
+            buf = np.empty(shape, dtype)
+            while len(self._feed_store) >= 8 * self.max_arenas:
+                # FIFO eviction, same policy as the arena cap.
+                old = self._feed_store.pop(next(iter(self._feed_store)))
+                self._feed_ids.discard(id(old))
+                self.feed_nbytes -= old.nbytes
+                self.stats.feed_evictions += 1
+            self._feed_store[store_key] = buf
+            self._feed_ids.add(id(buf))
+            self.stats.feed_allocs += 1
+            self.feed_nbytes += buf.nbytes
+        return buf
+
     def release_arenas(self) -> None:
-        """Drop every buffer arena (the compiled tape is kept).
+        """Drop every buffer arena and feed staging buffer (the compiled
+        tape is kept).
 
         The arena holds roughly the graph's peak live set *persistently*;
         long-lived processes that are done with a shape regime (or want to
@@ -312,6 +363,9 @@ class ExecutionPlan:
         from zero.
         """
         self._arenas.clear()
+        self._feed_store.clear()
+        self._feed_ids.clear()
+        self.feed_nbytes = 0
         self._values = [None] * self._n_slots
         for slot, value in self._const_slots:
             self._values[slot] = value
@@ -348,12 +402,18 @@ class ExecutionPlan:
                 f"(got {len(feed_values)})"
             )
         values = self._values
+        feed_ids = self._feed_ids
+        in_place = 0
         sig = []
         for slot, v in zip(self._feed_slots, feed_values):
             if slot < 0:
                 continue
             if type(v) is not np.ndarray:
                 v = np.asarray(v)
+            elif id(v) in feed_ids or id(v.base) in feed_ids:
+                # Already staged into a plan-owned feed slot (or a view of
+                # one) — the caller paid no extra staging copy for it.
+                in_place += 1
             values[slot] = v
             # Tiny integer feeds are shape *parameters* (e.g. the DP graph's
             # ``natoms``: ProdForce's output row count), so they join the
@@ -366,6 +426,7 @@ class ExecutionPlan:
         for slot, var in self._var_slots:
             values[slot] = var.value
         signature = tuple(sig)
+        self.stats.in_place_feeds += in_place
 
         profile = session is not None and session.profile
         arena = self._arenas.get(signature)

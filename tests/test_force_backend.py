@@ -1,0 +1,397 @@
+"""The unified force backend: shape bucketing, locals-first ghost stacking,
+identity staging, and plan feed-slot staging.
+
+The layer's one contract, asserted bitwise throughout: a frame's result
+never depends on which other frames it was bucketed/stacked with — the
+per-frame ``DeepPot.evaluate`` path is the retained oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import fcc_lattice, water_box
+from repro.dp import (
+    DeepPot,
+    DPConfig,
+    DeepPotPair,
+    ForceBackend,
+    ForceFrame,
+    frame_bucket_key,
+    plan_frame_buckets,
+)
+from repro.dp.batch import BatchedEvaluator
+from repro.md.neighbor import neighbor_pairs
+from repro.md.velocity import boltzmann_velocities
+from repro.parallel import DistributedSimulation, SimComm, DomainDecomposition
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DeepPot(DPConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def copper_model():
+    return DeepPot(DPConfig.tiny(type_names=("Cu",), sel=(24,), rcut=3.5))
+
+
+@pytest.fixture()
+def water_sys():
+    return water_box((4, 4, 4), seed=0)
+
+
+def full_local_frame(system, rcut):
+    pi, pj = neighbor_pairs(system, rcut)
+    return ForceFrame(system, pi, pj)
+
+
+def rank_frames(system, model, grid, skin=1.0):
+    """Decompose ``system`` and return the per-rank ghost frames."""
+    comm = SimComm(int(np.prod(grid)))
+    decomp = DomainDecomposition(grid, comm)
+    decomp.assign_atoms(system)
+    decomp.build_ghost_lists(system.box, model.config.rcut + skin)
+    frames = []
+    for dom in decomp.domains:
+        if dom.n_own == 0:
+            continue
+        local = dom.local_system(system.box, system.masses, system.type_names)
+        pi, pj = neighbor_pairs(local, model.config.rcut, pbc=False)
+        frames.append(ForceFrame(local, pi, pj, nloc=dom.n_own, pbc=False))
+    return frames
+
+
+def assert_result_bitwise(a, b):
+    assert a.energy == b.energy
+    assert np.array_equal(a.forces, b.forces)
+    assert np.array_equal(a.virial, b.virial)
+    assert np.array_equal(a.atom_energies, b.atom_energies)
+
+
+class TestBucketPartition:
+    def test_equal_keys_share_a_bucket(self, model, water_sys):
+        f = full_local_frame(water_sys, model.config.rcut)
+        keys = [frame_bucket_key(f.system, f.nloc, f.pbc)] * 3
+        assert plan_frame_buckets(keys) == [[0, 1, 2]]
+
+    def test_singletons_coalesce_per_pbc(self):
+        keys = [
+            (True, 10, 10, b"a", b"t1"),
+            (False, 12, 8, b"", b"t2"),
+            (True, 20, 20, b"b", b"t3"),
+            (False, 14, 9, b"", b"t4"),
+        ]
+        buckets = plan_frame_buckets(keys)
+        # two residual buckets: one per pbc value, deterministic order
+        assert sorted(map(sorted, buckets)) == [[0, 2], [1, 3]]
+
+    def test_multi_buckets_come_first_in_appearance_order(self):
+        k1 = (True, 10, 10, b"a", b"t")
+        k2 = (False, 5, 3, b"", b"u")
+        keys = [k2, k1, k2, (True, 7, 7, b"c", b"v"), k1]
+        buckets = plan_frame_buckets(keys)
+        assert buckets[0] == [0, 2] and buckets[1] == [1, 4]
+        assert buckets[2] == [3]
+
+    def test_box_only_keys_pbc_frames(self, water_sys):
+        small = water_box((3, 3, 3), seed=1)
+        k_open_a = frame_bucket_key(water_sys, None, pbc=False)
+        k_open_b = frame_bucket_key(small, None, pbc=False)
+        assert k_open_a[3] == b"" and k_open_b[3] == b""
+        assert frame_bucket_key(water_sys, None, pbc=True)[3] != b""
+
+
+class TestGhostStacking:
+    """Locals-first stacking: unequal-nloc ghost frames share one lexsort."""
+
+    @pytest.mark.parametrize("grid", [(2, 1, 1), (2, 2, 1), (1, 2, 2)])
+    def test_stacked_rank_frames_bitwise_vs_per_rank_oracle(
+        self, model, water_sys, grid
+    ):
+        frames = rank_frames(water_sys.copy(), model, grid)
+        nlocs = [f.nloc for f in frames]
+        assert len(set((f.system.n_atoms, f.nloc) for f in frames)) > 1 or len(frames) > 1
+        engine = BatchedEvaluator(model)
+        stacked = engine.evaluate_batch(
+            [f.system for f in frames],
+            [(f.pair_i, f.pair_j) for f in frames],
+            nlocs=nlocs,
+            pbc=False,
+        )
+        assert engine.stacked_batches == 1
+        assert engine.ghost_stacked_batches == 1
+        for frame, got in zip(frames, stacked):
+            oracle = model.evaluate(
+                frame.system, frame.pair_i, frame.pair_j,
+                nloc=frame.nloc, pbc=False,
+            )
+            assert_result_bitwise(got, oracle)
+
+    def test_single_ghost_frame_unchanged_vs_pbc_reference(self, model, water_sys):
+        """R=1 ghost stacking is the identity relabeling — same physics as
+        the PBC evaluation of the global system (existing ghost contract)."""
+        frames = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        f = frames[0]
+        res = model.evaluate(f.system, f.pair_i, f.pair_j, nloc=f.nloc, pbc=False)
+        assert res.forces.shape == (f.system.n_atoms, 3)
+        assert res.atom_energies.shape == (f.nloc,)
+
+    def test_mixed_nloc_stack_results_independent_of_batch_composition(
+        self, model, water_sys
+    ):
+        """A frame's result must not change when stacked with frames of a
+        *different* grid's shapes."""
+        frames_a = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        frames_b = rank_frames(water_sys.copy(), model, (2, 2, 1))
+        engine = BatchedEvaluator(model)
+        mixed = frames_a + frames_b
+        out = engine.evaluate_frames(mixed)
+        solo = [
+            model.evaluate(f.system, f.pair_i, f.pair_j, nloc=f.nloc, pbc=False)
+            for f in mixed
+        ]
+        for got, ref in zip(out, solo):
+            assert_result_bitwise(got, ref)
+
+    def test_nloc_bounds_validated(self, model, water_sys):
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        engine = BatchedEvaluator(model)
+        with pytest.raises(ValueError, match="nloc"):
+            engine.evaluate_batch(
+                [water_sys], [(pi, pj)], nlocs=[water_sys.n_atoms + 1], pbc=False
+            )
+
+
+class TestEvaluateFrames:
+    def test_results_in_frame_order(self, model, water_sys):
+        frames = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        frames.append(full_local_frame(water_box((3, 3, 3), seed=2), model.config.rcut))
+        engine = BatchedEvaluator(model)
+        out = engine.evaluate_frames(frames)
+        assert len(out) == len(frames)
+        for f, got in zip(frames, out):
+            ref = model.evaluate(f.system, f.pair_i, f.pair_j, nloc=f.nloc, pbc=f.pbc)
+            assert_result_bitwise(got, ref)
+
+    def test_one_evaluation_per_bucket(self, model, water_sys):
+        sys_b = water_sys.copy()
+        frames = [
+            full_local_frame(water_sys, model.config.rcut),
+            full_local_frame(sys_b, model.config.rcut),
+        ] + rank_frames(water_sys.copy(), model, (2, 1, 1))
+        engine = BatchedEvaluator(model)
+        keys = [frame_bucket_key(f.system, f.nloc, f.pbc) for f in frames]
+        buckets = plan_frame_buckets(keys)
+        engine.evaluate_frames(frames, buckets=buckets)
+        assert engine.batch_evaluations == len(buckets)
+        assert engine.bucket_evaluations == len(buckets)
+        assert len(buckets) < len(frames)
+
+    def test_mixed_pbc_bucket_rejected(self, model, water_sys):
+        f_pbc = full_local_frame(water_sys, model.config.rcut)
+        f_open = rank_frames(water_sys.copy(), model, (2, 1, 1))[0]
+        engine = BatchedEvaluator(model)
+        with pytest.raises(ValueError, match="pbc"):
+            engine.evaluate_frames([f_pbc, f_open], buckets=[[0, 1]])
+
+    def test_incomplete_partition_rejected(self, model, water_sys):
+        frames = [full_local_frame(water_sys, model.config.rcut)] * 2
+        engine = BatchedEvaluator(model)
+        with pytest.raises(ValueError, match="cover"):
+            engine.evaluate_frames(frames, buckets=[[0]])
+        with pytest.raises(ValueError, match="two buckets"):
+            engine.evaluate_frames(frames, buckets=[[0, 1], [1]])
+
+
+class TestForceBackendCaching:
+    def test_buckets_cached_across_steady_calls(self, model, water_sys):
+        backend = ForceBackend(model)
+        frames = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        for _ in range(4):
+            backend.evaluate(frames)
+        assert backend.rebuckets == 1
+        assert backend.bucket_count >= 1
+
+    def test_invalidate_forces_rebucket(self, model, water_sys):
+        backend = ForceBackend(model)
+        frames = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        backend.evaluate(frames)
+        backend.invalidate_buckets()
+        backend.evaluate(frames)
+        assert backend.rebuckets == 2
+
+    def test_shape_drift_auto_rebuckets(self, model, water_sys):
+        """A frame population whose counts change must not reuse a stale
+        partition even if the driver forgot to invalidate."""
+        backend = ForceBackend(model)
+        backend.evaluate(rank_frames(water_sys.copy(), model, (2, 1, 1)))
+        backend.evaluate(rank_frames(water_sys.copy(), model, (2, 2, 1)))
+        assert backend.rebuckets == 2
+
+    def test_box_change_auto_rebuckets(self, model, water_sys):
+        backend = ForceBackend(model)
+        frame = full_local_frame(water_sys.copy(), model.config.rcut)
+        backend.evaluate([frame])
+        squeezed = frame.system.copy()
+        squeezed.box.lengths[:] = squeezed.box.lengths * 0.999
+        squeezed.positions *= 0.999
+        pi, pj = neighbor_pairs(squeezed, model.config.rcut)
+        backend.evaluate([ForceFrame(squeezed, pi, pj)])
+        assert backend.rebuckets == 2
+
+    def test_evaluations_counts_backend_buckets_only(self, model, water_sys):
+        """One increment per bucket per evaluate — and immune to unrelated
+        traffic on a *shared* engine (the DeepPotPair case)."""
+        backend = ForceBackend(model, engine=model.batched)
+        frames = rank_frames(water_sys.copy(), model, (2, 1, 1))
+        before = backend.evaluations
+        backend.evaluate(frames)
+        assert backend.evaluations - before == backend.bucket_count
+        # Direct model traffic through the same engine must not count.
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        model.evaluate(water_sys, pi, pj)
+        assert backend.evaluations - before == backend.bucket_count
+
+
+class TestIdentityStagingAndFeedSlots:
+    """Satellite: feed staging lands in the plan's persistent feed slots;
+    type-sorted stacks skip the gather copies entirely (counter-asserted)."""
+
+    def test_single_type_takes_identity_path(self, copper_model):
+        system = fcc_lattice((3, 3, 3))
+        pi, pj = neighbor_pairs(system, copper_model.config.rcut)
+        engine = BatchedEvaluator(copper_model)
+        for _ in range(3):
+            engine.evaluate_batch([system], [(pi, pj)])
+        assert engine.stage_identity == 3
+        assert engine.stage_gathers == 0
+        # No gather destinations were ever needed: the plan's feed store
+        # holds only the tiny natoms slot — the per-step gather copy of
+        # em/ed/rij/nlist is gone.
+        assert engine.plan.stats.feed_allocs == 1
+
+    def test_identity_path_bitwise_vs_session_oracle(self, copper_model):
+        system = fcc_lattice((3, 3, 3))
+        pi, pj = neighbor_pairs(system, copper_model.config.rcut)
+        fast = copper_model.evaluate(system, pi, pj)
+        oracle = copper_model.evaluate_serial(system, pi, pj)
+        assert_result_bitwise(fast, oracle)
+
+    def test_water_feeds_staged_in_plan_slots(self, model, water_sys):
+        engine = BatchedEvaluator(model)
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        engine.evaluate_batch([water_sys], [(pi, pj)])
+        plan = engine.plan
+        runs0, inplace0 = plan.stats.runs, plan.stats.in_place_feeds
+        allocs0 = plan.stats.feed_allocs
+        for _ in range(3):
+            engine.evaluate_batch([water_sys], [(pi, pj)])
+        # Steady state: every gathered feed (n_types em blocks + em_deriv +
+        # nlist + atom_idx + natoms; rij only feeds the out-of-graph
+        # virial) is staged in place, and no new feed buffers appear.
+        n_counted = model.config.n_types + 4
+        assert plan.stats.runs - runs0 == 3
+        assert plan.stats.in_place_feeds - inplace0 == 3 * n_counted
+        assert plan.stats.feed_allocs == allocs0
+        assert engine.stage_gathers == 4
+
+    def test_oracle_path_uses_scratch_not_plan(self, model, water_sys):
+        engine = BatchedEvaluator(model, use_plan=False)
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        res = engine.evaluate_batch([water_sys], [(pi, pj)])[0]
+        assert engine._plan is None  # never compiled
+        ref = model.evaluate_serial(water_sys, pi, pj)
+        assert_result_bitwise(res, ref)
+
+    def test_feed_store_bounded_under_shape_churn(self, model, water_sys):
+        """Free-form feed-shape churn evicts FIFO instead of growing the
+        plan's resident feed memory without bound (same policy as the
+        arena cap)."""
+        engine = BatchedEvaluator(model)
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        engine.evaluate_batch([water_sys], [(pi, pj)])
+        plan = engine.plan
+        cap = 8 * plan.max_arenas
+        for n in range(cap + 5):
+            plan.feed_buffer(("churn", n), (4,))
+        assert len(plan._feed_store) <= cap
+        assert plan.stats.feed_evictions > 0
+        assert plan.feed_nbytes == sum(
+            b.nbytes for b in plan._feed_store.values()
+        )
+        # Evaluation still works (evicted buffers re-warm transparently).
+        res = engine.evaluate_batch([water_sys], [(pi, pj)])[0]
+        assert_result_bitwise(res, model.evaluate_serial(water_sys, pi, pj))
+
+    def test_scratch_and_fmt_caches_bounded_under_rebuild_churn(self, model):
+        """Migration-heavy runs re-key the stacked staging buffers on every
+        reneighboring; both engine-side caches must stay bounded (FIFO),
+        mirroring the plan's arena/feed caps."""
+        engine = BatchedEvaluator(model)
+        engine.scratch.max_entries = 24
+        engine.max_fmt_layouts = 4
+        base = water_box((3, 3, 3), seed=0)
+        rng = np.random.default_rng(0)
+        for k in range(8):
+            # Vary the atom count so every shape key is fresh (the ghost
+            # split drifts like this on real migrations).
+            sys_k = base.copy()
+            keep = rng.permutation(base.n_atoms)[: base.n_atoms - 2 * k]
+            sys_k.positions = sys_k.positions[np.sort(keep)]
+            sys_k.types = sys_k.types[np.sort(keep)]
+            pi, pj = neighbor_pairs(sys_k, model.config.rcut)
+            res = engine.evaluate_batch([sys_k], [(pi, pj)])[0]
+            ref = model.evaluate_serial(sys_k, pi, pj)
+            assert_result_bitwise(res, ref)
+        assert len(engine.scratch._arrays) <= engine.scratch.max_entries
+        assert len(engine._fmts) <= engine.max_fmt_layouts
+        assert engine.scratch.evictions > 0
+        assert engine.fmt_evictions > 0
+
+    def test_release_buffers_clears_feed_store(self, model, water_sys):
+        engine = BatchedEvaluator(model)
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        engine.evaluate_batch([water_sys], [(pi, pj)])
+        assert engine.plan.feed_nbytes > 0
+        engine.release_buffers()
+        assert engine.plan.feed_nbytes == 0
+        res = engine.evaluate_batch([water_sys], [(pi, pj)])[0]
+        assert_result_bitwise(res, model.evaluate_serial(water_sys, pi, pj))
+
+
+class TestDriversShareTheSeam:
+    def test_pair_style_routes_through_backend(self, model, water_sys):
+        pair = DeepPotPair(model)
+        pi, pj = neighbor_pairs(water_sys, model.config.rcut)
+        before = pair.force_backend.engine.bucket_evaluations
+        res = pair.compute(water_sys, pi, pj)
+        assert pair.force_backend.engine.bucket_evaluations == before + 1
+        assert_result_bitwise(res, model.evaluate_serial(water_sys, pi, pj))
+
+    def test_pair_compute_batch_buckets_mixed_boxes(self, model, water_sys):
+        pair = DeepPotPair(model)
+        small = water_box((3, 3, 3), seed=3)
+        frames = [water_sys, small]
+        pls = [neighbor_pairs(s, model.config.rcut) for s in frames]
+        out = pair.compute_batch(frames, pls)
+        for s, (pi, pj), got in zip(frames, pls, out):
+            assert_result_bitwise(got, model.evaluate_serial(s, pi, pj))
+
+    def test_distributed_bucketed_matches_per_rank_oracle(self, model, water_sys):
+        boltzmann_velocities(water_sys, 250.0, seed=2)
+        kw = dict(grid=(2, 2, 1), dt=0.0005, skin=1.0, rebuild_every=4)
+        a = DistributedSimulation(water_sys.copy(), model, **kw)
+        b = DistributedSimulation(
+            water_sys.copy(), model, force_path="per-rank", **kw
+        )
+        a.run(8)
+        b.run(8)
+        ga, gb = a.current_system(), b.current_system()
+        assert np.array_equal(ga.positions, gb.positions)
+        assert np.array_equal(ga.velocities, gb.velocities)
+        assert np.array_equal(a.forces_now(), b.forces_now())
+        assert [t for t in a.thermo] == [t for t in b.thermo]
+
+    def test_bad_force_path_rejected(self, model, water_sys):
+        with pytest.raises(ValueError, match="force_path"):
+            DistributedSimulation(water_sys.copy(), model, force_path="magic")
