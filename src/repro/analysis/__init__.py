@@ -5,7 +5,15 @@
 * :mod:`repro.analysis.rdf` — radial distribution functions (Fig 4);
 * :mod:`repro.analysis.cna` — common neighbor analysis for fcc/hcp/other
   classification and stacking-fault identification (Fig 7);
-* :mod:`repro.analysis.stress` — strain-stress recording for tensile runs.
+* :mod:`repro.analysis.stress` — strain-stress recording for tensile runs;
+* :mod:`repro.analysis.plancheck` — static verifier for compiled execution
+  plans (symbolic shape/dtype inference, liveness/alias soundness; P1xx);
+* :mod:`repro.analysis.lint` — concurrency/invariant linter over the
+  source tree (L1xx; ``repro lint``).
+
+The static-analysis modules are imported lazily by their consumers
+(``plan.verify()``, the CLI) rather than re-exported here — importing
+:mod:`repro.analysis` for a water box must not pull in the model zoo.
 """
 
 from repro.analysis.structures import (

@@ -1,0 +1,517 @@
+"""Concurrency/invariant linter for the repro source tree (stdlib ``ast``).
+
+The serving pool, the batched engine and the distributed drivers lean on a
+small set of threading invariants that ordinary tests exercise only under
+lucky schedules: condition waits must sit in a predicate loop, locks must be
+acquired in one global order, a compiled plan (and its engine) belongs to
+one thread.  This module checks those invariants — plus a few repo-wide
+determinism/hygiene rules — statically, so a violation fails CI instead of
+deadlocking a soak test.
+
+Rules
+-----
+
+====  ======================================================================
+L101  ``Condition.wait`` outside a ``while`` loop — wakeups are spurious and
+      racy by spec; the predicate must be re-checked in a loop
+L102  lock-order inversion — two locks acquired in opposite nesting orders
+      somewhere in the tree (cross-file cycle in the acquisition graph)
+L103  lock/condition created outside ``__init__``/module scope — lazy
+      creation races its own first use
+L104  ``_evaluate_batch`` called from outside ``evaluate_batch`` — bypasses
+      the engine's one-thread guard
+L105  mutable default argument
+L106  bare ``except:``
+L107  ``time.time()``/``time.clock()`` in deterministic code (md/dp/tfmini)
+      — wall-clock reads make trajectories and tapes non-reproducible; use
+      ``time.perf_counter()`` for intervals
+L108  global-state RNG (``np.random.*`` legacy API, stdlib ``random.*``) in
+      deterministic code — use an explicit ``np.random.default_rng(seed)``
+L109  argument annotated ``X`` but defaulting to ``None`` — annotation
+      should be ``Optional[X]``
+====  ======================================================================
+
+Any finding can be suppressed with a trailing (or preceding-line) comment::
+
+    self._cond = make()  # repro-lint: disable=L103  -- callers hold the lock
+
+Entry points: :func:`lint_paths` (returns findings), :func:`format_text` /
+:func:`format_json` (reporters), and the ``repro lint`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+RULES = {
+    "L101": "Condition.wait outside a while loop",
+    "L102": "lock-order inversion across the acquisition graph",
+    "L103": "lock/condition created outside __init__ or module scope",
+    "L104": "_evaluate_batch called from outside evaluate_batch",
+    "L105": "mutable default argument",
+    "L106": "bare except",
+    "L107": "wall-clock time in deterministic code",
+    "L108": "global-state RNG in deterministic code",
+    "L109": "default None without Optional annotation",
+}
+
+# Modules whose numerics must be bit-reproducible: wall-clock and global RNG
+# state have no business here (L107/L108).  Serving/parallel code reads the
+# clock legitimately (deadlines, heartbeats) and is exempt.
+_DETERMINISTIC_PARTS = ("md", "dp", "tfmini", "analysis", "oracles")
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+_COND_FACTORIES = {"Condition"}
+
+# Legacy-free numpy.random API: creating one of these is how seeded,
+# instance-based RNG *starts*, so they are allowed; everything else on
+# np.random is global-state legacy.
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+    "MT19937", "SFC64", "BitGenerator",
+}
+
+
+@dataclass
+class LintFinding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    """Rightmost identifier of a Name/Attribute chain (``self._cond`` -> ``_cond``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _call_factory(expr: ast.AST) -> Optional[str]:
+    """Factory name when ``expr`` is a call like ``threading.Condition()``."""
+    if isinstance(expr, ast.Call):
+        return _terminal_name(expr.func)
+    return None
+
+
+class _FileContext:
+    """Parsed file plus the indexes every rule shares."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.parent: dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parent[id(child)] = node
+        # receiver name -> factory, for names assigned from threading factories
+        self.cond_receivers: set[str] = set()
+        self.lock_receivers: set[str] = set()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            factory = _call_factory(value)
+            if factory is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                name = _terminal_name(t)
+                if name is None:
+                    continue
+                if factory in _COND_FACTORIES:
+                    self.cond_receivers.add(name)
+                if factory in _LOCK_FACTORIES:
+                    self.lock_receivers.add(name)
+        # import aliases for L107/L108
+        self.module_alias: dict[str, str] = {}  # local name -> module
+        self.from_imports: dict[str, str] = {}  # local name -> "module.attr"
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    self.module_alias[a.asname or a.name] = a.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for a in node.names:
+                    self.from_imports[a.asname or a.name] = f"{node.module}.{a.name}"
+
+    # -- ancestry helpers -------------------------------------------------
+
+    def ancestors(self, node: ast.AST):
+        cur = self.parent.get(id(node))
+        while cur is not None:
+            yield cur
+            cur = self.parent.get(id(cur))
+
+    def enclosing_function(self, node: ast.AST):
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def disabled_rules(self, line: int) -> set[str]:
+        """Rules disabled by a comment on ``line`` or the line above."""
+        out: set[str] = set()
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(self.lines):
+                m = _DISABLE_RE.search(self.lines[ln - 1])
+                if m:
+                    out |= {r.strip() for r in m.group(1).split(",") if r.strip()}
+        return out
+
+    def deterministic(self) -> bool:
+        parts = Path(self.path).parts
+        return any(p in parts for p in _DETERMINISTIC_PARTS)
+
+
+def _emit(ctx: _FileContext, findings: list, rule: str, node: ast.AST, message: str):
+    line = getattr(node, "lineno", 1)
+    if rule in ctx.disabled_rules(line):
+        return
+    findings.append(
+        LintFinding(rule, ctx.path, line, getattr(node, "col_offset", 0), message)
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-file rules
+# ---------------------------------------------------------------------------
+
+
+def _rule_l101(ctx: _FileContext, findings: list) -> None:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "wait":
+            continue
+        receiver = _terminal_name(node.func.value)
+        if receiver not in ctx.cond_receivers:
+            continue  # Event.wait / Future.wait etc. are fine outside loops
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.While):
+                break
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _emit(
+                    ctx, findings, "L101", node,
+                    f"Condition '{receiver}'.wait() outside a while loop — "
+                    f"wakeups are spurious; re-check the predicate in a loop",
+                )
+                break
+
+
+def _with_lock_names(ctx: _FileContext, node: ast.With) -> list[str]:
+    names = []
+    for item in node.items:
+        name = _terminal_name(item.context_expr)
+        if name in ctx.lock_receivers:
+            names.append(name)
+    return names
+
+
+def _collect_lock_edges(ctx: _FileContext) -> list[tuple[str, str, ast.AST]]:
+    """(outer, inner, site) for every syntactically nested lock acquisition."""
+    edges = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.With):
+            continue
+        inner_names = _with_lock_names(ctx, node)
+        if not inner_names:
+            continue
+        # multiple locks in one `with a, b:` acquire left-to-right
+        for i, outer in enumerate(inner_names):
+            for inner in inner_names[i + 1:]:
+                if outer != inner:
+                    edges.append((outer, inner, node))
+        held = set(inner_names)
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # a nested def runs on its caller's stack, not here
+            if isinstance(anc, ast.With):
+                for outer in _with_lock_names(ctx, anc):
+                    for inner in held:
+                        if outer != inner:
+                            edges.append((outer, inner, node))
+    return edges
+
+
+def _rule_l103(ctx: _FileContext, findings: list) -> None:
+    allowed_fns = {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+    for node in ast.walk(ctx.tree):
+        factory = _call_factory(node)
+        if factory not in _LOCK_FACTORIES:
+            continue
+        fn = ctx.enclosing_function(node)
+        if fn is None or fn.name in allowed_fns:
+            continue
+        _emit(
+            ctx, findings, "L103", node,
+            f"threading.{factory}() created in '{fn.name}' — lazy creation "
+            f"races its own first use; construct in __init__ or at module "
+            f"scope",
+        )
+
+
+def _rule_l104(ctx: _FileContext, findings: list) -> None:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "_evaluate_batch":
+            continue
+        fn = ctx.enclosing_function(node)
+        caller = fn.name if fn is not None else "<module>"
+        if caller != "evaluate_batch":
+            _emit(
+                ctx, findings, "L104", node,
+                f"_evaluate_batch called from '{caller}' — bypasses the "
+                f"engine's one-thread guard; call evaluate_batch instead",
+            )
+
+
+def _rule_l105(ctx: _FileContext, findings: list) -> None:
+    mutable_ctors = {"list", "dict", "set"}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in mutable_ctors
+            )
+            if bad:
+                _emit(
+                    ctx, findings, "L105", default,
+                    f"mutable default argument in '{node.name}' — shared "
+                    f"across calls; default to None",
+                )
+
+
+def _rule_l106(ctx: _FileContext, findings: list) -> None:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            _emit(
+                ctx, findings, "L106", node,
+                "bare except swallows KeyboardInterrupt/SystemExit — catch "
+                "Exception (or narrower)",
+            )
+
+
+def _rule_l107(ctx: _FileContext, findings: list) -> None:
+    if not ctx.deterministic():
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        hit = None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if (
+                ctx.module_alias.get(func.value.id) == "time"
+                and func.attr in ("time", "clock")
+            ):
+                hit = f"time.{func.attr}"
+        elif isinstance(func, ast.Name):
+            target = ctx.from_imports.get(func.id)
+            if target in ("time.time", "time.clock"):
+                hit = target
+        if hit:
+            _emit(
+                ctx, findings, "L107", node,
+                f"{hit}() in deterministic code — wall clock varies across "
+                f"runs; use time.perf_counter() for intervals",
+            )
+
+
+def _rule_l108(ctx: _FileContext, findings: list) -> None:
+    if not ctx.deterministic():
+        return
+    numpy_aliases = {
+        local for local, mod in ctx.module_alias.items() if mod == "numpy"
+    }
+    random_aliases = {
+        local for local, mod in ctx.module_alias.items() if mod == "random"
+    }
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        base = func.value
+        # np.random.<fn>(...)
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+            and func.attr not in _NP_RANDOM_OK
+        ):
+            _emit(
+                ctx, findings, "L108", node,
+                f"np.random.{func.attr}() uses the global RNG — seed an "
+                f"explicit np.random.default_rng(seed) instead",
+            )
+        # random.<fn>(...)  (stdlib module)
+        elif isinstance(base, ast.Name) and base.id in random_aliases:
+            _emit(
+                ctx, findings, "L108", node,
+                f"random.{func.attr}() uses global RNG state — use a seeded "
+                f"np.random.default_rng or random.Random instance",
+            )
+
+
+def _rule_l109(ctx: _FileContext, findings: list) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        pos = args.posonlyargs + args.args
+        pairs = list(zip(reversed(pos), reversed(args.defaults)))
+        pairs += [
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            if not (
+                isinstance(default, ast.Constant) and default.value is None
+            ):
+                continue
+            if arg.annotation is None:
+                continue
+            ann = ast.unparse(arg.annotation)
+            if "Optional" in ann or "None" in ann or "Any" in ann:
+                continue
+            _emit(
+                ctx, findings, "L109", arg,
+                f"'{arg.arg}: {ann} = None' — annotation excludes the "
+                f"default; use Optional[{ann}]",
+            )
+
+
+_PER_FILE_RULES = (
+    _rule_l101,
+    _rule_l103,
+    _rule_l104,
+    _rule_l105,
+    _rule_l106,
+    _rule_l107,
+    _rule_l108,
+    _rule_l109,
+)
+
+
+# ---------------------------------------------------------------------------
+# cross-file rule: lock-order inversion (L102)
+# ---------------------------------------------------------------------------
+
+
+def _rule_l102(contexts: list[_FileContext], findings: list) -> None:
+    edges: dict[tuple[str, str], tuple[_FileContext, ast.AST]] = {}
+    for ctx in contexts:
+        for outer, inner, site in _collect_lock_edges(ctx):
+            edges.setdefault((outer, inner), (ctx, site))
+
+    graph: dict[str, set[str]] = {}
+    for (outer, inner) in edges:
+        graph.setdefault(outer, set()).add(inner)
+
+    def reaches(src: str, dst: str) -> bool:
+        seen, stack = set(), [src]
+        while stack:
+            cur = stack.pop()
+            if cur == dst:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(graph.get(cur, ()))
+        return False
+
+    reported = set()
+    for (outer, inner), (ctx, site) in sorted(edges.items()):
+        if (inner, outer) in reported:
+            continue
+        if reaches(inner, outer):
+            reported.add((outer, inner))
+            _emit(
+                ctx, findings, "L102", site,
+                f"lock order inversion: '{outer}' -> '{inner}' here, but "
+                f"'{inner}' -> ... -> '{outer}' elsewhere in the tree — "
+                f"pick one global acquisition order",
+            )
+
+
+# ---------------------------------------------------------------------------
+# driver + reporters
+# ---------------------------------------------------------------------------
+
+
+def _iter_py_files(paths: Iterable[str]):
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: list[LintFinding] = []
+    contexts: list[_FileContext] = []
+    for path in _iter_py_files(paths):
+        try:
+            source = path.read_text()
+            ctx = _FileContext(str(path), source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            findings.append(
+                LintFinding("L000", str(path), getattr(exc, "lineno", 1) or 1,
+                            0, f"could not parse: {exc}")
+            )
+            continue
+        contexts.append(ctx)
+        for rule in _PER_FILE_RULES:
+            rule(ctx, findings)
+    _rule_l102(contexts, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def format_text(findings: list[LintFinding]) -> str:
+    if not findings:
+        return "repro-lint: clean"
+    lines = [str(f) for f in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: list[LintFinding]) -> str:
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )

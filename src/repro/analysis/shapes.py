@@ -1,0 +1,356 @@
+"""Symbolic shape/dtype algebra for the static plan verifier.
+
+Tensor extents are modelled as integer-coefficient polynomials over named
+symbols (:class:`Dim`): the DP evaluate graph's row counts become ``n_t0``,
+``n_t0 + n_t1``, ``4*n_t0`` and so on, bound from the feed signature that
+:func:`repro.analysis.plancheck.dp_feed_spec` describes.  Inference over the
+compiled tape (see ``OpDef.infer`` in :mod:`repro.tfmini.ops`) manipulates
+dims with plain ``+``/``*`` arithmetic; anything that needs unification,
+broadcasting or exact division goes through the :class:`InferContext` the
+verifier passes to each rule, so the op registry never has to import this
+module.
+
+Two deliberate semantic choices keep the algebra decidable:
+
+* symbols denote *positive* integer extents, and a symbolic dim is treated
+  as "not 1" for broadcasting purposes (a symbol that happens to bind to 1
+  at run time broadcasts differently — the runtime-agreement tests cover
+  that gap);
+* two distinct polynomials are only reported as a mismatch when both are
+  fully concrete.  Otherwise the context *unifies* them: a bare symbol is
+  bound to the other side, and anything harder is recorded as an assumed
+  constraint, never a hard error.  The verifier stays sound for the bug
+  classes it claims (liveness/alias/fetch/dtype) while staying silent on
+  shapes it cannot prove wrong.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+import numpy as np
+
+
+class ShapeError(Exception):
+    """A provable shape/dtype inconsistency found during inference."""
+
+
+class Dim:
+    """An integer-coefficient polynomial over named symbolic extents.
+
+    Immutable.  ``_terms`` maps a monomial — a sorted tuple of symbol names,
+    ``()`` for the constant term — to its nonzero integer coefficient.
+    Supports ``+``, ``-``, ``*`` with ints and other dims; exact division
+    lives in :func:`dim_div` because it can fail.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: dict):
+        self._terms = {m: c for m, c in terms.items() if c != 0}
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "Dim":
+        return Dim({(): int(value)})
+
+    @staticmethod
+    def symbol(name: str) -> "Dim":
+        return Dim({(str(name),): 1})
+
+    # -- predicates -------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return all(m == () for m in self._terms)
+
+    @property
+    def value(self) -> Optional[int]:
+        """The concrete value, or None if any symbol remains."""
+        if not self._terms:
+            return 0
+        if self.is_constant:
+            return self._terms[()]
+        return None
+
+    def symbols(self) -> set:
+        return {s for m in self._terms for s in m}
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _coerce(self, other) -> Optional["Dim"]:
+        if isinstance(other, Dim):
+            return other
+        if isinstance(other, (int, np.integer)):
+            return Dim.const(int(other))
+        return None
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for m, c in o._terms.items():
+            terms[m] = terms.get(m, 0) + c
+        return Dim(terms)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (o * -1)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o - self
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        terms: dict = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in o._terms.items():
+                m = tuple(sorted(m1 + m2))
+                terms[m] = terms.get(m, 0) + c1 * c2
+        return Dim(terms)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1
+
+    # -- comparison / hashing --------------------------------------------
+
+    def __eq__(self, other):
+        if isinstance(other, (int, np.integer)):
+            return self.is_constant and self.value == int(other)
+        if isinstance(other, Dim):
+            return self._terms == other._terms
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self):
+        if not self._terms:
+            return "0"
+        parts = []
+        for m, c in sorted(self._terms.items(), key=lambda kv: (-len(kv[0]), kv[0])):
+            body = "*".join(m)
+            if not m:
+                parts.append(str(c))
+            elif c == 1:
+                parts.append(body)
+            elif c == -1:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{c}*{body}")
+        out = parts[0]
+        for p in parts[1:]:
+            out += p if p.startswith("-") else f"+{p}"
+        return out
+
+
+DimLike = Union[int, Dim]
+
+
+def as_dim(x) -> DimLike:
+    """Normalize a shape entry: ints stay ints, strings become symbols."""
+    if isinstance(x, Dim):
+        v = x.value
+        return v if v is not None else x
+    if isinstance(x, str):
+        return Dim.symbol(x)
+    if isinstance(x, (int, np.integer)):
+        return int(x)
+    raise TypeError(f"cannot interpret {x!r} as a dimension")
+
+
+def as_shape(shape) -> tuple:
+    return tuple(as_dim(d) for d in shape)
+
+
+def dim_value(d: DimLike) -> Optional[int]:
+    """Concrete value of a dim, or None when symbolic."""
+    if isinstance(d, Dim):
+        return d.value
+    return int(d)
+
+
+def dim_div(a: DimLike, b: DimLike) -> Optional[DimLike]:
+    """Exact division ``a / b``; None when inexact or not expressible.
+
+    Handles the two cases shape inference needs: concrete/concrete, and
+    polynomial divided by a single-term divisor (``(n*s*4)/ (s*4) -> n``).
+    """
+    av, bv = dim_value(a), dim_value(b)
+    if bv == 0:
+        return None
+    if av is not None and bv is not None:
+        return av // bv if av % bv == 0 else None
+    b = as_dim(b) if not isinstance(b, Dim) else b
+    if isinstance(b, int):
+        b = Dim.const(b)
+    if len(b._terms) != 1:
+        return None
+    (bm, bc), = b._terms.items()
+    a = Dim.const(a) if not isinstance(a, Dim) else a
+    out: dict = {}
+    for m, c in a._terms.items():
+        if c % bc != 0:
+            return None
+        rem = list(m)
+        for s in bm:
+            if s not in rem:
+                return None
+            rem.remove(s)
+        out[tuple(rem)] = c // bc
+    return as_dim(Dim(out))
+
+
+def format_shape(shape) -> str:
+    if shape is None:
+        return "?"
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+class InferContext:
+    """Mutable state threaded through one inference walk over a tape.
+
+    Holds the symbol substitution (bindings accumulated by unification), the
+    list of assumed-but-unproven constraints, and helpers that op inference
+    rules call — so rules in :mod:`repro.tfmini.ops` stay free of any import
+    of this module.
+    """
+
+    def __init__(self):
+        self._bindings: dict[str, DimLike] = {}
+        self.notes: list[str] = []
+        self._fresh_counter = itertools.count()
+        # Per-record scratch, set by the verifier before each infer call.
+        self.input_values: list = []
+        self._where: str = ""
+
+    # -- error reporting --------------------------------------------------
+
+    def set_site(self, where: str) -> None:
+        self._where = where
+
+    def fail(self, message: str):
+        raise ShapeError(f"{self._where}: {message}" if self._where else message)
+
+    def note(self, message: str) -> None:
+        self.notes.append(f"{self._where}: {message}" if self._where else message)
+
+    # -- symbols ----------------------------------------------------------
+
+    def fresh(self, hint: str = "d") -> Dim:
+        return Dim.symbol(f"{hint}?{next(self._fresh_counter)}")
+
+    def bind(self, name: str, value: DimLike) -> None:
+        self._bindings[name] = value
+
+    def resolve(self, d: DimLike) -> DimLike:
+        """Apply accumulated bindings to a dim (to fixpoint)."""
+        for _ in range(64):  # bindings are acyclic; bound is paranoia
+            if not isinstance(d, Dim):
+                return int(d)
+            hits = d.symbols() & self._bindings.keys()
+            if not hits:
+                return as_dim(d)  # normalizes constant polynomials to ints
+            out: DimLike = Dim.const(0)
+            for m, c in d._terms.items():
+                term: DimLike = c
+                for s in m:
+                    term = term * self._bindings.get(s, Dim.symbol(s))
+                out = out + term
+            d = as_dim(out)
+        return d
+
+    def resolve_shape(self, shape) -> tuple:
+        return tuple(self.resolve(d) for d in shape)
+
+    # -- unification ------------------------------------------------------
+
+    def eq(self, a: DimLike, b: DimLike) -> Optional[bool]:
+        """True / False when provable after resolution, None when open."""
+        a, b = self.resolve(a), self.resolve(b)
+        av, bv = dim_value(a), dim_value(b)
+        if av is not None and bv is not None:
+            return av == bv
+        if as_dim(a) == as_dim(b):
+            return True
+        return None
+
+    def unify(self, a: DimLike, b: DimLike, what: str = "dim") -> DimLike:
+        """Require ``a == b``: fail on a provable mismatch, bind a bare
+        symbol when possible, otherwise record an assumed constraint."""
+        a, b = self.resolve(a), self.resolve(b)
+        verdict = self.eq(a, b)
+        if verdict is True:
+            return a
+        if verdict is False:
+            self.fail(f"{what} mismatch: {a} != {b}")
+        for x, y in ((a, b), (b, a)):
+            if isinstance(x, Dim) and len(x._terms) == 1:
+                (m, c), = x._terms.items()
+                if len(m) == 1 and c == 1:
+                    sym = m[0]
+                    other = y if not isinstance(y, Dim) else y
+                    if not (isinstance(other, Dim) and sym in other.symbols()):
+                        self.bind(sym, other)
+                        return self.resolve(x)
+        self.note(f"assumed {what}: {a} == {b}")
+        return a
+
+    def unify_shapes(self, sa, sb, what: str = "shape") -> tuple:
+        if len(sa) != len(sb):
+            self.fail(f"{what} rank mismatch: {format_shape(sa)} vs {format_shape(sb)}")
+        return tuple(self.unify(a, b, what) for a, b in zip(sa, sb))
+
+    # -- helpers the op rules call ---------------------------------------
+
+    def broadcast(self, sa, sb) -> tuple:
+        """NumPy-style broadcast of two shapes with symbolic dims."""
+        out = []
+        for i in range(max(len(sa), len(sb))):
+            a = sa[len(sa) - 1 - i] if i < len(sa) else 1
+            b = sb[len(sb) - 1 - i] if i < len(sb) else 1
+            a, b = self.resolve(a), self.resolve(b)
+            if dim_value(a) == 1:
+                out.append(b)
+            elif dim_value(b) == 1:
+                out.append(a)
+            else:
+                out.append(self.unify(a, b, "broadcast dim"))
+        return tuple(reversed(out))
+
+    def prod(self, dims) -> DimLike:
+        total: DimLike = 1
+        for d in dims:
+            total = total * self.resolve(d)  # int*Dim / Dim*int both work
+        return as_dim(total) if isinstance(total, Dim) else total
+
+    def div(self, a: DimLike, b: DimLike) -> Optional[DimLike]:
+        return dim_div(self.resolve(a), self.resolve(b))
+
+    def value(self, index: int):
+        """Known scalar value of input ``index`` (tiny int feeds), or None.
+
+        Returns an int for concrete bindings, a :class:`Dim` for symbolic
+        value-parameters declared in a feed spec (e.g. the DP graph's
+        ``natoms`` feed, which parameterizes ``prod_force``'s output rows).
+        """
+        if index >= len(self.input_values):
+            return None
+        v = self.input_values[index]
+        if v is None:
+            return None
+        return self.resolve(v) if isinstance(v, Dim) else v

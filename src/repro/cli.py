@@ -6,11 +6,16 @@ info        — package/system inventory and model-zoo status
 scaling     — regenerate the Summit scaling tables (Tables 1/4, Figs 5/6)
 validate    — quick self-check: DP forces vs finite differences,
               distributed-vs-serial agreement, a distributed-ensemble
-              bitwise smoke, and a 2-client serving round trip
-              (seconds, not the full suite)
+              bitwise smoke, a 2-client serving round trip, and a static
+              plan verification (seconds, not the full suite)
 serve-bench — closed-loop load generator against the micro-batching
               inference service (N clients, deterministic counters +
               throughput report)
+lint        — concurrency/invariant linter over the source tree
+              (repro.analysis.lint; rules L101-L109)
+check-plans — compile every zoo model's evaluate/train/serving plans and
+              run the static plan verifier (repro.analysis.plancheck;
+              rules P101-P108)
 """
 
 from __future__ import annotations
@@ -65,13 +70,13 @@ def cmd_validate(_args) -> int:
     from repro.md.neighbor import neighbor_pairs
     from repro.parallel import DistributedEnsembleSimulation, DistributedSimulation
 
-    print("1/5 building a tiny DP model and a 81-atom water cell...")
+    print("1/6 building a tiny DP model and a 81-atom water cell...")
     model = DeepPot(DPConfig.tiny())
     sys = water_box((3, 3, 3), seed=0)
     pi, pj = neighbor_pairs(sys, model.config.rcut)
     res = model.evaluate(sys, pi, pj)
 
-    print("2/5 checking forces against finite differences...")
+    print("2/6 checking forces against finite differences...")
     eps, worst = 1e-5, 0.0
     for atom, comp in ((0, 0), (10, 1), (40, 2)):
         p0 = sys.positions[atom, comp]
@@ -87,7 +92,7 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_analytic - F_fd| = {worst:.2e} eV/Å")
     ok_fd = worst < 1e-7
 
-    print("3/5 checking distributed == serial...")
+    print("3/6 checking distributed == serial...")
     big = water_box((4, 4, 4), seed=1)
     boltzmann_velocities(big, 300.0, seed=2)
     a, b = neighbor_pairs(big, model.config.rcut)
@@ -97,7 +102,7 @@ def cmd_validate(_args) -> int:
     print(f"    max |F_dist - F_serial| = {diff:.2e} eV/Å")
     ok_dist = diff < 1e-10
 
-    print("4/5 checking distributed ensemble == independent runs (bitwise)...")
+    print("4/6 checking distributed ensemble == independent runs (bitwise)...")
     R, grid = 2, (2, 1, 1)
     ens = DistributedEnsembleSimulation.from_system(
         big, model, n_replicas=R, temperature=300.0, seed=5,
@@ -128,7 +133,7 @@ def cmd_validate(_args) -> int:
         f"independent runs)"
     )
 
-    print("5/5 checking serving == direct (2-client micro-batch smoke)...")
+    print("5/6 checking serving == direct (2-client micro-batch smoke)...")
     from repro.serving import (
         InferenceServer,
         perturbed_frames,
@@ -158,7 +163,18 @@ def cmd_validate(_args) -> int:
           f"{'bitwise identical to' if ok_serve else 'MISMATCH vs'} "
           f"direct evaluate")
 
-    if ok_fd and ok_dist and ok_ens and ok_serve:
+    print("6/6 statically verifying the compiled evaluate plan "
+          "(liveness/alias/shape/dtype)...")
+    from repro.analysis.plancheck import dp_feed_spec
+    from repro.dp.batch import BatchedEvaluator
+
+    engine = BatchedEvaluator(model)
+    engine.evaluate_batch([sys], [(pi, pj)])  # warm one arena
+    report = engine.plan.verify(spec=dp_feed_spec(model), check_values=True)
+    print(f"    {report.summary()}")
+    ok_plan = report.ok
+
+    if ok_fd and ok_dist and ok_ens and ok_serve and ok_plan:
         print("\nvalidation PASSED")
         return 0
     print("\nvalidation FAILED")
@@ -253,6 +269,59 @@ def cmd_serve_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import RULES, format_json, format_text, lint_paths
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    findings = lint_paths(paths)
+    print(format_json(findings) if args.json else format_text(findings))
+    if findings and args.strict:
+        return 1
+    return 0
+
+
+def cmd_check_plans(args) -> int:
+    import json as _json
+
+    from repro.analysis.plancheck import check_all_plans
+
+    results = check_all_plans()
+    bad = [e for e in results if not e["report"].ok]
+    if args.json:
+        print(_json.dumps(
+            [
+                {
+                    "plan": e["plan"],
+                    "records": e["records"],
+                    "ok": e["report"].ok,
+                    "findings": [str(f) for f in e["report"].findings],
+                    "notes": list(e["report"].notes),
+                }
+                for e in results
+            ],
+            indent=2,
+        ))
+    else:
+        for e in results:
+            rep = e["report"]
+            status = "OK" if rep.ok else f"FAIL ({len(rep.findings)} finding(s))"
+            print(f"{e['plan']:<26} {e['records']:>4} records  {status}")
+            for f in rep.findings:
+                print(f"    {f}")
+            for n in rep.notes:
+                print(f"    note: {n}")
+        verdict = "clean" if not bad else f"{len(bad)} plan(s) with findings"
+        print(f"check-plans: {len(results)} plans verified — {verdict}")
+    return 1 if bad else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -276,12 +345,31 @@ def main(argv=None) -> int:
     serve.add_argument("--workers", default="per-model",
                        help="'per-model' (one worker per hosted model) or "
                             "an integer shared-pool size")
+    lint = sub.add_parser(
+        "lint", help="concurrency/invariant linter (rules L101-L109)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero when any finding remains")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    checkp = sub.add_parser(
+        "check-plans",
+        help="statically verify every zoo model's compiled plans "
+             "(rules P101-P108)",
+    )
+    checkp.add_argument("--json", action="store_true", help="JSON report")
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
         "scaling": cmd_scaling,
         "validate": cmd_validate,
         "serve-bench": cmd_serve_bench,
+        "lint": cmd_lint,
+        "check-plans": cmd_check_plans,
     }[args.command](args)
 
 

@@ -150,12 +150,37 @@ def _out_prod_force_grad(inputs, attrs, out):
     np.einsum("ijck,ijk->ijc", em_deriv, diff, out=out)
 
 
+def _inf_prod_force(shapes, dtypes, attrs, ctx):
+    nd, ed = shapes[0], shapes[1]
+    # nd is (nloc, nnei, 4); em_deriv is (nloc, nnei, 4, 3).
+    if len(nd) != 3 or len(ed) != 4:
+        ctx.fail(f"prod_force expects 3-D/4-D inputs, got ranks {len(nd)}/{len(ed)}")
+    ctx.unify_shapes(nd, ed[:3], "prod_force net_deriv/em_deriv")
+    ctx.unify(ed[3], 3, "prod_force displacement components")
+    # Output rows come from the *value* of the natoms feed (input 4) —
+    # the scatter target covers ghosts too, not just the nd rows.
+    rows = ctx.value(4)
+    if rows is None:
+        rows = ctx.fresh("natoms")
+        ctx.note("prod_force output rows unknown (natoms value unbound)")
+    return (rows, 3), np.promote_types(dtypes[0], dtypes[1])
+
+
+def _inf_prod_force_grad(shapes, dtypes, attrs, ctx):
+    g, ed = shapes[0], shapes[1]
+    if len(g) != 2 or len(ed) != 4:
+        ctx.fail(f"prod_force_grad expects 2-D/4-D inputs, got ranks {len(g)}/{len(ed)}")
+    ctx.unify(g[1], 3, "prod_force_grad force components")
+    return ed[:3], np.promote_types(dtypes[0], dtypes[1])
+
+
 register_op(
     "prod_force",
     _fwd_prod_force,
     vjp=_vjp_prod_force,
     flops=lambda node, ins, out: ins[0].size * 3 * 2,
     forward_out=_out_prod_force,
+    infer=_inf_prod_force,
 )
 register_op(
     "prod_force_grad",
@@ -164,6 +189,7 @@ register_op(
     # cotangent — but training never needs third derivatives; omit.
     flops=lambda node, ins, out: out.size * 3 * 2,
     forward_out=_out_prod_force_grad,
+    infer=_inf_prod_force_grad,
 )
 
 
@@ -196,16 +222,40 @@ def _out_prod_virial_grad(inputs, attrs, out):
     np.negative(out, out=out)
 
 
+def _inf_prod_virial(shapes, dtypes, attrs, ctx):
+    nd, ed, rij = shapes[0], shapes[1], shapes[2]
+    if len(nd) != 3 or len(ed) != 4 or len(rij) != 3:
+        ctx.fail(
+            "prod_virial expects 3-D/4-D/3-D inputs, got ranks "
+            f"{len(nd)}/{len(ed)}/{len(rij)}"
+        )
+    ctx.unify_shapes(nd, ed[:3], "prod_virial net_deriv/em_deriv")
+    ctx.unify_shapes(rij, (ed[0], ed[1], 3), "prod_virial rij")
+    return (3, 3), np.promote_types(np.promote_types(dtypes[0], dtypes[1]), dtypes[2])
+
+
+def _inf_prod_virial_grad(shapes, dtypes, attrs, ctx):
+    g, ed, rij = shapes[0], shapes[1], shapes[2]
+    if len(g) != 2 or len(ed) != 4:
+        ctx.fail(
+            f"prod_virial_grad expects 2-D/4-D inputs, got ranks {len(g)}/{len(ed)}"
+        )
+    ctx.unify_shapes(g, (3, 3), "prod_virial_grad cotangent")
+    return ed[:3], np.promote_types(np.promote_types(dtypes[0], dtypes[1]), dtypes[2])
+
+
 register_op(
     "prod_virial",
     _fwd_prod_virial,
     vjp=_vjp_prod_virial,
     flops=lambda node, ins, out: ins[0].size * 9 * 2,
     forward_out=_out_prod_virial,
+    infer=_inf_prod_virial,
 )
 register_op(
     "prod_virial_grad",
     _fwd_prod_virial_grad,
     flops=lambda node, ins, out: out.size * 9 * 2,
     forward_out=_out_prod_virial_grad,
+    infer=_inf_prod_virial_grad,
 )

@@ -70,7 +70,7 @@ class Trainer:
         self,
         model: DeepPot,
         dataset: Dataset,
-        config: TrainConfig = None,
+        config: Optional[TrainConfig] = None,
         use_plan: bool = True,
     ):
         if len(dataset) == 0:

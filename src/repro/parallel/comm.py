@@ -108,7 +108,7 @@ class SimComm:
         self.stats.bcast_bytes += _payload_bytes(payload) * max(self.size - 1, 0)
         return payload
 
-    def allreduce(self, contributions: list, op: Callable = None):
+    def allreduce(self, contributions: list, op: Optional[Callable] = None):
         """Blocking allreduce over per-rank contributions (default: sum)."""
         if len(contributions) != self.size:
             raise ValueError(
@@ -117,7 +117,9 @@ class SimComm:
         self.stats.allreduce_calls += 1
         return self._reduce(contributions, op)
 
-    def iallreduce(self, contributions: list, op: Callable = None) -> PendingReduce:
+    def iallreduce(
+        self, contributions: list, op: Optional[Callable] = None
+    ) -> PendingReduce:
         """Non-blocking allreduce (the paper's MPI_Iallreduce swap, Sec 5.4)."""
         if len(contributions) != self.size:
             raise ValueError(

@@ -126,7 +126,10 @@ class RequestQueue:
         """The key's wakeup condition (lazily created, shares the lock)."""
         cond = self._key_conds.get(key)
         if cond is None:
-            cond = self._key_conds[key] = threading.Condition(self._lock)
+            # Safe despite lazy creation: every caller already holds
+            # self._lock (the condition wraps that same lock), so two threads
+            # can never race the dict insert.
+            cond = self._key_conds[key] = threading.Condition(self._lock)  # repro-lint: disable=L103
         return cond
 
     def _pending(self, only: Optional[object]) -> int:

@@ -41,19 +41,33 @@ class OpDef:
     # one still work under plans via the allocate-and-copy-into-slot
     # fallback.
     forward_out: Optional[Callable] = None
+    # ``infer(in_shapes, in_dtypes, attrs, ctx) -> (shape, dtype)`` —
+    # symbolic shape/dtype rule used by the static plan verifier
+    # (repro.analysis.plancheck).  Shapes are tuples whose entries are ints
+    # or symbolic dims supporting +/-/*; anything harder (unification,
+    # broadcasting, exact division, fresh symbols) goes through ``ctx`` so
+    # rules need no imports.  Multi-output kernels return a list of
+    # (shape, dtype) pairs.  Ops without a rule still verify — their
+    # outputs become fresh symbols and the report carries a note.
+    infer: Optional[Callable] = None
 
 
 _REGISTRY: dict[str, OpDef] = {}
 
 
-def register_op(name: str, forward, vjp=None, flops=None, forward_out=None) -> None:
+def register_op(name: str, forward, vjp=None, flops=None, forward_out=None, infer=None) -> None:
     """Register an operator.  Used by DP custom ops as well as the built-ins."""
-    _REGISTRY[name] = OpDef(forward, vjp, flops, forward_out)
+    _REGISTRY[name] = OpDef(forward, vjp, flops, forward_out, infer)
 
 
 def register_out_kernel(name: str, forward_out) -> None:
     """Attach (or replace) the destination-passing kernel of a registered op."""
     get_op(name).forward_out = forward_out
+
+
+def register_infer(name: str, infer) -> None:
+    """Attach (or replace) the symbolic shape/dtype rule of a registered op."""
+    get_op(name).infer = infer
 
 
 def get_op(name: str) -> OpDef:
@@ -901,11 +915,26 @@ def cast(a: Node, dtype) -> Node:
 register_op(
     "cast",
     lambda inputs, attrs: inputs[0].astype(attrs["dtype"], copy=False),
-    vjp=lambda node, g: [cast(g, node.inputs[0].dtype or np.float64)],
+    # The cotangent must come back in the *runtime* dtype of the cast's
+    # input.  Most nodes carry no static dtype, so resolving it at execution
+    # time (cast_like) keeps the mixed-precision backward pass in fp32
+    # between the two cast boundaries instead of silently promoting every
+    # gradient kernel to fp64 against fp32 weights.
+    vjp=lambda node, g: [Node("cast_like", (g, node.inputs[0]))],
     flops=lambda node, ins, out: 0,
     # astype(copy=False) may return the input itself (same dtype); the
     # destination-passing variant always materializes — same bits either way,
     # and it keeps plan buffers free of aliasing.
+    forward_out=lambda inputs, attrs, out: np.copyto(
+        out, inputs[0], casting="unsafe"
+    ),
+)
+
+register_op(
+    "cast_like",
+    lambda inputs, attrs: inputs[0].astype(inputs[1].dtype, copy=False),
+    vjp=lambda node, g: [Node("cast_like", (g, node.inputs[0])), None],
+    flops=lambda node, ins, out: 0,
     forward_out=lambda inputs, attrs, out: np.copyto(
         out, inputs[0], casting="unsafe"
     ),
@@ -943,3 +972,261 @@ def op_category(op_name: str) -> str:
     if op_name.startswith(("env_mat", "prod_force", "prod_virial", "format_nlist")):
         return "CUSTOM"
     return "Others"
+
+
+# ---------------------------------------------------------------------------
+# symbolic shape/dtype inference rules (static plan verification)
+# ---------------------------------------------------------------------------
+#
+# Consumed by repro.analysis.plancheck: each rule receives the input shapes
+# (tuples of ints / symbolic dims), input dtypes, the node attrs and an
+# InferContext, and returns (out_shape, out_dtype).  Rules only use plain
+# dim arithmetic plus ctx helpers, so this module stays import-free of the
+# symbolic algebra.
+
+
+def _promote(*dtypes):
+    out = dtypes[0]
+    for d in dtypes[1:]:
+        out = np.promote_types(out, d)
+    return out
+
+
+def _norm_axis(axis: int, rank: int, ctx):
+    ax = axis if axis >= 0 else axis + rank
+    if not 0 <= ax < rank:
+        ctx.fail(f"axis {axis} out of range for rank {rank}")
+    return ax
+
+
+def _inf_unary(shapes, dtypes, attrs, ctx):
+    return shapes[0], dtypes[0]
+
+
+def _inf_binary(shapes, dtypes, attrs, ctx):
+    return ctx.broadcast(shapes[0], shapes[1]), _promote(dtypes[0], dtypes[1])
+
+
+def _inf_matmul(shapes, dtypes, attrs, ctx):
+    a, b = shapes
+    if len(a) != 2 or len(b) != 2:
+        ctx.fail(f"matmul expects 2-D operands, got ranks {len(a)} and {len(b)}")
+    ctx.unify(a[1], b[0], "matmul inner dim")
+    return (a[0], b[1]), _promote(dtypes[0], dtypes[1])
+
+
+def _inf_gemm(shapes, dtypes, attrs, ctx):
+    a, b, c = shapes
+    if len(a) != 2 or len(b) != 2:
+        ctx.fail(f"gemm expects 2-D operands, got ranks {len(a)} and {len(b)}")
+    ctx.unify(a[1], b[0], "gemm inner dim")
+    out = (a[0], b[1])
+    # ``+= c`` requires c to broadcast into the product shape, not widen it.
+    ctx.unify_shapes(ctx.broadcast(out, c), out, "gemm bias")
+    return out, _promote(*dtypes)
+
+
+def _inf_bmm(shapes, dtypes, attrs, ctx):
+    a, b = shapes
+    if len(a) != 3 or len(b) != 3:
+        ctx.fail(f"bmm expects 3-D operands, got ranks {len(a)} and {len(b)}")
+    batch = ctx.unify(a[0], b[0], "bmm batch dim")
+    ctx.unify(a[2], b[1], "bmm inner dim")
+    return (batch, a[1], b[2]), _promote(dtypes[0], dtypes[1])
+
+
+def _inf_concat(shapes, dtypes, attrs, ctx):
+    a, b = shapes
+    if len(a) != len(b):
+        ctx.fail(f"concat rank mismatch: {len(a)} vs {len(b)}")
+    ax = _norm_axis(attrs["axis"], len(a), ctx)
+    out = []
+    for i, (da, db) in enumerate(zip(a, b)):
+        out.append(da + db if i == ax else ctx.unify(da, db, f"concat dim {i}"))
+    return tuple(out), _promote(dtypes[0], dtypes[1])
+
+
+def _sliced_extent(dim, start, stop, ctx):
+    # Mirror numpy's clamping slice semantics when the extent is concrete.
+    if isinstance(dim, (int, np.integer)):
+        lo, hi = min(start, dim), min(stop, dim)
+        return max(0, hi - lo)
+    return stop - start
+
+
+def _inf_slice(shapes, dtypes, attrs, ctx):
+    x = shapes[0]
+    out = x[:-1] + (_sliced_extent(x[-1], attrs["start"], attrs["stop"], ctx),)
+    return out, dtypes[0]
+
+
+def _inf_slice_grad(shapes, dtypes, attrs, ctx):
+    g, x = shapes
+    want = x[:-1] + (_sliced_extent(x[-1], attrs["start"], attrs["stop"], ctx),)
+    ctx.unify_shapes(g, want, "slice_grad cotangent")
+    return x, dtypes[1]
+
+
+def _inf_slice_axis(shapes, dtypes, attrs, ctx):
+    x = shapes[0]
+    ax = _norm_axis(attrs["axis"], len(x), ctx)
+    out = list(x)
+    out[ax] = _sliced_extent(x[ax], attrs["start"], attrs["stop"], ctx)
+    return tuple(out), dtypes[0]
+
+
+def _inf_slice_axis_grad(shapes, dtypes, attrs, ctx):
+    g, x = shapes
+    ax = _norm_axis(attrs["axis"], len(x), ctx)
+    want = list(x)
+    want[ax] = _sliced_extent(x[ax], attrs["start"], attrs["stop"], ctx)
+    ctx.unify_shapes(g, tuple(want), "slice_axis_grad cotangent")
+    return x, dtypes[1]
+
+
+def _inf_split_part(shapes, dtypes, attrs, ctx):
+    g, a, b = shapes
+    ax = _norm_axis(attrs["axis"], len(g), ctx)
+    ctx.unify(g[ax], a[ax] + b[ax], "split_part total extent")
+    out = list(g)
+    out[ax] = a[ax] if attrs["part"] == 0 else b[ax]
+    return tuple(out), dtypes[0]
+
+
+def _inf_split_part_grad(shapes, dtypes, attrs, ctx):
+    h, a, b = shapes
+    ax = _norm_axis(attrs["axis"], len(h), ctx)
+    ctx.unify(h[ax], a[ax] if attrs["part"] == 0 else b[ax], "split_part_grad extent")
+    out = list(h)
+    out[ax] = a[ax] + b[ax]
+    return tuple(out), dtypes[0]
+
+
+def _inf_reshape(shapes, dtypes, attrs, ctx):
+    x = shapes[0]
+    target = attrs["shape"]
+    total = ctx.prod(x)
+    if -1 in target:
+        known = ctx.prod(d for d in target if d != -1)
+        inferred = ctx.div(total, known)
+        if inferred is None:
+            if isinstance(total, (int, np.integer)):
+                ctx.fail(
+                    f"reshape cannot infer -1: {total} not divisible by {known}"
+                )
+            ctx.note(f"reshape -1 left symbolic: {total} / {known}")
+            inferred = ctx.fresh("reshape")
+        return tuple(inferred if d == -1 else d for d in target), dtypes[0]
+    verdict = ctx.eq(total, ctx.prod(target))
+    if verdict is False:
+        ctx.fail(f"reshape element count mismatch: {total} -> {target}")
+    if verdict is None:
+        ctx.note(f"assumed reshape count: {total} == prod{tuple(target)}")
+    return tuple(target), dtypes[0]
+
+
+def _inf_reshape_like(shapes, dtypes, attrs, ctx):
+    x, like = shapes
+    verdict = ctx.eq(ctx.prod(x), ctx.prod(like))
+    if verdict is False:
+        ctx.fail(
+            f"reshape_like element count mismatch: prod{tuple(x)} != prod{tuple(like)}"
+        )
+    return like, dtypes[0]
+
+
+def _inf_transpose(shapes, dtypes, attrs, ctx):
+    x = shapes[0]
+    perm = attrs["perm"]
+    if perm is None:
+        return tuple(reversed(x)), dtypes[0]
+    if sorted(perm) != list(range(len(x))):
+        ctx.fail(f"transpose perm {perm} invalid for rank {len(x)}")
+    return tuple(x[p] for p in perm), dtypes[0]
+
+
+def _inf_reduce(shapes, dtypes, attrs, ctx):
+    x = shapes[0]
+    axis = attrs["axis"]
+    if axis is None:
+        return (), dtypes[0]
+    ax = _norm_axis(axis, len(x), ctx)
+    return x[:ax] + x[ax + 1 :], dtypes[0]
+
+
+def _inf_bcast_reduce_grad(shapes, dtypes, attrs, ctx):
+    g, x = shapes
+    axis = attrs["axis"]
+    if axis is not None:
+        ax = _norm_axis(axis, len(x), ctx)
+        ctx.unify_shapes(g, x[:ax] + x[ax + 1 :], "bcast_reduce_grad cotangent")
+    return x, dtypes[0]
+
+
+def _inf_reduce_to_shape(shapes, dtypes, attrs, ctx):
+    return shapes[1], dtypes[0]
+
+
+def _inf_broadcast_like(shapes, dtypes, attrs, ctx):
+    x, like = shapes
+    ctx.unify_shapes(ctx.broadcast(x, like), like, "broadcast_like target")
+    return like, dtypes[0]
+
+
+def _inf_tanh_fused(shapes, dtypes, attrs, ctx):
+    return [(shapes[0], dtypes[0]), (shapes[0], dtypes[0])]
+
+
+def _inf_cast(shapes, dtypes, attrs, ctx):
+    return shapes[0], np.dtype(attrs["dtype"])
+
+
+def _inf_cast_like(shapes, dtypes, attrs, ctx):
+    return shapes[0], dtypes[1]
+
+
+_INFER_RULES = {
+    "add": _inf_binary,
+    "sub": _inf_binary,
+    "mul": _inf_binary,
+    "div": _inf_binary,
+    "tanh_grad": _inf_binary,
+    "neg": _inf_unary,
+    "square": _inf_unary,
+    "scale": _inf_unary,
+    "tanh": _inf_unary,
+    "exp": _inf_unary,
+    "log": _inf_unary,
+    "sqrt": _inf_unary,
+    "sigmoid": _inf_unary,
+    "one_minus": _inf_unary,
+    "relu": _inf_unary,
+    "step_mask": _inf_unary,
+    "pow_scalar": _inf_unary,
+    "matmul": _inf_matmul,
+    "gemm": _inf_gemm,
+    "bmm": _inf_bmm,
+    "concat": _inf_concat,
+    "slice": _inf_slice,
+    "slice_grad": _inf_slice_grad,
+    "slice_axis": _inf_slice_axis,
+    "slice_axis_grad": _inf_slice_axis_grad,
+    "split_part": _inf_split_part,
+    "split_part_grad": _inf_split_part_grad,
+    "reshape": _inf_reshape,
+    "reshape_like": _inf_reshape_like,
+    "transpose": _inf_transpose,
+    "reduce_sum": _inf_reduce,
+    "reduce_mean": _inf_reduce,
+    "bcast_reduce_grad": _inf_bcast_reduce_grad,
+    "reduce_to_shape": _inf_reduce_to_shape,
+    "broadcast_like": _inf_broadcast_like,
+    "tanh_fused": _inf_tanh_fused,
+    "cast": _inf_cast,
+    "cast_like": _inf_cast_like,
+    # "item" is resolved structurally by the verifier (tuple component
+    # selection needs the producer's per-part shapes, not a local rule).
+}
+
+for _name, _rule in _INFER_RULES.items():
+    _REGISTRY[_name].infer = _rule

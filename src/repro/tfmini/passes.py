@@ -73,7 +73,18 @@ def _fwd_ii_like(inputs, attrs):
     return np.concatenate([eye, eye], axis=1)
 
 
-register_op("ii_like", _fwd_ii_like, vjp=lambda node, g: [None], flops=lambda n, i, o: 0)
+def _inf_ii_like(shapes, dtypes, attrs, ctx):
+    n = shapes[0][-1]
+    return (n, 2 * n), dtypes[0]
+
+
+register_op(
+    "ii_like",
+    _fwd_ii_like,
+    vjp=lambda node, g: [None],
+    flops=lambda n, i, o: 0,
+    infer=_inf_ii_like,
+)
 
 
 def fuse_concat_sum(fetches: Sequence[Node]) -> list[Node]:

@@ -50,6 +50,7 @@ execution.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -172,6 +173,13 @@ class ExecutionPlan:
         (FIFO) and re-warms it on revisit — bounding resident memory for
         servers whose micro-batch occupancy varies freely.  Steady
         workloads never hit the cap.
+    verify:
+        Run the static plan verifier (:mod:`repro.analysis.plancheck`)
+        structural checks at compile time and raise
+        ``PlanVerificationError`` on any finding.  ``None`` (default)
+        defers to the ``REPRO_VERIFY_PLANS`` environment variable, so a
+        whole test run or CI job can be hardened without touching call
+        sites.
 
     A plan owns mutable run state (the slot value table and the arenas), so
     a single plan must not be run from two threads at once — one plan per
@@ -191,6 +199,7 @@ class ExecutionPlan:
         feed_nodes: Sequence[Node],
         copy_fetches: bool = True,
         max_arenas: int = 32,
+        verify: Optional[bool] = None,
     ):
         self._single = isinstance(fetches, Node)
         fetch_list: list[Node] = [fetches] if self._single else list(fetches)
@@ -291,7 +300,40 @@ class ExecutionPlan:
         self._feed_ids: set[int] = set()
         self.feed_nbytes = 0
 
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+        if verify:
+            self.verify(raise_on_findings=True)
+
     # ------------------------------------------------------------------ info
+
+    def verify(self, spec=None, check_values: bool = False,
+               raise_on_findings: bool = False):
+        """Statically verify this plan; returns a ``PlanReport``.
+
+        Structural soundness (liveness, alias groups, arena reuse, fetch
+        pinning — rules P101–P105) is always checked.  Pass a feed ``spec``
+        (``{feed node or name: FeedSpec}``, see
+        :func:`repro.analysis.plancheck.dp_feed_spec`) to also run symbolic
+        shape/dtype inference over the tape (P106–P108);
+        ``check_values=True`` additionally compares inferred shapes/dtypes
+        against the concrete arrays of the most recent run.
+        """
+        from repro.analysis.plancheck import PlanVerificationError, verify_plan
+
+        report = verify_plan(self, spec=spec, check_values=check_values)
+        if raise_on_findings and not report.ok:
+            raise PlanVerificationError(report)
+        return report
+
+    def storage_root(self, slot: int) -> int:
+        """Representative slot of ``slot``'s storage group (alias union)."""
+        return self._find(slot)
+
+    def death_index(self, slot: int) -> int:
+        """Last tape index reading ``slot``'s storage group (``1 << 62`` =
+        pinned forever, ``-1`` = never read)."""
+        return self._death.get(self._find(slot), -1)
 
     @property
     def n_records(self) -> int:
@@ -560,14 +602,21 @@ def compile_plan(
     feed_nodes: Sequence[Node],
     copy_fetches: bool = True,
     max_arenas: int = 32,
+    verify: Optional[bool] = None,
 ) -> ExecutionPlan:
     """Compile ``fetches`` into an :class:`ExecutionPlan`.
 
     Topo-sorts the DAG exactly once; every subsequent :meth:`ExecutionPlan.
     run` is a flat tape walk with persistent, liveness-recycled output
     buffers.  Results are bitwise identical to ``Session.run`` on the same
-    fetches and feeds.
+    fetches and feeds.  ``verify=True`` (or ``REPRO_VERIFY_PLANS=1``) runs
+    the static plan verifier's structural checks before the plan is
+    returned.
     """
     return ExecutionPlan(
-        fetches, feed_nodes, copy_fetches=copy_fetches, max_arenas=max_arenas
+        fetches,
+        feed_nodes,
+        copy_fetches=copy_fetches,
+        max_arenas=max_arenas,
+        verify=verify,
     )

@@ -1,0 +1,223 @@
+"""Concurrency/invariant linter: every rule fires on a synthetic bad file,
+stays quiet on the matching good idiom, and honors disable escapes —
+plus the dogfood regression that keeps src/repro itself clean.
+"""
+
+import json
+import textwrap
+
+from repro.analysis.lint import RULES, format_json, format_text, lint_paths
+
+BAD_SOURCE = textwrap.dedent(
+    '''
+    import random
+    import threading
+    import time
+
+    import numpy as np
+
+
+    class Worker:
+        def __init__(self):
+            self.lock_a = threading.Lock()
+            self.lock_b = threading.Lock()
+            self.cond = threading.Condition(self.lock_a)
+
+        def wait_wrong(self):
+            with self.cond:
+                if not self.ready:          # L101: wait guarded by if
+                    self.cond.wait()
+
+        def order_ab(self):
+            with self.lock_a:
+                with self.lock_b:
+                    pass
+
+        def order_ba(self):                 # L102: inversion vs order_ab
+            with self.lock_b:
+                with self.lock_a:
+                    pass
+
+        def lazy_lock(self):
+            self.late = threading.Lock()    # L103: lock outside __init__
+
+        def call_private(self, engine):
+            return engine._evaluate_batch([])   # L104: bypasses thread guard
+
+
+    def bad_default(x, acc=[]):             # L105: mutable default
+        acc.append(x)
+        return acc
+
+
+    def swallow():
+        try:
+            pass
+        except:                             # L106: bare except
+            pass
+
+
+    def stamp():
+        return time.time()                  # L107: wall clock
+
+
+    def jitter(n):
+        return np.random.rand(n) + random.random()   # L108: global RNG x2
+
+
+    def untyped(x: int = None):             # L109: None default, non-Optional
+        return x
+    '''
+)
+
+GOOD_SOURCE = textwrap.dedent(
+    '''
+    import threading
+    import time
+    from typing import Optional
+
+    import numpy as np
+
+
+    class Worker:
+        def __init__(self):
+            self.lock_a = threading.Lock()
+            self.lock_b = threading.Lock()
+            self.cond = threading.Condition(self.lock_a)
+            self.ready = False
+            self.gate = threading.Event()
+
+        def wait_right(self):
+            with self.cond:
+                while not self.ready:
+                    self.cond.wait()
+
+        def wait_event(self):
+            self.gate.wait()        # Event.wait needs no while guard
+
+        def order_one(self):
+            with self.lock_a:
+                with self.lock_b:
+                    pass
+
+        def order_two(self):        # same a-then-b order: no inversion
+            with self.lock_a, self.lock_b:
+                pass
+
+
+    def typed(x: Optional[int] = None, rng=None):
+        rng = rng or np.random.default_rng(0)
+        return rng.normal(), time.perf_counter()
+    '''
+)
+
+
+def write_pkg(tmp_path, source, name="bad.py"):
+    # Under a dp/ directory so the deterministic-path rules (L107/L108) apply.
+    pkg = tmp_path / "dp"
+    pkg.mkdir(exist_ok=True)
+    path = pkg / name
+    path.write_text(source)
+    return path
+
+
+def findings_by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f)
+    return out
+
+
+class TestRulesFire:
+    def test_every_rule_fires_once(self, tmp_path):
+        path = write_pkg(tmp_path, BAD_SOURCE)
+        by_rule = findings_by_rule(lint_paths([str(path)]))
+        assert sorted(by_rule) == [
+            "L101", "L102", "L103", "L104", "L105",
+            "L106", "L107", "L108", "L109",
+        ]
+        assert len(by_rule["L108"]) == 2  # np.random.rand and random.random
+        for rule in by_rule:
+            for f in by_rule[rule]:
+                assert f.path.endswith("bad.py") and f.line > 0
+
+    def test_findings_anchor_the_offending_lines(self, tmp_path):
+        path = write_pkg(tmp_path, BAD_SOURCE)
+        lines = BAD_SOURCE.splitlines()
+        by_rule = findings_by_rule(lint_paths([str(path)]))
+        anchors = {
+            "L101": "self.cond.wait()",
+            "L103": "self.late",
+            "L104": "_evaluate_batch",
+            "L105": "acc=[]",
+            "L106": "except:",
+            "L107": "time.time()",
+            "L109": "x: int = None",
+        }
+        for rule, needle in anchors.items():
+            f = by_rule[rule][0]
+            assert needle in lines[f.line - 1], (rule, lines[f.line - 1])
+
+    def test_clean_idioms_stay_clean(self, tmp_path):
+        path = write_pkg(tmp_path, GOOD_SOURCE, name="good.py")
+        assert lint_paths([str(path)]) == []
+
+    def test_outside_deterministic_paths_rng_clock_allowed(self, tmp_path):
+        path = tmp_path / "tools" / "script.py"
+        path.parent.mkdir()
+        path.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert lint_paths([str(path)]) == []
+
+    def test_syntax_error_reports_l000(self, tmp_path):
+        path = write_pkg(tmp_path, "def broken(:\n", name="broken.py")
+        (finding,) = lint_paths([str(path)])
+        assert finding.rule == "L000"
+
+
+class TestDisableEscapes:
+    def test_disable_on_same_line(self, tmp_path):
+        src = "def f():\n    try:\n        pass\n    except:  # repro-lint: disable=L106\n        pass\n"
+        path = write_pkg(tmp_path, src, name="esc1.py")
+        assert lint_paths([str(path)]) == []
+
+    def test_disable_on_line_above(self, tmp_path):
+        src = (
+            "def f():\n    try:\n        pass\n"
+            "    # repro-lint: disable=L106\n    except:\n        pass\n"
+        )
+        path = write_pkg(tmp_path, src, name="esc2.py")
+        assert lint_paths([str(path)]) == []
+
+    def test_disable_is_rule_specific(self, tmp_path):
+        src = "def f(acc=[]):  # repro-lint: disable=L106\n    return acc\n"
+        path = write_pkg(tmp_path, src, name="esc3.py")
+        (finding,) = lint_paths([str(path)])
+        assert finding.rule == "L105"
+
+
+class TestReporters:
+    def test_text_format(self, tmp_path):
+        path = write_pkg(tmp_path, BAD_SOURCE)
+        findings = lint_paths([str(path)])
+        text = format_text(findings)
+        assert "L105" in text and f"{len(findings)} finding" in text
+        assert format_text([]) == "repro-lint: clean"
+
+    def test_json_format(self, tmp_path):
+        path = write_pkg(tmp_path, BAD_SOURCE)
+        findings = lint_paths([str(path)])
+        payload = json.loads(format_json(findings))
+        assert {f["rule"] for f in payload} >= {"L101", "L105", "L109"}
+        assert len(payload) == len(findings)
+        assert all({"rule", "path", "line", "col", "message"} <= set(f) for f in payload)
+
+    def test_rule_table_complete(self):
+        assert set(RULES) == {f"L10{i}" for i in range(1, 10)}
+        assert all(RULES[r] for r in RULES)
+
+
+class TestDogfood:
+    def test_src_repro_is_clean(self):
+        # Every historical finding is either fixed or carries an explicit
+        # justified disable; new code must keep it that way.
+        assert lint_paths(["src/repro"]) == []
