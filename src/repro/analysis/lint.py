@@ -29,6 +29,10 @@ L108  global-state RNG (``np.random.*`` legacy API, stdlib ``random.*``) in
       deterministic code — use an explicit ``np.random.default_rng(seed)``
 L109  argument annotated ``X`` but defaulting to ``None`` — annotation
       should be ``Optional[X]``
+L110  socket/file opened into a local without a lifecycle: not a ``with``
+      statement, never ``.close()``d in a ``finally``, and ownership never
+      transferred (returned/yielded/stored on an attribute) — a leak on
+      every exception path
 ====  ======================================================================
 
 Any finding can be suppressed with a trailing (or preceding-line) comment::
@@ -58,6 +62,7 @@ RULES = {
     "L107": "wall-clock time in deterministic code",
     "L108": "global-state RNG in deterministic code",
     "L109": "default None without Optional annotation",
+    "L110": "socket/file opened without with/finally-close/ownership transfer",
 }
 
 # Modules whose numerics must be bit-reproducible: wall-clock and global RNG
@@ -404,6 +409,92 @@ def _rule_l109(ctx: _FileContext, findings: list) -> None:
             )
 
 
+#: Call factories whose return value is an OS resource needing a lifecycle
+#: (L110).  Terminal names, so ``socket.socket``/``socket.create_connection``
+#: and bare/pathlib ``open`` all match.
+_RESOURCE_FACTORIES = {"socket", "socketpair", "create_connection", "open"}
+
+
+def _transfers_ownership(expr: ast.AST, name: str) -> bool:
+    """Does ``expr`` hand the *bare* resource on to a new owner?
+
+    True for the name itself, a tuple/list containing it, or a call taking
+    it as a direct argument (``_Connection(self, sock, cid)``,
+    ``closing(sock)``).  False for mere uses — ``sock.recv(1)`` reads
+    through the name but the caller still owns the descriptor.
+    """
+    if isinstance(expr, ast.Name) and expr.id == name:
+        return True
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return any(_transfers_ownership(e, name) for e in expr.elts)
+    if isinstance(expr, ast.Call):
+        return any(
+            isinstance(a, ast.Name) and a.id == name for a in expr.args
+        ) or any(
+            isinstance(k.value, ast.Name) and k.value.id == name
+            for k in expr.keywords
+        )
+    return False
+
+
+def _resource_released(scope: ast.AST, name: str) -> bool:
+    """True when ``name``'s resource has a lifecycle inside ``scope``:
+    closed in a ``finally``, or ownership transferred out — returned,
+    yielded, stored on an attribute, or passed bare into another call
+    (whose owner's close path is that object's business)."""
+    for n in ast.walk(scope):
+        if isinstance(n, ast.Try):
+            for stmt in n.finalbody:
+                for c in ast.walk(stmt):
+                    if (
+                        isinstance(c, ast.Call)
+                        and isinstance(c.func, ast.Attribute)
+                        and c.func.attr == "close"
+                        and isinstance(c.func.value, ast.Name)
+                        and c.func.value.id == name
+                    ):
+                        return True
+        elif isinstance(n, ast.Return):
+            if n.value is not None and _transfers_ownership(n.value, name):
+                return True
+        elif isinstance(n, (ast.Yield, ast.YieldFrom)):
+            if n.value is not None and _transfers_ownership(n.value, name):
+                return True
+        elif isinstance(n, ast.Assign):
+            if any(
+                isinstance(t, ast.Attribute) for t in n.targets
+            ) and _transfers_ownership(n.value, name):
+                return True
+        elif isinstance(n, ast.Call):
+            if _transfers_ownership(n, name):
+                return True
+    return False
+
+
+def _rule_l110(ctx: _FileContext, findings: list) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        factory = _call_factory(node.value)
+        if factory not in _RESOURCE_FACTORIES:
+            continue
+        # `with open(...) as f:` is an ast.With, never an Assign, so the
+        # canonical form sails through; attribute targets transfer ownership
+        # at birth (self.sock = socket.socket(...)).
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            continue
+        name = node.targets[0].id
+        scope = ctx.enclosing_function(node) or ctx.tree
+        if _resource_released(scope, name):
+            continue
+        _emit(
+            ctx, findings, "L110", node,
+            f"'{name} = {factory}(...)' has no lifecycle — not a `with`, "
+            f"no close() in a finally, and ownership never leaves the "
+            f"function; the descriptor leaks on every exception path",
+        )
+
+
 _PER_FILE_RULES = (
     _rule_l101,
     _rule_l103,
@@ -413,6 +504,7 @@ _PER_FILE_RULES = (
     _rule_l107,
     _rule_l108,
     _rule_l109,
+    _rule_l110,
 )
 
 

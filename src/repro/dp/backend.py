@@ -48,7 +48,7 @@ from repro.dp.batch import (
     frame_light_key,
     plan_frame_buckets,
 )
-from repro.md.potential import PotentialResult
+from repro.md.potential import Potential, PotentialResult
 
 
 @dataclass
@@ -163,3 +163,91 @@ class ForceBackend:
         )
         self.evaluations += len(self._buckets)
         return results
+
+
+class ServingForceBackend:
+    """The :class:`ForceBackend` contract over an inference client — MD
+    drivers evaluate through a *serving pool* instead of a private engine.
+
+    ``client`` is anything with ``submit(system, pair_i, pair_j, deadline=,
+    nloc=, pbc=) -> Future`` — an in-process :class:`~repro.serving.client.
+    InferenceClient` or a remote :class:`~repro.serving.net.SocketClient`;
+    the drivers cannot tell the difference (and a trajectory is bitwise
+    identical either way — the serving stack's per-frame contract).
+
+    Frames are submitted pipelined (all futures first, then gathered in
+    order), so a driver's whole per-step frame stack lands in the server's
+    queue at once and coalesces — with whatever *other* clients are
+    submitting concurrently — into shared micro-batches.  That is the
+    difference from a private :class:`ForceBackend`: batching happens
+    globally, across every process attached to the daemon, not per driver.
+
+    Deterministic counters mirror the local backend where they can:
+    ``evaluations`` counts gather rounds (batch formation belongs to the
+    server — read ``ServerStats`` for occupancy); ``invalidations`` counts
+    :meth:`invalidate_buckets` calls (bucketing is server-side and per
+    batch, so there is no client-side partition to drop).
+    """
+
+    def __init__(self, client, timeout: Optional[float] = 300.0):
+        self.client = client
+        self.timeout = timeout
+        self.evaluations = 0   # gather rounds (one per evaluate() call)
+        self.invalidations = 0
+
+    def evaluate(self, frames: Sequence[ForceFrame]) -> list[PotentialResult]:
+        """Submit all frames to the serving pool, gather results in order."""
+        frames = list(frames)
+        futures = [
+            self.client.submit(
+                f.system, f.pair_i, f.pair_j,
+                timeout=self.timeout, nloc=f.nloc, pbc=f.pbc,
+            )
+            for f in frames
+        ]
+        try:
+            results = [f.result(self.timeout) for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()  # abandoned frames free their queue slots
+            raise
+        self.evaluations += 1
+        return results
+
+    def invalidate_buckets(self) -> None:
+        """Reneighbor/migration signal.  Server-side bucketing is per batch
+        (nothing cached across calls), so this only counts the event — the
+        result cache needs no flush either, because a reneighbored frame has
+        a different pair list and therefore a different content key."""
+        self.invalidations += 1
+
+
+class BackendPotential(Potential):
+    """A :class:`~repro.md.potential.Potential` over any force backend —
+    the adapter that lets the serial :class:`~repro.md.simulation.
+    Simulation` driver run against a :class:`ServingForceBackend` (or any
+    other ``evaluate(frames)`` implementation) unchanged::
+
+        client = SocketClient(address, "water")
+        sim = Simulation(system, BackendPotential(
+            ServingForceBackend(client), cutoff=client.cutoff))
+
+    ``cutoff`` must match the served model's ``rcut`` — the driver sizes
+    neighbor lists from it (``SocketClient.cutoff`` reports the server's
+    value from the WELCOME handshake).
+    """
+
+    def __init__(self, backend, cutoff: float):
+        self.backend = backend
+        self.cutoff = float(cutoff)
+
+    def compute(self, system, pair_i, pair_j) -> PotentialResult:
+        return self.backend.evaluate([ForceFrame(system, pair_i, pair_j)])[0]
+
+    def compute_batch(self, systems, pair_lists) -> list[PotentialResult]:
+        return self.backend.evaluate(
+            [
+                ForceFrame(s, pi, pj)
+                for s, (pi, pj) in zip(systems, pair_lists)
+            ]
+        )

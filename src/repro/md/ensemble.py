@@ -52,17 +52,28 @@ class EnsembleSimulation:
         (the paper's 2 Å skin, shrunk when the box is small).
     backend:
         Environment-operator backend, as in ``DeepPot.evaluate``.
+    force_backend:
+        Optional injected evaluation seam (anything with
+        ``evaluate(frames)`` / ``invalidate_buckets()`` — e.g. a
+        :class:`~repro.dp.backend.ServingForceBackend` submitting to a
+        shared serving pool).  When given, ``model`` may be ``None`` if
+        ``cutoff`` (or explicit ``neighbors``) is supplied.
+    cutoff:
+        Neighbor-list cutoff in Å; defaults to ``model.config.rcut``.
+        Required when an injected backend leaves ``model=None``.
     """
 
     def __init__(
         self,
         systems: Sequence[System],
-        model,
+        model=None,
         dt: float = 0.001,
         integrators: Optional[Sequence[Integrator]] = None,
         neighbors: Optional[Sequence[NeighborList]] = None,
         thermo_every: int = 20,
         backend: str = "optimized",
+        force_backend=None,
+        cutoff: Optional[float] = None,
     ):
         # Imported here, not at module scope: repro.dp modules import from
         # repro.md, so a top-level import would make package import order
@@ -76,12 +87,28 @@ class EnsembleSimulation:
         self.model = model
         self.dt = dt
         self.backend = backend
-        # The shared evaluation seam (see repro.dp.backend): replicas are
-        # submitted as frames and bucketed into one stacked evaluation per
-        # step.  A dedicated engine (not model.batched) keeps the R-replica
-        # scratch shapes from being thrashed by unrelated R=1 evaluations.
-        self.force_backend = ForceBackend(model, op_backend=backend)
-        self.engine = self.force_backend.engine
+        if force_backend is not None:
+            # Injected seam (a serving pool, a test double): the ensemble
+            # evaluates through it unchanged.  Remote backends have no local
+            # engine — self.engine stays None and counters live server-side.
+            self.force_backend = force_backend
+            self.engine = getattr(force_backend, "engine", None)
+        else:
+            if model is None:
+                raise ValueError("need a model (or an injected force_backend)")
+            # The shared evaluation seam (see repro.dp.backend): replicas
+            # are submitted as frames and bucketed into one stacked
+            # evaluation per step.  A dedicated engine (not model.batched)
+            # keeps the R-replica scratch shapes from being thrashed by
+            # unrelated R=1 evaluations.
+            self.force_backend = ForceBackend(model, op_backend=backend)
+            self.engine = self.force_backend.engine
+        if cutoff is None and model is not None:
+            cutoff = model.config.rcut
+        if neighbors is None and cutoff is None:
+            raise ValueError(
+                "need a cutoff (or a model, or explicit neighbor lists)"
+            )
         R = len(self.systems)
         self.integrators = (
             list(integrators)
@@ -94,7 +121,7 @@ class EnsembleSimulation:
             list(neighbors)
             if neighbors is not None
             else [
-                fitted_neighbor_list(s, model.config.rcut, skin=2.0)
+                fitted_neighbor_list(s, cutoff, skin=2.0)
                 for s in self.systems
             ]
         )

@@ -11,12 +11,15 @@ submission order.  Per-frame results are bitwise identical to direct
 ``DeepPot.evaluate`` calls regardless of batch composition or worker
 interleaving.
 
-    queue.py      bounded FIFO request queue (backpressure, seq stamping,
-                  per-key deques + key-aware wakeups)
+    queue.py      bounded priority/EDF request queue (backpressure, seq
+                  stamping, per-key deques + key-aware wakeups, per-client
+                  quotas) + the content-addressed ResultCache
     scheduler.py  micro-batching policy (max_batch / max_wait_us, per model)
     worker.py     InferenceServer: model registry + the worker pool
     client.py     InferenceClient: sync and future-based submission
     metrics.py    ServerStats: deterministic counters + timing gauges
+    protocol.py   the length-prefixed binary wire format
+    net.py        ServingDaemon (socket front-end) + SocketClient
 
 Quickstart::
 
@@ -27,6 +30,14 @@ Quickstart::
     result = client.evaluate(system)          # sync
     futures = [client.submit(s) for s in frames]  # pipelined
     server.stop()
+
+Out of process (``repro serve`` wraps the daemon as a CLI)::
+
+    from repro.serving import ServingDaemon, SocketClient
+
+    with ServingDaemon(server) as daemon:       # TCP on daemon.address
+        with SocketClient(daemon.address) as c:
+            result = c.evaluate(system)         # bitwise == in-process
 """
 
 from repro.serving.client import (
@@ -36,11 +47,16 @@ from repro.serving.client import (
     served_matches_direct,
 )
 from repro.serving.metrics import BatchRecord, ServerStats
+from repro.serving.net import ServingDaemon, SocketClient
+from repro.serving.protocol import PROTOCOL_VERSION, MsgType, ProtocolError
 from repro.serving.queue import (
     InferenceRequest,
     QueueFull,
+    QuotaExceeded,
     RequestQueue,
+    ResultCache,
     ServerClosed,
+    frame_content_key,
 )
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.worker import InferenceServer
@@ -51,10 +67,18 @@ __all__ = [
     "InferenceRequest",
     "InferenceServer",
     "MicroBatchScheduler",
+    "MsgType",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "QueueFull",
+    "QuotaExceeded",
     "RequestQueue",
+    "ResultCache",
     "ServerClosed",
     "ServerStats",
+    "ServingDaemon",
+    "SocketClient",
+    "frame_content_key",
     "perturbed_frames",
     "run_closed_loop_clients",
     "served_matches_direct",

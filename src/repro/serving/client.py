@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -37,15 +37,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class InferenceClient:
-    """Submits frames for one model hosted by an :class:`InferenceServer`."""
+    """Submits frames for one model hosted by an :class:`InferenceServer`.
 
-    def __init__(self, server: "InferenceServer", model: str):
+    ``priority`` (bigger = dispatched sooner) and ``client_id`` (the quota
+    accounting identity; ``None`` = exempt) stamp every submission from
+    this client — the per-request ``deadline`` stays a per-call argument.
+    """
+
+    def __init__(
+        self,
+        server: "InferenceServer",
+        model: str,
+        priority: int = 0,
+        client_id: Optional[str] = None,
+    ):
         if model not in server.model_names():
             raise KeyError(
                 f"model {model!r} not registered (have {server.model_names()})"
             )
         self.server = server
         self.model = model
+        self.priority = int(priority)
+        self.client_id = client_id
 
     @property
     def cutoff(self) -> float:
@@ -59,14 +72,22 @@ class InferenceClient:
         pair_j: Optional[np.ndarray] = None,
         block: bool = True,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        nloc: Optional[int] = None,
+        pbc: bool = True,
     ) -> Future:
         """Queue one frame; the future resolves to its ``PotentialResult``.
 
         ``block``/``timeout`` control backpressure behaviour when the
-        server's bounded queue is full (see ``InferenceServer.submit``).
+        server's bounded queue is full (see ``InferenceServer.submit``);
+        ``deadline`` (seconds) requests EDF ordering within this client's
+        priority class; ``nloc``/``pbc`` carry the domain-decomposition
+        frame mode.
         """
         return self.server.submit(
-            self.model, system, pair_i, pair_j, block=block, timeout=timeout
+            self.model, system, pair_i, pair_j, block=block, timeout=timeout,
+            priority=self.priority, deadline=deadline,
+            client_id=self.client_id, nloc=nloc, pbc=pbc,
         )
 
     def evaluate(
@@ -147,13 +168,15 @@ class InferenceClient:
 
 
 def run_closed_loop_clients(
-    server: "InferenceServer",
-    model: str,
+    server: Optional["InferenceServer"],
+    model: Optional[str],
     frame_sets: dict[int, Sequence["System"]],
     timeout: float = 300.0,
     join_timeout: Optional[float] = None,
+    client_factory: Optional[Callable[[int], object]] = None,
 ) -> dict[int, list]:
-    """Drive the server with one closed-loop client thread per frame set.
+    """Drive a serving stack with one closed-loop client thread per frame
+    set.
 
     Each client submits its frames synchronously — submit, wait, submit the
     next — so cross-client coalescing is the only batching available (the
@@ -162,6 +185,14 @@ def run_closed_loop_clients(
     (poisoned batch, backpressure timeout, shutdown) is re-raised here after
     all threads have joined — a broken serving stack can never masquerade as
     an empty-but-successful run.
+
+    ``client_factory(tid)`` builds each thread's client — anything with an
+    ``evaluate(frame, timeout=...)`` method (and optionally ``close()``,
+    called when the thread finishes).  The default binds an in-process
+    :class:`InferenceClient` to ``server``/``model``; socket runs pass
+    ``client_factory=lambda tid: SocketClient(address, model)`` and may
+    leave ``server=None`` — the in-process and out-of-process paths share
+    this load generator and the bitwise helpers unchanged.
 
     The join itself is **bounded**: client threads (daemonic) are joined
     against a deadline — ``join_timeout`` seconds, defaulting to the
@@ -173,13 +204,21 @@ def run_closed_loop_clients(
     """
     import threading
 
+    if client_factory is None:
+        if server is None:
+            raise ValueError("need a server (or a client_factory)")
+
+        def client_factory(tid: int):
+            return server.client(model)
+
     served: dict[int, list] = {tid: [] for tid in frame_sets}
     progress: dict[int, int] = {tid: 0 for tid in frame_sets}
     errors: dict[int, BaseException] = {}
 
     def run_client(tid: int) -> None:
+        client = None
         try:
-            client = server.client(model)
+            client = client_factory(tid)
             for frame in frame_sets[tid]:
                 served[tid].append(
                     (frame, client.evaluate(frame, timeout=timeout))
@@ -187,6 +226,10 @@ def run_closed_loop_clients(
                 progress[tid] += 1
         except BaseException as exc:  # re-raised on the caller's thread
             errors[tid] = exc
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
 
     threads = {
         tid: threading.Thread(target=run_client, args=(tid,), daemon=True)

@@ -61,6 +61,10 @@ class ServerStats:
         self.requests_failed = 0
         self.requests_rejected = 0   # bounded-queue backpressure refusals
         self.requests_cancelled = 0  # pending requests dropped at shutdown
+        self.quota_rejections = 0    # per-client admission-quota refusals
+        self.cache_hits = 0          # requests served from the result cache
+        self.cache_misses = 0        # cache lookups that went to the queue
+        self.cache_evictions = 0     # FIFO evictions under capacity pressure
         self.batches = 0
         self.frames = 0              # sum of batch sizes
         self.max_batch_frames = 0
@@ -91,6 +95,29 @@ class ServerStats:
     def record_cancelled(self, n: int) -> None:
         with self._lock:
             self.requests_cancelled += n
+
+    def record_quota_reject(self) -> None:
+        """A per-client quota refusal (also counted in rejected)."""
+        with self._lock:
+            self.quota_rejections += 1
+            self.requests_rejected += 1
+
+    def record_cache_hit(self) -> None:
+        """A request served from the result cache: it completes without
+        ever entering the queue, so it counts as completed (conservation:
+        submitted == completed + failed + cancelled holds with zero
+        batches) but adds no frame to any batch."""
+        with self._lock:
+            self.cache_hits += 1
+            self.requests_completed += 1
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_cache_eviction(self) -> None:
+        with self._lock:
+            self.cache_evictions += 1
 
     def record_batch(
         self,
@@ -150,6 +177,10 @@ class ServerStats:
                 "requests_failed": self.requests_failed,
                 "requests_rejected": self.requests_rejected,
                 "requests_cancelled": self.requests_cancelled,
+                "quota_rejections": self.quota_rejections,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
                 "batches": self.batches,
                 "frames": self.frames,
                 "max_batch_frames": self.max_batch_frames,
@@ -176,6 +207,14 @@ class ServerStats:
             f"queueing: mean wait {self.mean_queue_wait() * 1e3:.2f} ms, "
             f"max {s['queue_wait_max'] * 1e3:.2f} ms",
         ]
+        if s["cache_hits"] or s["cache_misses"] or s["cache_evictions"]:
+            lines.append(
+                f"cache:    {s['cache_hits']} hits, "
+                f"{s['cache_misses']} misses, "
+                f"{s['cache_evictions']} evictions"
+            )
+        if s["quota_rejections"]:
+            lines.append(f"quotas:   {s['quota_rejections']} rejections")
         if s["frames_per_model"]:
             per = ", ".join(
                 f"{m}: {n}" for m, n in sorted(s["frames_per_model"].items())

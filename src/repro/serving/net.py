@@ -1,0 +1,799 @@
+"""Out-of-process serving: the socket front-end over the inference server.
+
+This is the ROADMAP's "one coalescing seam from socket to simulation": a
+:class:`ServingDaemon` exposes an in-process
+:class:`~repro.serving.worker.InferenceServer` over a local TCP socket
+speaking the :mod:`repro.serving.protocol` frame protocol, and a
+:class:`SocketClient` mirrors :class:`~repro.serving.client.
+InferenceClient` over that wire.  External OS processes, interactive
+clients and long-running MD drivers (through :class:`~repro.dp.backend.
+ServingForceBackend`) all land in the SAME request queue, so their frames
+coalesce into one set of served batches.
+
+Daemon lifecycle::
+
+    accept ──> per-connection reader ──> RequestQueue ──> worker pool
+                     │  (decode SUBMIT,                     │
+                     │   server.submit)                     │ evaluate_batch
+                     │                                      v
+    client <── per-connection writer <── future done-callbacks
+               (encode RESULT/ERROR)
+
+One acceptor thread; per connection, one reader thread (decodes frames,
+submits into the queue — the same admission path in-process clients use,
+including quotas and the result cache) and one writer thread (drains an
+outbox fed by future done-callbacks, so array encoding never runs on a
+worker thread).  Graceful drain: :meth:`ServingDaemon.stop` refuses new
+connections and submissions, lets queued requests complete, flushes every
+outbox, then closes — conservation (submitted == completed + failed +
+cancelled) holds across the wire, which ``repro serve`` asserts on
+SIGTERM.
+
+Numerical contract: arrays cross the wire as raw dtype/shape-tagged bytes
+(:mod:`repro.serving.protocol`), so a served result is **bitwise
+identical** to a direct in-process evaluation of the same frame — the
+socket adds no representational noise, and a trajectory driven through a
+``SocketClient`` equals the in-process trajectory exactly
+(``tests/test_serving_net.py``).
+"""
+
+from __future__ import annotations
+
+import queue as _queuemod
+import socket
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serving import protocol as proto
+from repro.serving.protocol import MsgType, ProtocolError
+from repro.serving.queue import QueueFull, QuotaExceeded, ServerClosed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.md.potential import PotentialResult
+    from repro.md.system import System
+    from repro.serving.worker import InferenceServer
+
+
+#: outbox sentinel: flush what is queued, send GOODBYE, close the socket
+_FLUSH_AND_CLOSE = object()
+
+
+class _Connection:
+    """One client connection: reader + writer threads and their shared
+    bookkeeping.
+
+    The reader owns the receive side of the socket; the writer owns the
+    send side (so RESULT frames from worker done-callbacks never interleave
+    bytes with each other).  ``pending`` maps request ids to the server-side
+    futures still in flight for this connection — dropped connections
+    cancel them so abandoned requests free their queue slots exactly like
+    abandoned in-process deadlines.
+    """
+
+    def __init__(self, daemon: "ServingDaemon", sock: socket.socket, cid: int):
+        self.daemon = daemon
+        self.sock = sock
+        self.cid = cid
+        self.client_id = f"conn-{cid}"
+        self.outbox: _queuemod.Queue = _queuemod.Queue()
+        self.pending: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._send_failed = False
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"repro-net-reader-{cid}", daemon=True
+        )
+        self.writer = threading.Thread(
+            target=self._write_loop, name=f"repro-net-writer-{cid}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.writer.start()
+        self.reader.start()
+
+    # ----------------------------------------------------------------- reader
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    mtype, header, arrays = proto.read_frame(self.sock)
+                except ProtocolError as exc:
+                    self._post(MsgType.ERROR, {
+                        "req": header.get("req", -1) if "header" in dir() else -1,
+                        "kind": proto.ERR_PROTOCOL, "message": str(exc),
+                    })
+                    break
+                if mtype == MsgType.GOODBYE:
+                    break
+                self._handle(mtype, header, arrays)
+        except (ConnectionError, OSError):
+            pass  # peer vanished (or daemon closed the socket under us)
+        finally:
+            self._abandon_pending()
+            self.outbox.put(_FLUSH_AND_CLOSE)
+            self.daemon._forget(self)
+
+    def _handle(self, mtype: MsgType, header: dict, arrays: dict) -> None:
+        if mtype == MsgType.SUBMIT:
+            self._handle_submit(header, arrays)
+        elif mtype == MsgType.CANCEL:
+            with self._lock:
+                future = self.pending.get(int(header["req"]))
+            if future is not None:
+                future.cancel()  # done-callback reports back if it lands
+        elif mtype == MsgType.STATS:
+            self._post(MsgType.STATS_RESULT, {
+                "req": int(header.get("req", -1)),
+                "stats": self.daemon.server.stats.snapshot(),
+            })
+        elif mtype == MsgType.CONTROL:
+            op = header.get("op")
+            if op == "invalidate_cache":
+                dropped = self.daemon.server.invalidate_cache(
+                    header.get("model")
+                )
+                self._post(MsgType.CONTROL_ACK, {
+                    "req": int(header.get("req", -1)),
+                    "op": op, "dropped": dropped,
+                })
+            else:
+                self._post(MsgType.ERROR, {
+                    "req": int(header.get("req", -1)),
+                    "kind": proto.ERR_PROTOCOL,
+                    "message": f"unknown control op {op!r}",
+                })
+        else:
+            self._post(MsgType.ERROR, {
+                "req": int(header.get("req", -1)),
+                "kind": proto.ERR_PROTOCOL,
+                "message": f"unexpected message type {mtype.name}",
+            })
+
+    def _handle_submit(self, header: dict, arrays: dict) -> None:
+        req_id = int(header["req"])
+        if self.daemon.draining:
+            self._post(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_CLOSED,
+                "message": "daemon is draining",
+            })
+            return
+        try:
+            system = proto.build_system(arrays)
+            pair_i = arrays.get("pair_i")
+            pair_j = arrays.get("pair_j")
+            nloc = header.get("nloc")
+            future = self.daemon.server.submit(
+                header["model"],
+                system,
+                pair_i,
+                pair_j,
+                block=bool(header.get("block", True)),
+                timeout=header.get("admit_timeout"),
+                priority=int(header.get("priority", 0)),
+                deadline=header.get("deadline"),
+                client_id=self.client_id,
+                nloc=None if nloc is None else int(nloc),
+                pbc=bool(header.get("pbc", True)),
+            )
+        except QuotaExceeded as exc:
+            self._post(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_QUOTA, "message": str(exc),
+            })
+            return
+        except QueueFull as exc:
+            self._post(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_QUEUE_FULL,
+                "message": str(exc),
+            })
+            return
+        except ServerClosed as exc:
+            self._post(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_CLOSED, "message": str(exc),
+            })
+            return
+        except KeyError as exc:
+            self._post(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_UNKNOWN_MODEL,
+                "message": str(exc),
+            })
+            return
+        with self._lock:
+            self.pending[req_id] = future
+        # The callback only enqueues (req_id, future) — encoding happens on
+        # the writer thread, never on the worker that resolved the future.
+        future.add_done_callback(
+            lambda fut, rid=req_id: self._on_done(rid, fut)
+        )
+
+    # ----------------------------------------------------------------- writer
+
+    def _on_done(self, req_id: int, future: Future) -> None:
+        with self._lock:
+            self.pending.pop(req_id, None)
+        self.outbox.put((req_id, future))
+
+    def _post(self, mtype: MsgType, header: dict, arrays=None) -> None:
+        self.outbox.put((mtype, header, arrays))
+
+    def _write_loop(self) -> None:
+        while True:
+            item = self.outbox.get()
+            if item is _FLUSH_AND_CLOSE:
+                try:
+                    self._send(MsgType.GOODBYE, {})
+                    self.sock.shutdown(socket.SHUT_RDWR)
+                except (ConnectionError, OSError):
+                    pass  # peer already hung up
+                self.sock.close()
+                return
+            try:
+                if len(item) == 2:
+                    self._send_future(*item)
+                else:
+                    self._send(*item)
+            except (ConnectionError, OSError):
+                # Peer is gone: keep draining the outbox (futures must not
+                # pile up unread) but stop writing.
+                self._send_failed = True
+
+    def _send(self, mtype: MsgType, header: dict, arrays=None) -> None:
+        if self._send_failed:
+            return
+        self.sock.sendall(proto.encode_frame(mtype, header, arrays))
+
+    def _send_future(self, req_id: int, future: Future) -> None:
+        if future.cancelled():
+            self._send(MsgType.ERROR, {
+                "req": req_id, "kind": proto.ERR_CANCELLED,
+                "message": "request cancelled",
+            })
+            return
+        exc = future.exception()
+        if exc is not None:
+            kind = (
+                proto.ERR_CLOSED
+                if isinstance(exc, ServerClosed)
+                else proto.ERR_EVAL
+            )
+            self._send(MsgType.ERROR, {
+                "req": req_id, "kind": kind,
+                "message": f"{type(exc).__name__}: {exc}",
+            })
+            return
+        result = future.result()
+        # seq is the queue's global admission stamp (-1 = served from the
+        # result cache, which bypasses the queue) — clients use it to line
+        # their requests up against the server's batch_log.
+        seq = getattr(getattr(future, "request", None), "seq", -1)
+        self._send(
+            MsgType.RESULT,
+            {"req": req_id, "seq": int(seq), "cached": seq < 0},
+            proto.result_arrays(result),
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _abandon_pending(self) -> None:
+        """Cancel still-queued requests of a dropped connection — nobody
+        will read their results, so they must free their queue slots (and
+        be counted cancelled) exactly like abandoned deadlines."""
+        with self._lock:
+            futures = list(self.pending.values())
+        for f in futures:
+            f.cancel()
+
+    def drained(self) -> bool:
+        with self._lock:
+            no_pending = not self.pending
+        return no_pending and self.outbox.empty()
+
+
+class ServingDaemon:
+    """Serves an :class:`~repro.serving.worker.InferenceServer` over TCP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  The daemon owns the listening socket and all connection
+    threads, but NOT the server's lifecycle policy: :meth:`stop` drains and
+    stops the wrapped server too (``drain=False`` cancels pending work).
+
+    Use as a context manager, or ``start()``/``stop()`` explicitly::
+
+        with ServingDaemon(server) as daemon:
+            client = SocketClient(daemon.address, "water")
+            result = client.evaluate(frame)
+    """
+
+    def __init__(
+        self,
+        server: "InferenceServer",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.server = server
+        self.draining = False
+        self._closed = False
+        self._conn_lock = threading.Lock()
+        self._conns: list[_Connection] = []
+        self._next_cid = 0
+        self._stopped = threading.Event()
+        # The listening socket lives for the daemon's whole life; stop()
+        # closes it (and __init__ failing after creation cleans it up).
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen(64)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self.address: tuple[str, int] = sock.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-net-acceptor", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ServingDaemon":
+        if self._closed:
+            raise ServerClosed("daemon was stopped; build a new one")
+        if not self._started:
+            self._started = True
+            self._acceptor.start()
+        return self
+
+    def __enter__(self) -> "ServingDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=exc == (None, None, None))
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed: daemon is stopping
+            if self.draining:
+                sock.close()
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                cid = self._next_cid
+                self._next_cid += 1
+                conn = _Connection(self, sock, cid)
+                self._conns.append(conn)
+            self._welcome(conn)
+            conn.start()
+
+    def _welcome(self, conn: _Connection) -> None:
+        """HELLO/WELCOME handshake, on the acceptor thread (one frame each
+        way, before the connection's own threads exist)."""
+        try:
+            mtype, header, _ = proto.read_frame(conn.sock)
+            if mtype != MsgType.HELLO:
+                raise ProtocolError(f"expected HELLO, got {mtype.name}")
+            name = header.get("client")
+            if name:
+                conn.client_id = f"{name}-{conn.cid}"
+            models = {
+                n: {
+                    "rcut": self.server.model(n).config.rcut,
+                    "n_types": int(self.server.model(n).config.n_types),
+                }
+                for n in self.server.model_names()
+            }
+            proto.write_frame(conn.sock, MsgType.WELCOME, {
+                "protocol": proto.PROTOCOL_VERSION,
+                "models": models,
+                "limits": {
+                    "max_batch": self.server.scheduler.max_batch,
+                    "max_queue": self.server.queue.maxsize,
+                    "max_per_client": self.server.queue.max_per_client,
+                    "cache_size": self.server.cache.max_entries,
+                },
+            })
+        except (ConnectionError, OSError, ProtocolError):
+            conn.sock.close()
+            self._forget(conn)
+
+    def _forget(self, conn: _Connection) -> None:
+        with self._conn_lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._conns)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`stop` completes (the ``repro serve`` main
+        thread parks here while the signal handler triggers the stop)."""
+        return self._stopped.wait(timeout)
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Graceful shutdown: refuse new work, finish queued work, flush.
+
+        1. stop accepting connections and SUBMITs (``draining``);
+        2. stop the wrapped server — ``drain=True`` completes every queued
+           request first, ``drain=False`` cancels them (either way each
+           connection's done-callbacks enqueue the outcome);
+        3. flush every connection's outbox, send GOODBYE, close sockets.
+
+        Conservation holds across the wire: after a drain-stop, submitted
+        == completed + failed + cancelled in ``server.stats``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.draining = True
+        # shutdown() (not just close()) is what actually wakes a thread
+        # blocked in accept() on Linux; close() alone leaves it parked on
+        # the old fd forever.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected / already dead: accept() fails anyway
+        self._sock.close()
+        if self._started:
+            self._acceptor.join(timeout)
+        self.server.stop(drain=drain, timeout=timeout)
+        # Workers are done: every submitted future is resolved and its
+        # outcome sits in some outbox.  Flush and close.
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.outbox.put(_FLUSH_AND_CLOSE)
+        deadline = time.perf_counter() + timeout
+        for conn in conns:
+            conn.writer.join(max(0.0, deadline - time.perf_counter()))
+            conn.reader.join(max(0.0, deadline - time.perf_counter()))
+        self._stopped.set()
+
+
+# ---------------------------------------------------------------------------
+# client side
+# ---------------------------------------------------------------------------
+
+
+def _parse_address(address) -> tuple[str, int]:
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+    host, port = address
+    return (str(host), int(port))
+
+
+class SocketClient:
+    """A remote :class:`~repro.serving.client.InferenceClient` speaking the
+    wire protocol — same calling surface (``submit``/``evaluate``/
+    ``evaluate_many``/``cutoff``), plus ``stats()``/``invalidate_cache()``
+    round trips and ``close()``.
+
+    One background reader thread resolves this client's futures as RESULT/
+    ERROR frames arrive; submission is locked, so a client may be shared by
+    several threads (each closed-loop load-generator thread typically holds
+    its own connection instead — that is what exercises cross-client
+    coalescing).
+
+    ``model=None`` binds to the daemon's sole hosted model.  ``priority``
+    and the per-call ``deadline`` are honoured server-side by the
+    priority/EDF queue order; the server enforces per-client quotas against
+    this connection's identity (``client`` name).
+    """
+
+    def __init__(
+        self,
+        address: Union[str, tuple],
+        model: Optional[str] = None,
+        priority: int = 0,
+        client: Optional[str] = None,
+        connect_timeout: float = 30.0,
+    ):
+        self.priority = int(priority)
+        self._req = 0
+        self._lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._closed = False
+        sock = socket.create_connection(
+            _parse_address(address), timeout=connect_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            proto.write_frame(sock, MsgType.HELLO, {"client": client})
+            mtype, header, _ = proto.read_frame(sock)
+            if mtype != MsgType.WELCOME:
+                raise ProtocolError(f"expected WELCOME, got {mtype.name}")
+            if header.get("protocol") != proto.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {header.get('protocol')}, "
+                    f"client speaks {proto.PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(None)  # reader thread blocks; deadlines live client-side
+        self.sock = sock
+        self.models: dict[str, dict] = header["models"]
+        self.limits: dict = header.get("limits", {})
+        if model is None:
+            if len(self.models) != 1:
+                raise ValueError(
+                    f"daemon hosts {sorted(self.models)}; pick one explicitly"
+                )
+            model = next(iter(self.models))
+        if model not in self.models:
+            raise KeyError(
+                f"model {model!r} not hosted (have {sorted(self.models)})"
+            )
+        self.model = model
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-net-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def cutoff(self) -> float:
+        """The bound model's neighbor cutoff (from the WELCOME handshake —
+        JSON floats round-trip ``repr``-exactly, so local pair lists match
+        the server's own bitwise)."""
+        return float(self.models[self.model]["rcut"])
+
+    def _next_req(self) -> tuple[int, Future]:
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("socket client is closed")
+            self._req += 1
+            req_id = self._req
+            future: Future = Future()
+            self._pending[req_id] = future
+        return req_id, future
+
+    def _send(self, mtype: MsgType, header: dict, arrays=None) -> None:
+        payload = proto.encode_frame(mtype, header, arrays)
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("socket client is closed")
+            self.sock.sendall(payload)
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                mtype, header, arrays = proto.read_frame(self.sock)
+                if mtype == MsgType.GOODBYE:
+                    break
+                self._dispatch(mtype, header, arrays)
+        except BaseException as exc:
+            # Any reader death (connection loss, protocol breakage, a bad
+            # frame) must fail the outstanding futures — a silently dead
+            # reader would leave every waiter hanging until its timeout.
+            self._fail_pending(exc)
+            return
+        self._fail_pending(ServerClosed("server said goodbye"))
+
+    def _dispatch(self, mtype: MsgType, header: dict, arrays: dict) -> None:
+        req_id = int(header.get("req", -1))
+        with self._lock:
+            future = self._pending.pop(req_id, None)
+        if future is None:
+            return  # cancelled locally; the server's answer is moot
+        try:
+            if mtype == MsgType.RESULT:
+                # Mirror the in-process future metadata: which queue seq
+                # answered this request, and whether the cache did.
+                future.seq = int(header.get("seq", -1))
+                future.cached = bool(header.get("cached", False))
+                future.set_result(proto.build_result(arrays))
+            elif mtype in (MsgType.STATS_RESULT, MsgType.CONTROL_ACK):
+                future.set_result(header)
+            elif mtype == MsgType.ERROR:
+                self._resolve_error(future, header)
+        except BaseException as exc:
+            # A frame that decodes but will not resolve (bad result arrays,
+            # a future already failed) must still answer THIS waiter.
+            if not future.done():
+                future.set_exception(
+                    exc if isinstance(exc, Exception) else RuntimeError(str(exc))
+                )
+            raise
+
+    @staticmethod
+    def _resolve_error(future: Future, header: dict) -> None:
+        kind = header.get("kind")
+        message = header.get("message", "")
+        if kind == proto.ERR_CANCELLED:
+            future.cancel()
+            return
+        exc: Exception
+        if kind == proto.ERR_QUEUE_FULL:
+            exc = QueueFull(message)
+        elif kind == proto.ERR_QUOTA:
+            exc = QuotaExceeded(message)
+        elif kind == proto.ERR_CLOSED:
+            exc = ServerClosed(message)
+        elif kind == proto.ERR_UNKNOWN_MODEL:
+            exc = KeyError(message)
+        elif kind == proto.ERR_PROTOCOL:
+            exc = ProtocolError(message)
+        else:
+            exc = RuntimeError(message)
+        future.set_exception(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        with self._lock:
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for f in pending:
+            if not f.cancelled():
+                f.set_exception(
+                    exc
+                    if isinstance(exc, Exception)
+                    else ConnectionError(str(exc))
+                )
+
+    # ------------------------------------------------------------ submission
+
+    def submit(
+        self,
+        system: "System",
+        pair_i: Optional[np.ndarray] = None,
+        pair_j: Optional[np.ndarray] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        nloc: Optional[int] = None,
+        pbc: bool = True,
+    ) -> Future:
+        """Queue one frame on the remote daemon; returns a local future.
+
+        Mirrors ``InferenceClient.submit``: the neighbor pair list is
+        computed here (client process) when not supplied — admission
+        backpressure (``block``/``timeout``) is enforced server-side and
+        surfaces as :class:`~repro.serving.queue.QueueFull` on the future.
+        """
+        if pair_i is None or pair_j is None:
+            from repro.md.neighbor import neighbor_pairs
+
+            pair_i, pair_j = neighbor_pairs(system, self.cutoff)
+        req_id, future = self._next_req()
+        arrays = proto.system_arrays(system)
+        arrays["pair_i"] = pair_i
+        arrays["pair_j"] = pair_j
+        self._send(MsgType.SUBMIT, {
+            "req": req_id,
+            "model": self.model,
+            "priority": self.priority,
+            "deadline": deadline,
+            "block": block,
+            "admit_timeout": timeout,
+            "nloc": nloc,
+            "pbc": pbc,
+        }, arrays)
+        return future
+
+    def evaluate(
+        self,
+        system: "System",
+        pair_i: Optional[np.ndarray] = None,
+        pair_j: Optional[np.ndarray] = None,
+        timeout: Optional[float] = None,
+    ) -> "PotentialResult":
+        """Synchronous round trip under one deadline (mirrors
+        ``InferenceClient.evaluate`` including cancel-on-timeout: a blown
+        deadline sends CANCEL so the queued request frees its slot server-
+        side instead of burning a batch slot on a result nobody reads)."""
+        if timeout is None:
+            return self.submit(system, pair_i, pair_j).result(None)
+        deadline = time.perf_counter() + timeout
+        future = self.submit(system, pair_i, pair_j, timeout=timeout)
+        req_id = self._req_id_of(future)
+        try:
+            return future.result(max(0.0, deadline - time.perf_counter()))
+        except FutureTimeout:
+            future.cancel()
+            if req_id is not None:
+                try:
+                    self._send(MsgType.CANCEL, {"req": req_id})
+                except (ServerClosed, ConnectionError, OSError):
+                    pass  # connection already down; nothing left to free
+            raise
+
+    def evaluate_many(
+        self,
+        systems: Sequence["System"],
+        pair_lists: Optional[Sequence[tuple]] = None,
+        timeout: Optional[float] = None,
+    ) -> list:
+        """Pipelined submit-then-gather (mirrors ``InferenceClient.
+        evaluate_many``, cancelling the rest of the stack on any
+        abandonment)."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+
+        def left() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.perf_counter())
+
+        if pair_lists is not None and len(pair_lists) != len(systems):
+            raise ValueError(
+                f"{len(systems)} systems but {len(pair_lists)} pair lists"
+            )
+        futures: list[Future] = []
+        try:
+            if pair_lists is None:
+                for s in systems:
+                    futures.append(self.submit(s, timeout=left()))
+            else:
+                for s, (pi, pj) in zip(systems, pair_lists):
+                    futures.append(self.submit(s, pi, pj, timeout=left()))
+            return [f.result(left()) for f in futures]
+        except BaseException:
+            for f in futures:
+                if f.cancel():
+                    rid = self._req_id_of(f)
+                    if rid is not None:
+                        try:
+                            self._send(MsgType.CANCEL, {"req": rid})
+                        except (ServerClosed, ConnectionError, OSError):
+                            break
+            raise
+
+    def _req_id_of(self, future: Future) -> Optional[int]:
+        with self._lock:
+            for rid, f in self._pending.items():
+                if f is future:
+                    return rid
+        return None
+
+    # ------------------------------------------------------------ control ops
+
+    def stats(self, timeout: float = 30.0) -> dict:
+        """A ``ServerStats.snapshot()`` of the remote daemon."""
+        req_id, future = self._next_req()
+        self._send(MsgType.STATS, {"req": req_id})
+        return future.result(timeout)["stats"]
+
+    def invalidate_cache(
+        self, model: Optional[str] = None, timeout: float = 30.0
+    ) -> int:
+        """Drop the daemon's cached results (see ``InferenceServer.
+        invalidate_cache``); returns the number of entries dropped."""
+        req_id, future = self._next_req()
+        self._send(MsgType.CONTROL, {
+            "req": req_id, "op": "invalidate_cache", "model": model,
+        })
+        return int(future.result(timeout).get("dropped", 0))
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Orderly close: GOODBYE, shut the socket, fail leftover futures."""
+        with self._lock:
+            if self._closed:
+                return
+        try:
+            self._send(MsgType.GOODBYE, {})
+        except (ServerClosed, ConnectionError, OSError):
+            pass
+        self._fail_pending(ServerClosed("socket client closed"))
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+        self._reader.join(5.0)
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,13 +33,37 @@ any that slip through the callback/extraction race.  Whichever side
 removes the request reports it through the ``on_drop`` callback, which the
 server wires to ``ServerStats.record_cancelled`` — every abandoned request
 is counted exactly once.
+
+Production traffic semantics (the socket front-end's contract):
+
+* **priority + deadline ordering** — within each key's pending set,
+  requests are ordered by ``(-priority, deadline, seq)``: higher
+  ``priority`` values dispatch first, ties run earliest-deadline-first
+  (EDF), and the default class (priority 0, no deadline) degenerates to
+  the original per-key FIFO, so plain traffic keeps the exact batch
+  compositions the FIFO-fairness tests pin.  Ordering is decided at
+  admission time by sorted insertion (:class:`_PendingDeque`); the per-key
+  O(1) pending counts and key-aware wakeups are untouched.
+* **per-client admission quotas** — ``max_per_client`` bounds how many
+  requests one ``client_id`` may have queued at once; excess submissions
+  raise :class:`QuotaExceeded` immediately (reject, never starve the other
+  clients behind one runaway submitter).  Requests without a client id
+  (in-process legacy traffic) are exempt.
+* **result cache** — :class:`ResultCache`, a bounded FIFO map from frame
+  content hash to the frame's result.  MD steps from idle clients and
+  active-learning screens resubmit bitwise-identical frames; a hit is
+  served straight from the cache (bitwise identical to a fresh
+  evaluation — entries are private copies, handed out as copies) without
+  touching the queue.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
-from collections import deque
+from bisect import bisect_right
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -57,6 +81,12 @@ class ServerClosed(RuntimeError):
     """The server is shut down and no longer accepts submissions."""
 
 
+class QuotaExceeded(RuntimeError):
+    """One client exceeded its per-client admission quota (rejected, so the
+    bounded queue can never fill up with a single runaway client's
+    requests while everyone else starves)."""
+
+
 @dataclass
 class InferenceRequest:
     """One client frame awaiting evaluation.
@@ -66,6 +96,17 @@ class InferenceRequest:
     PotentialResult`, bitwise identical to a direct ``DeepPot.evaluate``
     of the same frame regardless of which other requests it was batched
     with (see :mod:`repro.dp.batch`).
+
+    ``priority`` (bigger = dispatched sooner) and ``deadline`` (absolute
+    ``time.perf_counter()`` value; EDF within a priority class) order the
+    request among its key's pending set.  ``client_id`` attributes the
+    request to one submitter for quota accounting (``None`` = exempt).
+    ``nloc``/``pbc`` carry the domain-decomposition frame mode (all-local
+    minimum-image frames by default), so the request duck-types
+    :class:`repro.dp.backend.ForceFrame` and distributed sub-domain frames
+    can be served through the same queue.  ``cache_key`` is the frame's
+    content hash when result caching is on (stamped by the server at
+    submission, used to insert the result after the batch runs).
     """
 
     model: str
@@ -75,6 +116,63 @@ class InferenceRequest:
     future: Future = field(default_factory=Future)
     seq: int = -1
     enqueued_at: float = 0.0
+    priority: int = 0
+    deadline: Optional[float] = None
+    client_id: Optional[str] = None
+    nloc: Optional[int] = None
+    pbc: bool = True
+    cache_key: Optional[bytes] = None
+
+    def order_key(self) -> tuple:
+        """Dispatch order within a key: priority class, then EDF, then
+        admission order (the pure-FIFO degenerate case)."""
+        deadline = float("inf") if self.deadline is None else self.deadline
+        return (-self.priority, deadline, self.seq)
+
+
+class _PendingDeque:
+    """One key's pending requests, kept in dispatch order.
+
+    A deque with sorted insertion: ``append`` places the request by its
+    :meth:`InferenceRequest.order_key` (stable — equal keys keep admission
+    order because ``seq`` is the tiebreaker), so the extraction loop's
+    ``[0]``/``popleft`` views the most urgent request first.  Insertion is
+    O(log n) search + O(n) shift on a bounded queue (default depth 64) —
+    the O(1) *count* operations the fill loop leans on are plain ``len``.
+    """
+
+    __slots__ = ("_keys", "_reqs")
+
+    def __init__(self) -> None:
+        self._keys: list[tuple] = []
+        self._reqs: list[InferenceRequest] = []
+
+    def append(self, request: InferenceRequest) -> None:
+        k = request.order_key()
+        i = bisect_right(self._keys, k)
+        self._keys.insert(i, k)
+        self._reqs.insert(i, request)
+
+    def popleft(self) -> InferenceRequest:
+        self._keys.pop(0)
+        return self._reqs.pop(0)
+
+    def remove(self, request: InferenceRequest) -> None:
+        i = self._reqs.index(request)  # raises ValueError like deque.remove
+        del self._keys[i]
+        del self._reqs[i]
+
+    def __getitem__(self, i: int) -> InferenceRequest:
+        return self._reqs[i]
+
+    def __len__(self) -> int:
+        return len(self._reqs)
+
+    def __iter__(self):
+        return iter(self._reqs)
+
+    def __bool__(self) -> bool:
+        return bool(self._reqs)
 
 
 class RequestQueue:
@@ -85,6 +183,8 @@ class RequestQueue:
     once per admission; the coalescing *policy* (batch bound, wait budget)
     belongs to the scheduler.  ``on_drop(n)`` is invoked (under the queue
     lock) whenever ``pop_batch`` discards ``n`` already-cancelled requests.
+    ``max_per_client`` (0 = unlimited) bounds any one ``client_id``'s
+    simultaneously queued requests — the per-client admission quota.
     """
 
     def __init__(
@@ -92,15 +192,18 @@ class RequestQueue:
         maxsize: int = 64,
         key: Optional[Callable[[InferenceRequest], object]] = None,
         on_drop: Optional[Callable[[int], None]] = None,
+        max_per_client: int = 0,
     ):
         self.maxsize = int(maxsize)
+        self.max_per_client = int(max_per_client)
         self._key = key if key is not None else (lambda r: r.model)
         self._on_drop = on_drop
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)  # any-key consumers
         self._not_full = threading.Condition(self._lock)
         self._key_conds: dict[object, threading.Condition] = {}
-        self._by_key: dict[object, deque[InferenceRequest]] = {}
+        self._by_key: dict[object, _PendingDeque] = {}
+        self._per_client: dict[str, int] = {}  # client_id -> queued requests
         self._size = 0
         self._closed = False
         self._seq = 0
@@ -139,10 +242,36 @@ class RequestQueue:
         return len(dq) if dq is not None else 0
 
     def _head_key(self) -> object:
-        """Key of the globally oldest pending request (min head seq)."""
+        """Key of the globally most-urgent pending request.
+
+        Heads compete on the same ``(priority class, deadline, seq)`` order
+        requests sort by inside a key — for all-default traffic that is
+        min head seq, the original global-FIFO rule.
+        """
         return min(
-            (dq[0].seq, k) for k, dq in self._by_key.items() if dq
+            (dq[0].order_key(), k) for k, dq in self._by_key.items() if dq
         )[1]
+
+    def _note_admitted(self, request: InferenceRequest) -> None:
+        if request.client_id is not None:
+            self._per_client[request.client_id] = (
+                self._per_client.get(request.client_id, 0) + 1
+            )
+
+    def _note_removed(self, request: InferenceRequest) -> None:
+        cid = request.client_id
+        if cid is None:
+            return
+        left = self._per_client.get(cid, 0) - 1
+        if left > 0:
+            self._per_client[cid] = left
+        else:
+            self._per_client.pop(cid, None)
+
+    def pending_for_client(self, client_id: str) -> int:
+        """Queued (not yet dispatched/cancelled) requests for one client."""
+        with self._lock:
+            return self._per_client.get(client_id, 0)
 
     def _notify_all_conds(self) -> None:
         self._not_empty.notify_all()
@@ -162,12 +291,26 @@ class RequestQueue:
 
         A full queue raises :class:`QueueFull` immediately (``block=False``)
         or after ``timeout`` seconds; a closed queue raises
-        :class:`ServerClosed`.  Only the request's key (and the any-key
+        :class:`ServerClosed`; a request from a client already holding
+        ``max_per_client`` queue slots raises :class:`QuotaExceeded` without
+        waiting (quota rejections are immediate even when ``block=True`` —
+        backpressure waits are for *shared* capacity, not for one client's
+        own backlog to clear).  Only the request's key (and the any-key
         condition) is notified.
         """
         with self._not_full:
             if self._closed:
                 raise ServerClosed("request queue is closed")
+            if (
+                self.max_per_client > 0
+                and request.client_id is not None
+                and self._per_client.get(request.client_id, 0)
+                >= self.max_per_client
+            ):
+                raise QuotaExceeded(
+                    f"client {request.client_id!r} already has "
+                    f"{self.max_per_client} requests queued"
+                )
             if self.maxsize > 0 and self._size >= self.maxsize:
                 if not block:
                     raise QueueFull(f"queue depth {self.maxsize} reached")
@@ -187,6 +330,19 @@ class RequestQueue:
                     self._not_full.wait(remaining)
                 if self._closed:
                     raise ServerClosed("request queue closed while waiting")
+                if (
+                    self.max_per_client > 0
+                    and request.client_id is not None
+                    and self._per_client.get(request.client_id, 0)
+                    >= self.max_per_client
+                ):
+                    # The client's own backlog filled up while this thread
+                    # waited for shared capacity; the quota invariant holds
+                    # at admission, not merely at entry.
+                    raise QuotaExceeded(
+                        f"client {request.client_id!r} already has "
+                        f"{self.max_per_client} requests queued"
+                    )
             k = self._key(request)
             self.key_calls += 1
             request.seq = self._seq
@@ -194,8 +350,9 @@ class RequestQueue:
             request.enqueued_at = time.perf_counter()
             dq = self._by_key.get(k)
             if dq is None:
-                dq = self._by_key[k] = deque()
+                dq = self._by_key[k] = _PendingDeque()
             dq.append(request)
+            self._note_admitted(request)
             self._size += 1
             self._cond(k).notify_all()
             self._not_empty.notify_all()
@@ -229,6 +386,7 @@ class RequestQueue:
                 dq.remove(request)
             except ValueError:
                 return  # already extracted (or drained) by a consumer
+            self._note_removed(request)
             self._size -= 1
             self._not_full.notify_all()
             if self._on_drop is not None:
@@ -315,6 +473,7 @@ class RequestQueue:
                         dropped += 1
                     else:
                         batch.append(dq.popleft())
+                    self._note_removed(r)
                 self._size -= len(batch) + dropped
                 if batch or dropped:
                     self._not_full.notify_all()
@@ -347,6 +506,138 @@ class RequestQueue:
                 key=lambda r: r.seq,
             )
             self._by_key.clear()
+            self._per_client.clear()
             self._size = 0
             self._notify_all_conds()
             return pending
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+
+
+def frame_content_key(
+    model: str,
+    system: System,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    nloc: Optional[int] = None,
+    pbc: bool = True,
+) -> bytes:
+    """Content hash of one evaluation frame — the result-cache key.
+
+    Two frames share a key iff every input the evaluation reads is
+    bitwise identical: model name, positions, types, box lengths, the
+    half pair list, and the ghost/pbc mode.  MD steps from an idle client
+    and repeated active-learning screens therefore hash equal, while a
+    single bit of positional drift (or a different neighbor list over the
+    same positions) misses.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(model.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(np.ascontiguousarray(system.positions).tobytes())
+    h.update(np.ascontiguousarray(system.types).tobytes())
+    h.update(np.ascontiguousarray(system.box.lengths).tobytes())
+    h.update(np.ascontiguousarray(pair_i).tobytes())
+    h.update(np.ascontiguousarray(pair_j).tobytes())
+    n = system.n_atoms if nloc is None else int(nloc)
+    h.update(f"{n}|{int(bool(pbc))}".encode("ascii"))
+    return h.digest()
+
+
+class ResultCache:
+    """Bounded FIFO cache of frame results, keyed by content hash.
+
+    ``max_entries <= 0`` disables the cache entirely (every lookup misses
+    without being *counted* as a miss — a disabled cache is invisible in
+    the stats).  Insertion order is eviction order (FIFO, matching every
+    other engine-side cache in this repo); a re-insert of an existing key
+    refreshes the entry without consuming capacity.
+
+    Stored results are **private copies** and lookups hand back fresh
+    copies, so no client can mutate another client's arrays (or the cache)
+    through a shared result — the bitwise-identity contract survives
+    aliasing.  ``stats`` (a :class:`~repro.serving.metrics.ServerStats`)
+    receives hit/miss/eviction counts when provided.
+    """
+
+    def __init__(self, max_entries: int = 256, stats=None):
+        self.max_entries = int(max_entries)
+        self.stats = stats
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, tuple[str, object]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _copy_result(result):
+        from repro.md.potential import PotentialResult
+
+        return PotentialResult(
+            energy=result.energy,
+            forces=result.forces.copy(),
+            virial=result.virial.copy(),
+            atom_energies=(
+                None
+                if result.atom_energies is None
+                else result.atom_energies.copy()
+            ),
+        )
+
+    def get(self, key: bytes):
+        """The cached result for ``key`` (a fresh copy), or ``None``."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if self.stats is not None:
+                    self.stats.record_cache_miss()
+                return None
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.record_cache_hit()
+            return self._copy_result(entry[1])
+
+    def put(self, key: bytes, model: str, result) -> None:
+        if not self.enabled:
+            return
+        copy = self._copy_result(result)
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (model, copy)  # refresh, keep FIFO slot
+                return
+            self._entries[key] = (model, copy)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self.stats is not None:
+                    self.stats.record_cache_eviction()
+
+    def invalidate(self, model: Optional[str] = None) -> int:
+        """Drop every entry (or just one model's — the hot-swap hook);
+        returns how many entries were dropped.  Invalidated entries are
+        not counted as evictions (eviction = capacity pressure)."""
+        with self._lock:
+            if model is None:
+                n = len(self._entries)
+                self._entries.clear()
+                return n
+            doomed = [
+                k for k, (m, _) in self._entries.items() if m == model
+            ]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)

@@ -65,8 +65,11 @@ from repro.serving.metrics import ServerStats
 from repro.serving.queue import (
     InferenceRequest,
     QueueFull,
+    QuotaExceeded,
     RequestQueue,
+    ResultCache,
     ServerClosed,
+    frame_content_key,
 )
 from repro.serving.scheduler import MicroBatchScheduler
 
@@ -119,6 +122,17 @@ class InferenceServer:
         ``ceil(N / max_batch)`` batches per model.
     backend:
         Environment-operator backend forwarded to ``evaluate_batch``.
+    max_per_client:
+        Per-client admission quota: at most this many queued requests per
+        ``client_id`` (0 = unlimited; submissions without a client id are
+        exempt).  Excess submissions raise :class:`~repro.serving.queue.
+        QuotaExceeded` instead of starving other clients.
+    cache_size:
+        Result-cache capacity in entries (0 = off, the default — caching
+        changes batch counters, so it is opt-in).  Repeated frames (an
+        idle MD client resubmitting an unchanged step, an active-learning
+        screen re-harvesting) are served straight from the cache, bitwise
+        identical to a fresh evaluation.
     """
 
     def __init__(
@@ -131,6 +145,8 @@ class InferenceServer:
         workers: Union[int, str] = "per-model",
         autostart: bool = True,
         backend: str = "optimized",
+        max_per_client: int = 0,
+        cache_size: int = 0,
     ):
         from repro.dp.batch import BatchedEvaluator
 
@@ -151,8 +167,11 @@ class InferenceServer:
         self.backend = backend
         self.stats = ServerStats()
         self.queue = RequestQueue(
-            maxsize=max_queue, on_drop=self.stats.record_cancelled
+            maxsize=max_queue,
+            on_drop=self.stats.record_cancelled,
+            max_per_client=max_per_client,
         )
+        self.cache = ResultCache(max_entries=cache_size, stats=self.stats)
         self.scheduler = MicroBatchScheduler(
             self.queue, max_batch=max_batch, max_wait_us=max_wait_us
         )
@@ -244,6 +263,12 @@ class InferenceServer:
     def model(self, name: str) -> "DeepPot":
         return self._models[name]
 
+    def invalidate_cache(self, model: Optional[str] = None) -> int:
+        """Drop cached results (one model's, or all) — the hot-swap hook:
+        call this whenever a model's weights change so stale results can
+        never be served.  Returns the number of entries dropped."""
+        return self.cache.invalidate(model)
+
     @classmethod
     def from_zoo(
         cls, names: Sequence[str] = ("water",), cache_dir: Optional[str] = None,
@@ -287,13 +312,28 @@ class InferenceServer:
         pair_j: Optional[np.ndarray] = None,
         block: bool = True,
         timeout: Optional[float] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        client_id: Optional[str] = None,
+        nloc: Optional[int] = None,
+        pbc: bool = True,
     ) -> "Future":
         """Queue one frame for evaluation; returns its future.
 
         The neighbor pair list is computed here (caller's thread) when not
         supplied, keeping the worker threads free for graph execution.
+        ``priority`` (bigger dispatches sooner) and ``deadline`` (seconds
+        from now; EDF within a priority class) order the request among its
+        model's pending set; ``client_id`` attributes it to one submitter
+        for quota accounting; ``nloc``/``pbc`` carry the domain-
+        decomposition frame mode (see :class:`~repro.dp.backend.
+        ForceFrame`).  When the result cache is on and holds this exact
+        frame, the returned future is already resolved — bitwise identical
+        to a fresh evaluation — and nothing enters the queue.
+
         Raises :class:`KeyError` for an unregistered model,
-        :class:`QueueFull` under backpressure, :class:`ServerClosed` after
+        :class:`QueueFull` under backpressure, :class:`~repro.serving.
+        queue.QuotaExceeded` over quota, :class:`ServerClosed` after
         shutdown.
         """
         if model not in self._models:
@@ -307,7 +347,17 @@ class InferenceServer:
                 system, self._models[model].config.rcut
             )
         request = InferenceRequest(
-            model=model, system=system, pair_i=pair_i, pair_j=pair_j
+            model=model,
+            system=system,
+            pair_i=pair_i,
+            pair_j=pair_j,
+            priority=int(priority),
+            deadline=(
+                None if deadline is None else time.perf_counter() + deadline
+            ),
+            client_id=client_id,
+            nloc=nloc,
+            pbc=pbc,
         )
         # Serving metadata for callers/tests — attached BEFORE the request
         # becomes visible to any worker: a worker may resolve the future
@@ -318,8 +368,21 @@ class InferenceServer:
         # workers, so requests_completed can never transiently exceed
         # requests_submitted; a refused put takes the count back.
         self.stats.record_submit()
+        if self.cache.enabled:
+            key = frame_content_key(model, system, pair_i, pair_j, nloc, pbc)
+            cached = self.cache.get(key)  # counts the hit/miss
+            if cached is not None:
+                # Served without touching the queue: the hit was recorded
+                # as a completion, so conservation holds with zero batches.
+                request.future.set_result(cached)
+                return request.future
+            request.cache_key = key
         try:
             self.queue.put(request, block=block, timeout=timeout)
+        except QuotaExceeded:
+            self.stats.undo_submit()
+            self.stats.record_quota_reject()
+            raise
         except QueueFull:
             self.stats.undo_submit()
             self.stats.record_reject()
@@ -491,11 +554,18 @@ class InferenceServer:
         seqs = tuple(r.seq for r in live)
         waits = tuple(dispatched_at - r.enqueued_at for r in live)
         try:
-            results = engine.evaluate_batch(
-                [r.system for r in live],
-                [(r.pair_i, r.pair_j) for r in live],
-                backend=self.backend,
-            )
+            if any(r.nloc is not None or not r.pbc for r in live):
+                # Domain-decomposition frames in the batch (explicit ghosts
+                # and/or open boundaries): requests duck-type ForceFrame, so
+                # the shape-bucketed path evaluates the mixed batch with the
+                # same per-frame bitwise guarantee.
+                results = engine.evaluate_frames(live, backend=self.backend)
+            else:
+                results = engine.evaluate_batch(
+                    [r.system for r in live],
+                    [(r.pair_i, r.pair_j) for r in live],
+                    backend=self.backend,
+                )
         except BaseException as exc:
             # One poisoned frame fails its whole batch, never the server:
             # the exception lands in each affected future and the loop moves
@@ -507,5 +577,7 @@ class InferenceServer:
             )
             return
         for r, result in zip(live, results):
+            if r.cache_key is not None:
+                self.cache.put(r.cache_key, name, result)
             r.future.set_result(result)
         self.stats.record_batch(name, seqs, waits, worker=worker.wid)

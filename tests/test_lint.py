@@ -11,6 +11,7 @@ from repro.analysis.lint import RULES, format_json, format_text, lint_paths
 BAD_SOURCE = textwrap.dedent(
     '''
     import random
+    import socket
     import threading
     import time
 
@@ -67,11 +68,18 @@ BAD_SOURCE = textwrap.dedent(
 
     def untyped(x: int = None):             # L109: None default, non-Optional
         return x
+
+
+    def leak(host):
+        s = socket.socket()                 # L110: no with/finally/transfer
+        s.connect((host, 80))
+        return s.recv(1)
     '''
 )
 
 GOOD_SOURCE = textwrap.dedent(
     '''
+    import socket
     import threading
     import time
     from typing import Optional
@@ -108,6 +116,35 @@ GOOD_SOURCE = textwrap.dedent(
     def typed(x: Optional[int] = None, rng=None):
         rng = rng or np.random.default_rng(0)
         return rng.normal(), time.perf_counter()
+
+
+    def scoped(host):
+        with socket.socket() as s:      # with-block: released on exit
+            s.connect((host, 80))
+            return s.recv(1)
+
+
+    def closed_in_finally(path):
+        f = open(path)
+        try:
+            return f.read()
+        finally:
+            f.close()
+
+
+    def handed_off():
+        s = socket.socket()
+        return s                        # ownership transferred to caller
+
+
+    def registered(pool):
+        s = socket.socket()
+        pool.adopt(s)                   # ownership transferred to pool
+
+
+    class Owner:
+        def __init__(self):
+            self.sock = socket.socket() # ownership transferred to self
     '''
 )
 
@@ -134,7 +171,7 @@ class TestRulesFire:
         by_rule = findings_by_rule(lint_paths([str(path)]))
         assert sorted(by_rule) == [
             "L101", "L102", "L103", "L104", "L105",
-            "L106", "L107", "L108", "L109",
+            "L106", "L107", "L108", "L109", "L110",
         ]
         assert len(by_rule["L108"]) == 2  # np.random.rand and random.random
         for rule in by_rule:
@@ -153,6 +190,7 @@ class TestRulesFire:
             "L106": "except:",
             "L107": "time.time()",
             "L109": "x: int = None",
+            "L110": "s = socket.socket()",
         }
         for rule, needle in anchors.items():
             f = by_rule[rule][0]
@@ -212,7 +250,7 @@ class TestReporters:
         assert all({"rule", "path", "line", "col", "message"} <= set(f) for f in payload)
 
     def test_rule_table_complete(self):
-        assert set(RULES) == {f"L10{i}" for i in range(1, 10)}
+        assert set(RULES) == {f"L1{i:02d}" for i in range(1, 11)}
         assert all(RULES[r] for r in RULES)
 
 

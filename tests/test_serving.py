@@ -1,6 +1,6 @@
 """Semantics of the micro-batching inference service (:mod:`repro.serving`).
 
-Seven contracts, all asserted deterministically (no wall-clock thresholds —
+Eight contracts, all asserted deterministically (no wall-clock thresholds —
 see the bench-timing policy):
 
 1. **correspondence** — every future resolves to *its own* frame's result,
@@ -20,7 +20,11 @@ see the bench-timing policy):
 7. **deadlines** — a request abandoned at its client deadline is cancelled
    and counted exactly once, never completed; future metadata exists before
    any worker can resolve the future; hung client threads are joined
-   against a deadline instead of forever.
+   against a deadline instead of forever;
+8. **result cache** — repeated frames replay bitwise-identical results
+   without re-entering the queue, ``invalidate`` forces recomputation,
+   capacity evicts FIFO, and cached results are private copies (no client
+   can corrupt another's replay by mutating a returned array).
 
 Determinism device: ``server.paused()`` parks the workers between batches,
 so a submission schedule can be staged in full before coalescing begins —
@@ -846,3 +850,115 @@ class TestDeadlinesAndMetadata:
             )
         # unwind: cancel pending so the daemonic client threads exit
         server.stop(drain=False)
+
+
+class TestResultCache:
+    """The frame-content result cache: hits are bitwise replays, invalidate
+    forces recomputation, capacity evicts FIFO, and concurrent clients can
+    never corrupt each other's results through the cache."""
+
+    def test_hit_on_repeated_frame_is_bitwise(self, model, base):
+        server = InferenceServer({"water": model}, cache_size=8)
+        client = server.client("water")
+        first = client.evaluate(base, timeout=WAIT)
+        second = client.evaluate(base, timeout=WAIT)
+        server.stop()
+        assert_bitwise(first, direct(model, base))
+        assert_bitwise(second, first)
+        snap = server.stats.snapshot()
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 1
+        # the hit completed without entering the queue: one batch total,
+        # but conservation still holds
+        assert snap["batches"] == 1
+        assert snap["requests_completed"] == 2
+        assert snap["requests_submitted"] == 2
+
+    def test_miss_after_invalidate(self, model, base):
+        server = InferenceServer({"water": model}, cache_size=8)
+        client = server.client("water")
+        warm = client.evaluate(base, timeout=WAIT)
+        assert server.invalidate_cache("water") == 1
+        cold = client.evaluate(base, timeout=WAIT)  # recomputed, not replayed
+        server.stop()
+        assert_bitwise(cold, warm)
+        snap = server.stats.snapshot()
+        assert snap["cache_hits"] == 0
+        assert snap["cache_misses"] == 2
+        assert snap["batches"] == 2
+        # invalidation is not capacity pressure
+        assert snap["cache_evictions"] == 0
+        assert server.invalidate_cache() == 1  # the recomputed entry
+
+    def test_eviction_at_capacity_is_fifo(self, model, base):
+        server = InferenceServer({"water": model}, cache_size=2)
+        client = server.client("water")
+        frames = perturbed(base, 3, seed0=11)
+        for f in frames:
+            client.evaluate(f, timeout=WAIT)
+        # cache holds frames[1], frames[2]; frames[0] was evicted FIFO
+        assert len(server.cache) == 2
+        assert server.stats.snapshot()["cache_evictions"] == 1
+        client.evaluate(frames[1], timeout=WAIT)  # hit: still resident
+        client.evaluate(frames[0], timeout=WAIT)  # miss: was evicted
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 4
+        assert snap["cache_evictions"] == 2  # frames[0]'s re-insert evicted
+
+    def test_disabled_cache_is_invisible(self, model, base):
+        server = InferenceServer({"water": model})  # cache_size=0
+        client = server.client("water")
+        client.evaluate(base, timeout=WAIT)
+        client.evaluate(base, timeout=WAIT)
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["cache_hits"] == 0
+        assert snap["cache_misses"] == 0
+        assert snap["batches"] == 2
+
+    def test_concurrent_two_client_load_bitwise(self, model, base):
+        """Two closed-loop clients hammer an overlapping frame set; every
+        result is bitwise identical to a direct evaluation even though many
+        are cache replays, and mutating a returned array cannot poison the
+        cache for the other client."""
+        frames = perturbed(base, 4, seed0=23)
+        refs = [direct(model, f) for f in frames]
+        server = InferenceServer(
+            {"water": model}, max_batch=4, max_wait_us=2000, cache_size=16
+        )
+        done: dict[int, int] = {0: 0, 1: 0}
+        errors: list[BaseException] = []
+
+        def run(tid: int):
+            client = server.client("water")
+            try:
+                for _ in range(3):  # 3 passes over the shared frames
+                    for k, f in enumerate(frames):
+                        r = client.evaluate(f, timeout=WAIT)
+                        assert_bitwise(r, refs[k])
+                        done[tid] += 1
+                        # adversarial aliasing: scribble on the returned
+                        # arrays; the cache must hand out private copies,
+                        # so the other client's replays stay pristine
+                        r.forces += 1e30
+                        r.virial += 1e30
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(t,)) for t in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT)
+        server.stop()
+        assert not errors, errors
+        assert done == {0: 12, 1: 12}
+        snap = server.stats.snapshot()
+        # 12 requests/client; at most 4 distinct frames ever need computing,
+        # and each miss can be charged at most once per client (a frame is
+        # only recomputed if both clients missed it before either insert)
+        assert snap["cache_hits"] >= 24 - 2 * 4
+        assert snap["cache_hits"] + snap["cache_misses"] == 24
+        assert snap["requests_completed"] == 24
