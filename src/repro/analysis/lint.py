@@ -33,6 +33,10 @@ L110  socket/file opened into a local without a lifecycle: not a ``with``
       statement, never ``.close()``d in a ``finally``, and ownership never
       transferred (returned/yielded/stored on an attribute) — a leak on
       every exception path
+L111  unbounded retry loop without backoff — a ``while True`` that calls a
+      connect-like function and either never sleeps (busy-spins the remote
+      end) or sleeps a constant (no exponential backoff, no cap); bound
+      the attempts or grow the delay
 ====  ======================================================================
 
 Any finding can be suppressed with a trailing (or preceding-line) comment::
@@ -63,6 +67,7 @@ RULES = {
     "L108": "global-state RNG in deterministic code",
     "L109": "default None without Optional annotation",
     "L110": "socket/file opened without with/finally-close/ownership transfer",
+    "L111": "unbounded retry loop without backoff",
 }
 
 # Modules whose numerics must be bit-reproducible: wall-clock and global RNG
@@ -495,6 +500,66 @@ def _rule_l110(ctx: _FileContext, findings: list) -> None:
         )
 
 
+def _rule_l111(ctx: _FileContext, findings: list) -> None:
+    """Unbounded reconnect loops: ``while True`` + connect, no real backoff.
+
+    A retry loop is fine when it is *bounded* (``for _ in range(n)``) or
+    when its sleep grows/caps (a non-constant argument — ``sleep(delay)``
+    where ``delay`` is computed — is taken as evidence of backoff).  What
+    gets flagged is the hammer pattern: ``while True`` re-dialing with no
+    sleep at all, or with a constant one (``time.sleep(0.5)``), which
+    retries a dead endpoint forever at a fixed rate.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.While):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Constant) and bool(test.value)):
+            continue  # only `while True:`-style loops are unbounded by form
+        connect_call = None
+        sleep_calls = []
+        for n in ast.walk(node):
+            if not isinstance(n, ast.Call):
+                continue
+            name = (_terminal_name(n.func) or "").lower()
+            # Word-segment match: `_connect_once` and `sock.connect` are
+            # dial calls; `_Connection(...)` (a class) is not.
+            segments = set(name.split("_"))
+            if segments & {"connect", "reconnect", "dial"} or name in (
+                "create_connection", "connect_ex"
+            ):
+                connect_call = connect_call or (name, n)
+            elif "sleep" in name or "backoff" in name or name == "wait":
+                sleep_calls.append(n)
+        if connect_call is None:
+            continue
+        name, site = connect_call
+
+        def _constant_only(call: ast.Call) -> bool:
+            # Zero-arg waits block until an event — not polling.  A call
+            # with arguments counts as real backoff only if at least one
+            # argument is computed (non-constant).
+            args = list(call.args) + [k.value for k in call.keywords]
+            return bool(args) and all(
+                isinstance(a, ast.Constant) for a in args
+            )
+
+        if not sleep_calls:
+            _emit(
+                ctx, findings, "L111", site,
+                f"'while True' retries '{name}' with no sleep — busy-spins "
+                f"a dead endpoint; bound the attempts or add capped "
+                f"exponential backoff",
+            )
+        elif all(_constant_only(c) for c in sleep_calls):
+            _emit(
+                ctx, findings, "L111", site,
+                f"'while True' retries '{name}' with a constant sleep — "
+                f"no backoff growth or cap; compute the delay (capped "
+                f"exponential) or bound the attempts",
+            )
+
+
 _PER_FILE_RULES = (
     _rule_l101,
     _rule_l103,
@@ -505,6 +570,7 @@ _PER_FILE_RULES = (
     _rule_l108,
     _rule_l109,
     _rule_l110,
+    _rule_l111,
 )
 
 

@@ -15,8 +15,17 @@ serve-bench — closed-loop load generator against the micro-batching
               inference service (N clients, deterministic counters +
               throughput report); ``--socket`` drives it over real TCP
               with mixed MD + interactive + cache-hit traffic
+md          — deterministic tiny MD run with optional exact-restart
+              checkpointing (``--checkpoint-dir``) and a self-SIGTERM
+              switch (``--sigterm-at``) for kill/resume testing
+resume      — restore an ``md`` checkpoint and finish the trajectory
+              (bitwise identical to the uninterrupted run)
+chaos-smoke — seeded fault-injection scenario: worker crash + severed
+              connection + duplicated frame against a live daemon, plus a
+              SIGTERM-interrupted + resumed MD run — asserts conservation
+              and bitwise identity, exit code 0/1 (the CI chaos job)
 lint        — concurrency/invariant linter over the source tree
-              (repro.analysis.lint; rules L101-L110)
+              (repro.analysis.lint; rules L101-L111)
 check-plans — compile every zoo model's evaluate/train/serving plans and
               run the static plan verifier (repro.analysis.plancheck;
               rules P101-P108)
@@ -206,7 +215,9 @@ def cmd_serve(args) -> int:
     flush to their connections, and the exit status asserts conservation
     (submitted == completed + failed + cancelled).
     """
+    import json
     import signal
+    from pathlib import Path
 
     from repro.serving import InferenceServer, ServingDaemon
 
@@ -223,7 +234,21 @@ def cmd_serve(args) -> int:
     else:
         names = [m.strip() for m in args.models.split(",") if m.strip()]
         server = InferenceServer.from_zoo(names, **common)
-    daemon = ServingDaemon(server, host=args.host, port=args.port).start()
+    stats_path = None
+    if args.checkpoint_dir:
+        # Lifetime counters survive daemon restarts: restore the last
+        # cleanly-drained snapshot, persist a fresh one at drain time.
+        stats_path = Path(args.checkpoint_dir) / "serving-stats.json"
+        if stats_path.exists():
+            server.stats.restore(json.loads(stats_path.read_text()))
+            print(
+                f"repro serve: restored lifetime counters from {stats_path}",
+                flush=True,
+            )
+    daemon = ServingDaemon(
+        server, host=args.host, port=args.port,
+        idle_timeout=args.idle_timeout,
+    ).start()
     host, port = daemon.address
     print(
         f"repro serve: listening on {host}:{port} "
@@ -246,6 +271,11 @@ def cmd_serve(args) -> int:
         pass
     s = server.stats.snapshot()
     print(server.stats.report())
+    if stats_path is not None:
+        stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(json.dumps(s, indent=2, sort_keys=True))
+        print(f"repro serve: lifetime counters saved to {stats_path}",
+              flush=True)
     conserved = s["requests_submitted"] == (
         s["requests_completed"]
         + s["requests_failed"]
@@ -325,7 +355,14 @@ def _serve_bench_socket(args) -> int:
         address = daemon.address
         print(f"local daemon on {address[0]}:{address[1]}")
 
-    probe = SocketClient(address, name, client="bench-probe")
+    # connect_retry rides out the daemon-still-binding race (the CI smoke
+    # starts the daemon and the bench back to back): first-connect
+    # ECONNREFUSED is retried with capped exponential backoff inside the
+    # window instead of failing the whole bench.
+    probe = SocketClient(
+        address, name, client="bench-probe",
+        connect_retry=args.connect_retry,
+    )
     try:
         cache_on = probe.limits.get("cache_size", 0) > 0
         start = probe.stats()  # the daemon may be long-running: delta counters
@@ -342,7 +379,8 @@ def _serve_bench_socket(args) -> int:
             None, None, frames, timeout=300,
             join_timeout=270.0 if args.tiny else None,
             client_factory=lambda tid: SocketClient(
-                address, name, client=f"bench-{tid}"
+                address, name, client=f"bench-{tid}",
+                connect_retry=args.connect_retry,
             ),
         )
 
@@ -515,6 +553,284 @@ def cmd_serve_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _md_tiny_sim(thermostat: str):
+    """The deterministic tiny MD setup ``repro md`` and ``repro resume``
+    both construct — identical arguments on both sides are the restore
+    contract (the code is the checkpoint's schema)."""
+    from repro.analysis.structures import water_box
+    from repro.dp.pair import DeepPotPair
+    from repro.md import boltzmann_velocities
+    from repro.md.integrators import Langevin, NoseHoover, VelocityVerlet
+    from repro.md.neighbor import fitted_neighbor_list
+    from repro.md.simulation import Simulation
+
+    model = _bench_tiny_model()
+    base = water_box((2, 2, 2), seed=0)
+    boltzmann_velocities(base, 300.0, seed=1)
+    integrator = {
+        "nve": VelocityVerlet,
+        "langevin": lambda: Langevin(temperature=300.0, seed=7),
+        "nosehoover": lambda: NoseHoover(temperature=300.0),
+    }[thermostat]()
+    return Simulation(
+        base,
+        DeepPotPair(model),
+        dt=5e-4,
+        integrator=integrator,
+        neighbor=fitted_neighbor_list(base, model.config.rcut),
+        thermo_every=10,
+    )
+
+
+def _write_md_npz(path: str, sim) -> None:
+    import numpy as np
+
+    np.savez(
+        path,
+        positions=sim.system.positions,
+        velocities=sim.system.velocities,
+        forces=sim.last_result().forces,
+        thermo=np.array(
+            [r.as_tuple() for r in sim.thermo.rows], dtype=np.float64
+        ).reshape(-1, 7),
+        step_count=np.int64(sim.step_count),
+    )
+
+
+def cmd_md(args) -> int:
+    """Deterministic tiny MD run with exact-restart checkpointing.
+
+    ``--checkpoint-dir`` saves every ``--checkpoint-every`` steps and arms
+    SIGTERM -> checkpoint-then-exit(3); ``--sigterm-at N`` raises SIGTERM
+    *on itself* at step N (the deterministic stand-in for an external
+    ``kill``, and exactly what the CI chaos job's shell flow exercises
+    from outside).  ``repro resume`` finishes the trajectory bitwise.
+    """
+    import signal
+
+    from repro.md.checkpoint import CheckpointInterrupt, CheckpointWriter
+
+    if args.sigterm_at and not args.checkpoint_dir:
+        print("--sigterm-at needs --checkpoint-dir (nothing to resume from)")
+        return 2
+    sim = _md_tiny_sim(args.thermostat)
+    writer = None
+    if args.checkpoint_dir:
+        writer = CheckpointWriter(
+            sim, args.checkpoint_dir, every=args.checkpoint_every
+        ).install_sigterm()
+
+    def cb(s):
+        if args.sigterm_at and s.step_count == args.sigterm_at:
+            signal.raise_signal(signal.SIGTERM)
+        if writer is not None:
+            writer(s)
+
+    try:
+        sim.run(args.steps, callback=cb)
+    except CheckpointInterrupt as exc:
+        print(f"repro md: interrupted — {exc}", flush=True)
+        return 3
+    finally:
+        if writer is not None:
+            writer.uninstall_sigterm()
+    if args.out:
+        _write_md_npz(args.out, sim)
+    print(
+        f"repro md: {sim.step_count} steps, "
+        f"{sim.force_evaluations} force evaluations, "
+        f"{len(sim.thermo.rows)} thermo rows"
+        + (f", saved {args.out}" if args.out else "")
+        + (f", {writer.saves} checkpoint(s)" if writer is not None else ""),
+        flush=True,
+    )
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Restore an ``md`` checkpoint and run to ``--steps`` total steps."""
+    from repro.md.checkpoint import restore_checkpoint
+
+    sim = _md_tiny_sim(args.thermostat)
+    restore_checkpoint(sim, args.checkpoint)
+    remaining = args.steps - sim.step_count
+    if remaining < 0:
+        print(
+            f"checkpoint is already at step {sim.step_count} > "
+            f"--steps {args.steps}"
+        )
+        return 2
+    print(
+        f"repro resume: restored step {sim.step_count} from "
+        f"{args.checkpoint}, running {remaining} more",
+        flush=True,
+    )
+    sim.run(remaining)
+    if args.out:
+        _write_md_npz(args.out, sim)
+    print(
+        f"repro resume: {sim.step_count} steps total, "
+        f"{sim.force_evaluations} force evaluations, "
+        f"{len(sim.thermo.rows)} thermo rows"
+        + (f", saved {args.out}" if args.out else ""),
+        flush=True,
+    )
+    return 0
+
+
+def cmd_chaos_smoke(args) -> int:
+    """Seeded fault-injection end-to-end: the CI chaos job.
+
+    Scenario A (serving): a daemon hosting the tiny model runs under a
+    :class:`~repro.serving.faults.FaultPlan` that crashes the worker on
+    its first batch, severs the client's connection after 3 frames, and
+    duplicates a result frame — while a retrying
+    :class:`~repro.dp.backend.ServingForceBackend` evaluates 8 frames.
+    Asserts: every result bitwise equal to direct evaluation, daemon
+    stayed up, conservation holds, crash/respawn/reconnect counters fired.
+
+    Scenario B (checkpointing): a Langevin MD run is SIGTERM-killed
+    mid-run (real signal, delivered to this process), then restored and
+    finished; positions/velocities/forces/thermo must be bitwise equal to
+    the uninterrupted run.
+    """
+    import signal
+    import tempfile
+
+    import numpy as np
+
+    from repro.analysis.structures import water_box
+    from repro.dp.backend import ForceFrame, ServingForceBackend
+    from repro.md.checkpoint import (
+        CheckpointInterrupt,
+        CheckpointWriter,
+        restore_checkpoint,
+    )
+    from repro.md.neighbor import neighbor_pairs
+    from repro.serving import (
+        CrashWorker,
+        FaultPlan,
+        InferenceServer,
+        ServingDaemon,
+        SeverConnection,
+        SocketClient,
+        TamperFrame,
+    )
+
+    checks: dict[str, bool] = {}
+
+    print("chaos-smoke A: serving under a seeded FaultPlan...")
+    name = "water-tiny"
+    model = _bench_tiny_model()
+    base = water_box((2, 2, 2), seed=0)
+    from repro.serving import perturbed_frames
+
+    frames = perturbed_frames(base, 8, seed0=4242)
+    direct = [
+        model.evaluate(f, *neighbor_pairs(f, model.config.rcut))
+        for f in frames
+    ]
+    plan = FaultPlan(
+        faults=(
+            CrashWorker(worker=name, at_batch=1),
+            SeverConnection(client="chaos", after_frames=3),
+            TamperFrame(client="chaos", at_frame=5, action="duplicate"),
+        ),
+        seed=args.seed,
+    )
+    server = InferenceServer(
+        {name: model}, max_batch=4, max_wait_us=2000, faults=plan
+    )
+    daemon = ServingDaemon(server, faults=plan).start()
+    try:
+        with SocketClient(
+            daemon.address, name, client="chaos", retries=4
+        ) as client:
+            backend = ServingForceBackend(client, timeout=120, retries=4)
+            results = backend.evaluate(
+                [
+                    ForceFrame(f, *neighbor_pairs(f, model.config.rcut))
+                    for f in frames
+                ]
+            )
+            checks["all frames served under faults"] = len(results) == 8
+            checks["served bitwise == direct (through crash + sever)"] = all(
+                r.energy == d.energy
+                and np.array_equal(r.forces, d.forces)
+                and np.array_equal(r.virial, d.virial)
+                for r, d in zip(results, direct)
+            )
+            checks["client reconnected after sever"] = client.reconnects >= 1
+            checks["client resubmitted in-flight frames"] = (
+                client.resubmits >= 1
+            )
+    finally:
+        daemon.stop(drain=True)
+    s = server.stats.snapshot()
+    checks["worker crashed and was respawned"] = (
+        s["worker_crashes"] >= 1 and s["worker_respawns"] >= 1
+    )
+    checks["conservation through the crash"] = s["requests_submitted"] == (
+        s["requests_completed"]
+        + s["requests_failed"]
+        + s["requests_cancelled"]
+    )
+    checks["each planned fault fired"] = (
+        plan.fired("CrashWorker") == 1
+        and plan.fired("SeverConnection") == 1
+        and plan.fired("TamperFrame") == 1
+    )
+    print(server.stats.report())
+
+    print("\nchaos-smoke B: SIGTERM mid-MD, restore, bitwise finish...")
+    total, kill_at = 40, 17
+    ref = _md_tiny_sim("langevin")
+    ref.run(total)
+    with tempfile.TemporaryDirectory() as tmp:
+        victim = _md_tiny_sim("langevin")
+        writer = CheckpointWriter(victim, tmp, every=10).install_sigterm()
+
+        def cb(s):
+            if s.step_count == kill_at:
+                signal.raise_signal(signal.SIGTERM)
+            writer(s)
+
+        interrupted = False
+        try:
+            victim.run(total, callback=cb)
+        except CheckpointInterrupt:
+            interrupted = True
+        finally:
+            writer.uninstall_sigterm()
+        checks["SIGTERM interrupted the run mid-way"] = (
+            interrupted and victim.step_count == kill_at
+        )
+        resumed = _md_tiny_sim("langevin")
+        restore_checkpoint(resumed, writer.path)
+        resumed.run(total - resumed.step_count)
+    checks["resumed positions bitwise == uninterrupted"] = np.array_equal(
+        resumed.system.positions, ref.system.positions
+    )
+    checks["resumed velocities bitwise == uninterrupted"] = np.array_equal(
+        resumed.system.velocities, ref.system.velocities
+    )
+    checks["resumed forces bitwise == uninterrupted"] = np.array_equal(
+        resumed.last_result().forces, ref.last_result().forces
+    )
+    checks["resumed thermo rows bitwise == uninterrupted"] = [
+        r.as_tuple() for r in resumed.thermo.rows
+    ] == [r.as_tuple() for r in ref.thermo.rows]
+    checks["resumed evaluation count matches"] = (
+        resumed.force_evaluations == ref.force_evaluations
+    )
+
+    print()
+    for what, ok in checks.items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {what}")
+    print(f"chaos-smoke: {'PASSED' if all(checks.values()) else 'FAILED'}")
+    return 0 if all(checks.values()) else 1
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -596,6 +912,12 @@ def main(argv=None) -> int:
                         help="per-client admission quota (0 = unlimited)")
     daemon.add_argument("--cache", type=int, default=0,
                         help="result-cache entries (0 = off)")
+    daemon.add_argument("--checkpoint-dir", default=None,
+                        help="persist lifetime counters across restarts "
+                             "(serving-stats.json in this directory)")
+    daemon.add_argument("--idle-timeout", type=float, default=0.0,
+                        help="sweep client connections idle longer than "
+                             "this many seconds (0 = never)")
     serve = sub.add_parser(
         "serve-bench",
         help="closed-loop load generator for the inference service",
@@ -624,8 +946,49 @@ def main(argv=None) -> int:
                             "daemon (ignored with --connect)")
     serve.add_argument("--md-steps", type=int, default=3,
                        help="steps for the socket bench's MD client")
+    serve.add_argument("--connect-retry", type=float, default=10.0,
+                       help="seconds to retry the initial connect while the "
+                            "daemon is still binding (0 = one attempt)")
+    md = sub.add_parser(
+        "md",
+        help="deterministic tiny MD run with exact-restart checkpointing",
+    )
+    md.add_argument("--steps", type=int, default=40)
+    md.add_argument("--out", default=None,
+                    help="write final positions/velocities/forces/thermo "
+                         "as .npz")
+    md.add_argument("--checkpoint-dir", default=None,
+                    help="save checkpoints here and arm SIGTERM -> "
+                         "checkpoint-then-exit(3)")
+    md.add_argument("--checkpoint-every", type=int, default=0,
+                    help="also checkpoint every N steps (0 = only on "
+                         "SIGTERM)")
+    md.add_argument("--sigterm-at", type=int, default=0,
+                    help="raise SIGTERM on ourselves at step N "
+                         "(deterministic kill, for the chaos CI job)")
+    md.add_argument("--thermostat", default="langevin",
+                    choices=("nve", "langevin", "nosehoover"))
+    res = sub.add_parser(
+        "resume",
+        help="restore an `md` checkpoint and finish the run bitwise",
+    )
+    res.add_argument("--checkpoint", required=True,
+                     help="checkpoint file written by `repro md`")
+    res.add_argument("--steps", type=int, default=40,
+                     help="TOTAL steps (matching the original --steps)")
+    res.add_argument("--out", default=None,
+                     help="write final state as .npz")
+    res.add_argument("--thermostat", default="langevin",
+                     choices=("nve", "langevin", "nosehoover"),
+                     help="must match the original run")
+    chaos = sub.add_parser(
+        "chaos-smoke",
+        help="seeded fault-injection end-to-end: crash/sever/tamper "
+             "serving + SIGTERM/resume bitwise MD",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
     lint = sub.add_parser(
-        "lint", help="concurrency/invariant linter (rules L101-L110)"
+        "lint", help="concurrency/invariant linter (rules L101-L111)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the "
@@ -648,6 +1011,9 @@ def main(argv=None) -> int:
         "validate": cmd_validate,
         "serve": cmd_serve,
         "serve-bench": cmd_serve_bench,
+        "md": cmd_md,
+        "resume": cmd_resume,
+        "chaos-smoke": cmd_chaos_smoke,
         "lint": cmd_lint,
         "check-plans": cmd_check_plans,
     }[args.command](args)

@@ -187,16 +187,38 @@ class ServingForceBackend:
     server — read ``ServerStats`` for occupancy); ``invalidations`` counts
     :meth:`invalidate_buckets` calls (bucketing is server-side and per
     batch, so there is no client-side partition to drop).
+
+    ``retries`` > 0 makes the backend resilient to *recoverable* server
+    faults: a frame failing with :class:`~repro.serving.queue.
+    WorkerCrashed` or :class:`~repro.serving.queue.TransientEvalError`
+    (both mean "nothing was computed wrong — resubmitting is safe") is
+    resubmitted up to ``retries`` times before the error propagates;
+    ``retried_frames`` counts the resubmissions.  Resubmission is bitwise
+    safe: the same arrays produce the same server-side content key, so a
+    replayed frame returns the identical result.
     """
 
-    def __init__(self, client, timeout: Optional[float] = 300.0):
+    def __init__(self, client, timeout: Optional[float] = 300.0,
+                 retries: int = 0):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.client = client
         self.timeout = timeout
+        self.retries = int(retries)
         self.evaluations = 0   # gather rounds (one per evaluate() call)
         self.invalidations = 0
+        self.retried_frames = 0
 
     def evaluate(self, frames: Sequence[ForceFrame]) -> list[PotentialResult]:
         """Submit all frames to the serving pool, gather results in order."""
+        if self.retries > 0:
+            # Lazy import: repro.serving imports repro.dp, so the exception
+            # types cannot be imported at module scope without a cycle.
+            from repro.serving.queue import TransientEvalError, WorkerCrashed
+
+            retryable: tuple = (TransientEvalError, WorkerCrashed)
+        else:
+            retryable = ()
         frames = list(frames)
         futures = [
             self.client.submit(
@@ -205,8 +227,24 @@ class ServingForceBackend:
             )
             for f in frames
         ]
+        results: list[PotentialResult] = []
         try:
-            results = [f.result(self.timeout) for f in futures]
+            for k, frame in enumerate(frames):
+                budget = self.retries
+                while True:
+                    try:
+                        results.append(futures[k].result(self.timeout))
+                        break
+                    except retryable:
+                        if budget <= 0:
+                            raise
+                        budget -= 1
+                        self.retried_frames += 1
+                        futures[k] = self.client.submit(
+                            frame.system, frame.pair_i, frame.pair_j,
+                            timeout=self.timeout, nloc=frame.nloc,
+                            pbc=frame.pbc,
+                        )
         except BaseException:
             for f in futures:
                 f.cancel()  # abandoned frames free their queue slots

@@ -1,0 +1,629 @@
+"""Exact-restart checkpointing for the MD drivers.
+
+A checkpoint captures *everything* the step loop reads — positions,
+velocities, box lengths, thermostat internals (Langevin RNG state,
+Nosé-Hoover ``xi``), neighbor-list bookkeeping (pair lists, reference
+positions, rebuild step), the last force evaluation, thermo rows, and the
+step/evaluation counters — so a resumed trajectory is **bitwise identical**
+to the uninterrupted run (``tests/test_checkpoint.py`` pins this for
+:class:`~repro.md.simulation.Simulation`, :class:`~repro.md.ensemble.
+EnsembleSimulation` and :class:`~repro.parallel.driver.
+DistributedSimulation`).
+
+File format (own minimal framing — ``np.savez`` embeds zip timestamps, so
+its bytes are not reproducible, and the serving wire protocol lives above
+this layer)::
+
+    REPROCKPT1\\n
+    <blake2b-128 hex of payload>\\n
+    payload = u32 meta_len | meta JSON (utf-8) | raw array blob
+
+The JSON meta carries structure (kind, counters, integrator state — RNG
+states are exact integers, which JSON round-trips losslessly); every float
+array travels as dtype/shape-tagged raw bytes, so restored numerics are
+bitwise equal to what was saved.  Writes are atomic (temp file + fsync +
+``os.replace``): a crash mid-write leaves the previous checkpoint intact,
+and the checksum rejects torn or corrupted files at load time.
+
+Restore protocol: the caller reconstructs the driver with the *same*
+constructor arguments (model, dt, grid, integrator types/params — the code
+is the schema), then :func:`restore_checkpoint` overwrites the mutable
+state.  A checkpoint for a different system (atom types), timestep, or
+driver kind is refused with :class:`CheckpointError`.
+
+:class:`CheckpointWriter` is the trigger layer: a ``run(callback=...)``
+callback that saves every N steps and, when armed via
+:meth:`~CheckpointWriter.install_sigterm`, turns SIGTERM into
+save-then-:class:`CheckpointInterrupt` — the graceful-kill path ``repro md
+--checkpoint-dir`` uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.md.potential import PotentialResult
+from repro.md.thermo import ThermoState
+
+MAGIC = b"REPROCKPT1\n"
+FORMAT = 1
+
+_U32 = struct.Struct("!I")
+
+
+class CheckpointError(RuntimeError):
+    """Unreadable, corrupt, or mismatched checkpoint."""
+
+
+class CheckpointInterrupt(BaseException):
+    """Raised out of the MD loop after a SIGTERM-triggered checkpoint.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so library
+    code catching ``Exception`` cannot swallow the shutdown request.
+    """
+
+
+# ---------------------------------------------------------------------------
+# payload pack / unpack
+# ---------------------------------------------------------------------------
+
+
+def _pack(meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """u32 meta_len | meta JSON | concatenated raw array bytes."""
+    specs: list = []
+    parts: list[bytes] = []
+    for name, value in arrays.items():
+        arr = np.asarray(value)
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        specs.append([name, arr.dtype.str, list(arr.shape)])
+        parts.append(arr.tobytes())
+    head = dict(meta)
+    head["arrays"] = specs
+    head_bytes = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    return _U32.pack(len(head_bytes)) + head_bytes + b"".join(parts)
+
+
+def _unpack(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    if len(payload) < 4:
+        raise CheckpointError(f"truncated payload ({len(payload)} bytes)")
+    (head_len,) = _U32.unpack_from(payload, 0)
+    head_end = 4 + head_len
+    if head_end > len(payload):
+        raise CheckpointError("meta header overruns the payload")
+    try:
+        meta = json.loads(payload[4:head_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"bad meta header: {exc}") from None
+    arrays: dict[str, np.ndarray] = {}
+    offset = head_end
+    for name, dtype_str, shape in meta.pop("arrays", []):
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(payload):
+            raise CheckpointError(f"array {name!r} overruns the payload")
+        arrays[name] = (
+            np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
+            .reshape(shape)
+            .copy()
+        )
+        offset += nbytes
+    if offset != len(payload):
+        raise CheckpointError(
+            f"{len(payload) - offset} trailing bytes after the last array"
+        )
+    return meta, arrays
+
+
+# ---------------------------------------------------------------------------
+# file I/O (atomic write, checksummed read)
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-to-temp + fsync + rename: readers never see a torn file."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_checkpoint(sim, path) -> Path:
+    """Serialize ``sim`` (Simulation / EnsembleSimulation /
+    DistributedSimulation) to ``path`` atomically; returns the path."""
+    meta, arrays = checkpoint_state(sim)
+    payload = _pack(meta, arrays)
+    digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(path, MAGIC + digest.encode("ascii") + b"\n" + payload)
+    return path
+
+
+def load_checkpoint(path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read + verify a checkpoint file; returns ``(meta, arrays)``."""
+    data = Path(path).read_bytes()
+    if not data.startswith(MAGIC):
+        raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
+    rest = data[len(MAGIC):]
+    nl = rest.find(b"\n")
+    if nl < 0:
+        raise CheckpointError(f"{path}: truncated checksum header")
+    expected = rest[:nl].decode("ascii", errors="replace")
+    payload = rest[nl + 1:]
+    actual = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    if actual != expected:
+        raise CheckpointError(
+            f"{path}: checksum mismatch ({actual} != {expected}) — "
+            f"the file is corrupt or was torn mid-write"
+        )
+    meta, arrays = _unpack(payload)
+    if meta.get("format") != FORMAT:
+        raise CheckpointError(
+            f"{path}: format {meta.get('format')} != {FORMAT}"
+        )
+    return meta, arrays
+
+
+def restore_checkpoint(sim, path):
+    """Load ``path`` and restore its state into ``sim`` (constructed with
+    the same arguments as the checkpointed driver); returns ``sim``."""
+    meta, arrays = load_checkpoint(path)
+    restore_state(sim, meta, arrays)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# per-component helpers
+# ---------------------------------------------------------------------------
+
+
+def _integrator_state(integ) -> dict:
+    from repro.md.integrators import Langevin, NoseHoover
+
+    if isinstance(integ, Langevin):
+        # bit_generator.state is a JSON-safe dict of exact integers.
+        return {"kind": "Langevin", "rng": integ._rng.bit_generator.state}
+    if isinstance(integ, NoseHoover):
+        return {"kind": "NoseHoover", "xi": integ.xi}
+    return {"kind": type(integ).__name__}
+
+
+def _restore_integrator(integ, state: dict) -> None:
+    from repro.md.integrators import Langevin, NoseHoover
+
+    kind = state.get("kind")
+    if kind != type(integ).__name__:
+        raise CheckpointError(
+            f"integrator mismatch: checkpoint has {kind}, "
+            f"driver has {type(integ).__name__}"
+        )
+    if isinstance(integ, Langevin):
+        integ._rng.bit_generator.state = state["rng"]
+    elif isinstance(integ, NoseHoover):
+        integ.xi = float(state["xi"])
+
+
+def _neighbor_state(nl, prefix: str, arrays: dict) -> dict:
+    meta = {
+        "n_builds": nl.n_builds,
+        "last_build_step": nl._last_build_step,
+        "has_pairs": nl.pair_i is not None,
+        "has_ref": nl._ref_positions is not None,
+    }
+    if nl.pair_i is not None:
+        arrays[prefix + "pair_i"] = nl.pair_i
+        arrays[prefix + "pair_j"] = nl.pair_j
+    if nl._ref_positions is not None:
+        arrays[prefix + "ref_positions"] = nl._ref_positions
+        arrays[prefix + "ref_box"] = nl._ref_box
+    return meta
+
+
+def _restore_neighbor(nl, prefix: str, arrays: dict, meta: dict) -> None:
+    nl.n_builds = int(meta["n_builds"])
+    nl._last_build_step = int(meta["last_build_step"])
+    if meta["has_pairs"]:
+        nl.pair_i = arrays[prefix + "pair_i"]
+        nl.pair_j = arrays[prefix + "pair_j"]
+    if meta["has_ref"]:
+        nl._ref_positions = arrays[prefix + "ref_positions"]
+        nl._ref_box = arrays[prefix + "ref_box"]
+
+
+def _result_arrays(res, prefix: str, arrays: dict) -> None:
+    arrays[prefix + "energy"] = np.float64(res.energy)
+    arrays[prefix + "forces"] = res.forces
+    arrays[prefix + "virial"] = np.asarray(res.virial, dtype=np.float64)
+    if res.atom_energies is not None:
+        arrays[prefix + "atom_energies"] = res.atom_energies
+
+
+def _build_result(prefix: str, arrays: dict) -> PotentialResult:
+    return PotentialResult(
+        energy=float(arrays[prefix + "energy"]),
+        forces=arrays[prefix + "forces"],
+        virial=arrays[prefix + "virial"],
+        atom_energies=arrays.get(prefix + "atom_energies"),
+    )
+
+
+def _thermo_rows_array(rows) -> np.ndarray:
+    if not rows:
+        return np.zeros((0, 7))
+    return np.array([r.as_tuple() for r in rows], dtype=np.float64)
+
+
+def _build_thermo_rows(arr: np.ndarray) -> list[ThermoState]:
+    return [
+        ThermoState(int(r[0]), *(float(v) for v in r[1:])) for r in arr
+    ]
+
+
+def _check_system(sim_types: np.ndarray, ck_types: np.ndarray) -> None:
+    if not np.array_equal(sim_types, ck_types):
+        raise CheckpointError(
+            "checkpoint is for a different system (atom types differ)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-driver state capture / restore
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_state(sim) -> tuple[dict, dict[str, np.ndarray]]:
+    """``(meta, arrays)`` for any supported driver.
+
+    Dispatch is by type *name* so this module never imports
+    :mod:`repro.parallel` at module scope (parallel imports md, not the
+    other way around).
+    """
+    kind = type(sim).__name__
+    if kind == "Simulation":
+        return _simulation_state(sim)
+    if kind == "EnsembleSimulation":
+        return _ensemble_state(sim)
+    if kind == "DistributedSimulation":
+        return _distributed_state(sim)
+    raise CheckpointError(f"cannot checkpoint a {kind}")
+
+
+def restore_state(sim, meta: dict, arrays: dict) -> None:
+    """Overwrite ``sim``'s mutable state from ``(meta, arrays)``."""
+    kind = type(sim).__name__
+    if meta.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint holds a {meta.get('kind')}, driver is a {kind}"
+        )
+    if kind == "Simulation":
+        _restore_simulation(sim, meta, arrays)
+    elif kind == "EnsembleSimulation":
+        _restore_ensemble(sim, meta, arrays)
+    elif kind == "DistributedSimulation":
+        _restore_distributed(sim, meta, arrays)
+    else:
+        raise CheckpointError(f"cannot restore a {kind}")
+
+
+# -- serial Simulation ------------------------------------------------------
+
+
+def _simulation_state(sim):
+    arrays: dict[str, np.ndarray] = {
+        "positions": sim.system.positions,
+        "velocities": sim.system.velocities,
+        "box": sim.system.box.lengths,
+        "types": sim.system.types,
+        "thermo_rows": _thermo_rows_array(sim.thermo.rows),
+    }
+    meta = {
+        "format": FORMAT,
+        "kind": "Simulation",
+        "dt": sim.dt,
+        "step_count": sim.step_count,
+        "force_evaluations": sim.force_evaluations,
+        "loop_seconds": sim.loop_seconds,
+        "setup_seconds": sim.setup_seconds,
+        "has_result": sim._result is not None,
+        "trajectory_frames": len(sim.trajectory),
+        "neighbor": _neighbor_state(sim.neighbor, "nl_", arrays),
+        "integrator": _integrator_state(sim.integrator),
+        "deform_has_initial": (
+            sim.deform is not None
+            and sim.deform._initial_length is not None
+        ),
+    }
+    if sim._result is not None:
+        _result_arrays(sim._result, "res_", arrays)
+    if sim.trajectory:
+        arrays["trajectory"] = np.stack(sim.trajectory)
+    if meta["deform_has_initial"]:
+        arrays["deform_initial_length"] = np.float64(
+            sim.deform._initial_length
+        )
+    return meta, arrays
+
+
+def _restore_simulation(sim, meta, arrays):
+    _check_system(sim.system.types, arrays["types"])
+    if float(meta["dt"]) != sim.dt:
+        raise CheckpointError(
+            f"dt mismatch: checkpoint {meta['dt']}, driver {sim.dt}"
+        )
+    sim.system.box.lengths[:] = arrays["box"]
+    sim.system.positions = arrays["positions"]
+    sim.system.velocities = arrays["velocities"]
+    sim.step_count = int(meta["step_count"])
+    sim.force_evaluations = int(meta["force_evaluations"])
+    sim.loop_seconds = float(meta["loop_seconds"])
+    sim.setup_seconds = float(meta["setup_seconds"])
+    sim.thermo.rows = _build_thermo_rows(arrays["thermo_rows"])
+    sim.trajectory = (
+        [f.copy() for f in arrays["trajectory"]]
+        if meta["trajectory_frames"]
+        else []
+    )
+    _restore_neighbor(sim.neighbor, "nl_", arrays, meta["neighbor"])
+    _restore_integrator(sim.integrator, meta["integrator"])
+    sim._result = _build_result("res_", arrays) if meta["has_result"] else None
+    if meta["deform_has_initial"]:
+        sim.deform._initial_length = float(arrays["deform_initial_length"])
+
+
+# -- replica ensemble -------------------------------------------------------
+
+
+def _ensemble_state(sim):
+    arrays: dict[str, np.ndarray] = {}
+    neighbors = []
+    for k, (system, nl) in enumerate(zip(sim.systems, sim.neighbors)):
+        p = f"r{k}_"
+        arrays[p + "positions"] = system.positions
+        arrays[p + "velocities"] = system.velocities
+        arrays[p + "box"] = system.box.lengths
+        arrays[p + "types"] = system.types
+        arrays[p + "thermo_rows"] = _thermo_rows_array(sim.thermo[k].rows)
+        neighbors.append(_neighbor_state(nl, p + "nl_", arrays))
+        if sim._results is not None:
+            _result_arrays(sim._results[k], p + "res_", arrays)
+    meta = {
+        "format": FORMAT,
+        "kind": "EnsembleSimulation",
+        "dt": sim.dt,
+        "n_replicas": sim.n_replicas,
+        "step_count": sim.step_count,
+        "force_evaluations": sim.force_evaluations,
+        "loop_seconds": sim.loop_seconds,
+        "setup_seconds": sim.setup_seconds,
+        "has_results": sim._results is not None,
+        "neighbors": neighbors,
+        "integrators": [_integrator_state(i) for i in sim.integrators],
+    }
+    return meta, arrays
+
+
+def _restore_ensemble(sim, meta, arrays):
+    if int(meta["n_replicas"]) != sim.n_replicas:
+        raise CheckpointError(
+            f"replica count mismatch: checkpoint {meta['n_replicas']}, "
+            f"driver {sim.n_replicas}"
+        )
+    if float(meta["dt"]) != sim.dt:
+        raise CheckpointError(
+            f"dt mismatch: checkpoint {meta['dt']}, driver {sim.dt}"
+        )
+    results: Optional[list] = [] if meta["has_results"] else None
+    for k, (system, nl) in enumerate(zip(sim.systems, sim.neighbors)):
+        p = f"r{k}_"
+        _check_system(system.types, arrays[p + "types"])
+        system.box.lengths[:] = arrays[p + "box"]
+        system.positions = arrays[p + "positions"]
+        system.velocities = arrays[p + "velocities"]
+        sim.thermo[k].rows = _build_thermo_rows(arrays[p + "thermo_rows"])
+        _restore_neighbor(nl, p + "nl_", arrays, meta["neighbors"][k])
+        _restore_integrator(sim.integrators[k], meta["integrators"][k])
+        if results is not None:
+            results.append(_build_result(p + "res_", arrays))
+    sim._results = results
+    sim.step_count = int(meta["step_count"])
+    sim.force_evaluations = int(meta["force_evaluations"])
+    sim.loop_seconds = float(meta["loop_seconds"])
+    sim.setup_seconds = float(meta["setup_seconds"])
+
+
+# -- domain-decomposed driver ----------------------------------------------
+
+
+def _distributed_state(sim):
+    # Pending iallreduce handles hold values already computed at call time;
+    # resolving them now appends the same rows FIFO order would, so the
+    # flush is bitwise-neutral (and between run() calls it is a no-op).
+    sim._flush_pending_thermo()
+    arrays: dict[str, np.ndarray] = {
+        "positions": sim.system.positions,
+        "velocities": sim.system.velocities,
+        "box": sim.system.box.lengths,
+        "types": sim.system.types,
+        "thermo_rows": _thermo_rows_array(sim.thermo),
+        "rank_energy": sim._rank_energy,
+        "rank_virial": sim._rank_virial,
+    }
+    for dom in sim.decomp.domains:
+        p = f"d{dom.rank}_"
+        arrays[p + "global_idx"] = dom.global_idx
+        arrays[p + "positions"] = dom.positions
+        arrays[p + "velocities"] = dom.velocities
+        arrays[p + "types"] = dom.types
+        arrays[p + "forces"] = dom.forces
+        arrays[p + "ghost_positions"] = dom.ghost_positions
+        arrays[p + "ghost_types"] = dom.ghost_types
+        arrays[p + "ref_positions"] = sim._ref_positions[dom.rank]
+    batches = []
+    for i, b in enumerate(sim.decomp._batches):
+        batches.append([int(b.src), int(b.dst)])
+        arrays[f"b{i}_src_indices"] = b.src_indices
+        arrays[f"b{i}_shift"] = b.shift
+    meta = {
+        "format": FORMAT,
+        "kind": "DistributedSimulation",
+        "dt": sim.dt,
+        "grid": list(sim.grid),
+        "step_count": sim.step_count,
+        "last_rebuild": sim._last_rebuild,
+        "batches": batches,
+    }
+    return meta, arrays
+
+
+def _restore_distributed(sim, meta, arrays):
+    from repro.parallel.decomp import GhostBatch
+
+    if tuple(meta["grid"]) != tuple(sim.grid):
+        raise CheckpointError(
+            f"grid mismatch: checkpoint {meta['grid']}, driver {sim.grid}"
+        )
+    if float(meta["dt"]) != sim.dt:
+        raise CheckpointError(
+            f"dt mismatch: checkpoint {meta['dt']}, driver {sim.dt}"
+        )
+    _check_system(sim.system.types, arrays["types"])
+    sim.system.box.lengths[:] = arrays["box"]
+    sim.system.positions = arrays["positions"]
+    sim.system.velocities = arrays["velocities"]
+    sim.decomp._make_domains(sim.system.box)
+    ref_positions: dict[int, np.ndarray] = {}
+    for dom in sim.decomp.domains:
+        p = f"d{dom.rank}_"
+        dom.global_idx = arrays[p + "global_idx"]
+        dom.positions = arrays[p + "positions"]
+        dom.velocities = arrays[p + "velocities"]
+        dom.types = arrays[p + "types"]
+        dom.forces = arrays[p + "forces"]
+        dom.ghost_positions = arrays[p + "ghost_positions"]
+        dom.ghost_types = arrays[p + "ghost_types"]
+        ref_positions[dom.rank] = arrays[p + "ref_positions"]
+    sim.decomp._batches = [
+        GhostBatch(
+            src=int(src),
+            dst=int(dst),
+            src_indices=arrays[f"b{i}_src_indices"],
+            shift=arrays[f"b{i}_shift"],
+        )
+        for i, (src, dst) in enumerate(meta["batches"])
+    ]
+    sim._ref_positions = ref_positions
+    sim._last_rebuild = int(meta["last_rebuild"])
+    sim.step_count = int(meta["step_count"])
+    sim._rank_energy = arrays["rank_energy"]
+    sim._rank_virial = arrays["rank_virial"]
+    sim._pending_thermo = []
+    sim.thermo = _build_thermo_rows(arrays["thermo_rows"])
+    if sim.force_backend is not None:
+        # Constructed-then-restored frames have new identities; drop any
+        # bucket partition the construction-time evaluation cached.
+        sim.force_backend.invalidate_buckets()
+
+
+# ---------------------------------------------------------------------------
+# triggers: periodic interval + SIGTERM
+# ---------------------------------------------------------------------------
+
+
+class CheckpointWriter:
+    """Periodic + on-SIGTERM checkpoint trigger.
+
+    Use as a ``run(callback=...)`` callback (serial and ensemble drivers)
+    or call it between ``run()`` chunks (the distributed driver has no
+    callback hook)::
+
+        writer = CheckpointWriter(sim, "ckpts", every=50).install_sigterm()
+        try:
+            sim.run(10_000, callback=writer)
+        except CheckpointInterrupt:
+            ...                      # checkpoint written; exit cleanly
+        finally:
+            writer.uninstall_sigterm()
+
+    ``every=N`` saves whenever ``step_count`` is a multiple of N (0
+    disables periodic saves).  :meth:`install_sigterm` registers a handler
+    that only sets a flag (async-signal-safe); the *next step's* callback
+    writes the checkpoint and raises :class:`CheckpointInterrupt`, so the
+    file always captures a consistent between-steps state.
+    """
+
+    def __init__(self, sim, directory, every: int = 0,
+                 filename: str = "ckpt.repro"):
+        if every < 0:
+            raise ValueError(f"every must be >= 0, got {every}")
+        self.sim = sim
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / filename
+        self.every = int(every)
+        self.saves = 0
+        self._signaled = False
+        self._old_handler = None
+        self._installed = False
+
+    # -- signal plumbing --------------------------------------------------
+
+    def install_sigterm(self) -> "CheckpointWriter":
+        """Arm SIGTERM -> flag -> save + CheckpointInterrupt; returns self.
+
+        Only valid from the main thread (a CPython ``signal`` constraint).
+        """
+        import signal
+
+        self._old_handler = signal.signal(signal.SIGTERM, self._on_signal)
+        self._installed = True
+        return self
+
+    def uninstall_sigterm(self) -> None:
+        if self._installed:
+            import signal
+
+            signal.signal(signal.SIGTERM, self._old_handler)
+            self._installed = False
+
+    def _on_signal(self, signum, frame) -> None:
+        self._signaled = True
+
+    # -- the trigger -------------------------------------------------------
+
+    @property
+    def signaled(self) -> bool:
+        return self._signaled
+
+    def __call__(self, sim=None) -> None:
+        """Per-step hook: periodic save, or SIGTERM save-and-interrupt."""
+        if self._signaled:
+            self.save()
+            raise CheckpointInterrupt(
+                f"SIGTERM: checkpoint written to {self.path} at step "
+                f"{self.sim.step_count}"
+            )
+        if self.every and self.sim.step_count % self.every == 0:
+            self.save()
+
+    def save(self) -> Path:
+        path = save_checkpoint(self.sim, self.path)
+        self.saves += 1
+        return path

@@ -76,6 +76,12 @@ class ThermoLog:
     ) -> Optional[ThermoState]:
         if step % self.every != 0:
             return None
+        if self.rows and self.rows[-1].step == step:
+            # Idempotence at run() boundaries: every run() re-records its
+            # starting step (LAMMPS logs step 0), so back-to-back runs —
+            # and checkpoint/resume, which must be bitwise identical to an
+            # uninterrupted run — would otherwise duplicate that row.
+            return None
         row = compute_thermo(system, potential_energy, virial, step, dt)
         self.rows.append(row)
         return row

@@ -249,6 +249,14 @@ class DistributedSimulation:
     def _maybe_record_thermo(self) -> None:
         if self.step_count % self.thermo_every != 0:
             return
+        # Idempotence at run() boundaries (mirrors ThermoLog.maybe_record):
+        # every run() re-records its starting step, so back-to-back runs and
+        # checkpoint/resume must not duplicate an already-recorded (or
+        # already-pending) row.
+        if self.thermo and self.thermo[-1].step == self.step_count:
+            return
+        if self._pending_thermo and self._pending_thermo[-1][0] == self.step_count:
+            return
         e_contrib = list(self._rank_energy)
         w_contrib = list(self._rank_virial)
         ke_contrib = []

@@ -20,6 +20,7 @@ interleaving.
     metrics.py    ServerStats: deterministic counters + timing gauges
     protocol.py   the length-prefixed binary wire format
     net.py        ServingDaemon (socket front-end) + SocketClient
+    faults.py     deterministic fault injection (FaultPlan) for chaos tests
 
 Quickstart::
 
@@ -46,6 +47,15 @@ from repro.serving.client import (
     run_closed_loop_clients,
     served_matches_direct,
 )
+from repro.serving.faults import (
+    CrashWorker,
+    DelayAdmission,
+    FailEval,
+    FaultPlan,
+    InjectedWorkerCrash,
+    SeverConnection,
+    TamperFrame,
+)
 from repro.serving.metrics import BatchRecord, ServerStats
 from repro.serving.net import ServingDaemon, SocketClient
 from repro.serving.protocol import PROTOCOL_VERSION, MsgType, ProtocolError
@@ -56,6 +66,8 @@ from repro.serving.queue import (
     RequestQueue,
     ResultCache,
     ServerClosed,
+    TransientEvalError,
+    WorkerCrashed,
     frame_content_key,
 )
 from repro.serving.scheduler import MicroBatchScheduler
@@ -63,9 +75,14 @@ from repro.serving.worker import InferenceServer
 
 __all__ = [
     "BatchRecord",
+    "CrashWorker",
+    "DelayAdmission",
+    "FailEval",
+    "FaultPlan",
     "InferenceClient",
     "InferenceRequest",
     "InferenceServer",
+    "InjectedWorkerCrash",
     "MicroBatchScheduler",
     "MsgType",
     "PROTOCOL_VERSION",
@@ -77,7 +94,11 @@ __all__ = [
     "ServerClosed",
     "ServerStats",
     "ServingDaemon",
+    "SeverConnection",
     "SocketClient",
+    "TamperFrame",
+    "TransientEvalError",
+    "WorkerCrashed",
     "frame_content_key",
     "perturbed_frames",
     "run_closed_loop_clients",

@@ -1,0 +1,306 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+Production serving treats worker crashes and dropped connections as the
+steady state, not the exception — but a test that kills threads with real
+races is a flaky test.  This module makes failure *schedulable*: a
+:class:`FaultPlan` is a seeded list of fault specs ("crash worker W at its
+Nth batch", "sever connection C after K frames", "tamper with the Kth
+outbound frame", "fail model M's Nth batch with a transient error",
+"delay model M's Nth admission"), and the serving stack calls the plan's
+hook methods at fixed points:
+
+* :meth:`FaultPlan.on_worker_batch` — from ``InferenceServer._run_batch``
+  before evaluation.  May raise :class:`InjectedWorkerCrash` (the worker
+  thread dies mid-batch, exactly like an unhandled bug — the supervisor
+  must recover) or :class:`~repro.serving.queue.TransientEvalError` (the
+  batch fails through the normal poisoned-batch path — clients may retry).
+* :meth:`FaultPlan.on_conn_frame_in` — from the daemon's per-connection
+  reader after each inbound frame; ``True`` means "sever this connection
+  now" (the reader shuts the socket down abruptly, no GOODBYE).
+* :meth:`FaultPlan.on_conn_frame_out` — from the per-connection writer
+  before each outbound frame; returns an action for the frame: delay it,
+  send it twice, or corrupt it (flip the version byte, so the far side
+  detects it as a :class:`~repro.serving.protocol.ProtocolError` instead
+  of silently reading wrong numbers — corruption must never be silent).
+* :meth:`FaultPlan.on_queue_put` — from ``RequestQueue.put`` before
+  admission; may sleep to create deterministic reordering pressure.
+
+Every hook decision is a pure function of the plan's specs and its own
+monotonically counted events (batches per worker, frames per connection),
+so the same plan against the same request schedule injects the same
+faults.  The only randomness is delay *jitter*, drawn from the plan's own
+seeded generator.  ``FaultPlan.log`` records each injection in firing
+order — tests assert the plan actually fired.
+
+Connection labels: daemon-side connections are identified by their
+``client_id`` (``"<hello-name>-<cid>"``).  A fault's ``client`` field
+matches the HELLO name prefix, so ``SeverConnection(client="md")``
+severs ``md-0``/``md-7``/... whichever cid the daemon assigned.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.serving.queue import TransientEvalError
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised inside a worker's batch loop to simulate an unhandled bug.
+
+    ``InferenceServer._run_batch`` deliberately re-raises this past its
+    poisoned-batch handler, so the worker thread dies with its in-flight
+    futures unresolved — the exact failure mode worker supervision exists
+    to contain.
+    """
+
+
+@dataclass(frozen=True)
+class CrashWorker:
+    """Kill worker ``worker`` on its ``at_batch``-th dispatched batch
+    (1-based, counted per worker id across respawns — a respawned worker
+    keeps its id but the fault is one-shot, so it does not crash again)."""
+
+    worker: str
+    at_batch: int
+
+
+@dataclass(frozen=True)
+class FailEval:
+    """Fail ``model``'s ``at_batch``-th batch (and the ``times - 1``
+    following ones) with a :class:`TransientEvalError` — the retryable
+    failure mode, flowing through the normal poisoned-batch path."""
+
+    model: str
+    at_batch: int
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class SeverConnection:
+    """Abruptly close the connection whose HELLO name matches ``client``
+    after its ``after_frames``-th inbound frame (no GOODBYE — the client
+    sees a reset, exactly like a network partition)."""
+
+    client: str
+    after_frames: int
+
+
+@dataclass(frozen=True)
+class TamperFrame:
+    """Tamper with the ``at_frame``-th outbound frame of ``client``'s
+    connection: ``action`` is ``"delay"`` (sleep a jittered ``delay_s``
+    before sending), ``"duplicate"`` (send the frame twice — receivers
+    must be idempotent) or ``"corrupt"`` (flip the version byte, a
+    *detectable* corruption)."""
+
+    client: str
+    at_frame: int
+    action: str
+    delay_s: float = 0.02
+
+
+@dataclass(frozen=True)
+class DelayAdmission:
+    """Sleep a jittered ``delay_s`` before admitting ``model``'s
+    ``at_submit``-th submission (deterministic reordering pressure)."""
+
+    model: str
+    at_submit: int
+    delay_s: float = 0.02
+
+
+_TAMPER_ACTIONS = ("delay", "duplicate", "corrupt")
+
+
+def corrupt_frame(frame: bytes) -> bytes:
+    """Flip the version byte of an encoded wire frame.
+
+    The length prefix stays intact so framing survives; the receiver
+    raises ``ProtocolError`` (version mismatch) instead of decoding
+    garbage — injected corruption is always *detectable*, never a silent
+    numeric change (that would break the bitwise contract unobservably).
+    """
+    if len(frame) < 5:
+        return frame
+    return frame[:4] + bytes((frame[4] ^ 0xFF,)) + frame[5:]
+
+
+class FaultPlan:
+    """A seeded schedule of failures for one serving stack.
+
+    Pass the same plan instance to both the :class:`~repro.serving.worker.
+    InferenceServer` (worker/queue hooks) and the :class:`~repro.serving.
+    net.ServingDaemon` (connection hooks)::
+
+        plan = FaultPlan([CrashWorker("tiny", at_batch=2),
+                          SeverConnection("chaos", after_frames=3)], seed=7)
+        server = InferenceServer({"tiny": model}, faults=plan)
+        daemon = ServingDaemon(server, faults=plan)
+
+    Thread-safe: hooks are called from worker, reader and writer threads;
+    counters and the seeded jitter generator live behind one lock.  Sleeps
+    happen *outside* the lock.
+    """
+
+    def __init__(self, faults=(), seed: int = 0):
+        for f in faults:
+            if isinstance(f, TamperFrame) and f.action not in _TAMPER_ACTIONS:
+                raise ValueError(
+                    f"unknown tamper action {f.action!r} "
+                    f"(expected one of {_TAMPER_ACTIONS})"
+                )
+        self.faults = list(faults)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+        self._spent: set[int] = set()  # ids of one-shot faults already fired
+        self._worker_batches: Counter = Counter()
+        self._model_batches: Counter = Counter()
+        self._model_submits: Counter = Counter()
+        self._frames_in: Counter = Counter()
+        self._frames_out: Counter = Counter()
+        #: injection log, in firing order: ``(fault, detail)`` tuples.
+        self.log: list[tuple] = []
+
+    # ------------------------------------------------------------- internals
+
+    def _fire(self, fault, detail: str) -> None:
+        """Mark a one-shot fault spent and log it (caller holds the lock)."""
+        self._spent.add(id(fault))
+        self.log.append((fault, detail))
+
+    def _jitter(self, delay_s: float) -> float:
+        """A jittered delay in ``[0.5, 1.5) * delay_s`` from the plan's own
+        seeded generator (caller holds the lock — ``Generator`` is not
+        thread-safe)."""
+        return float(delay_s) * (0.5 + float(self._rng.random()))
+
+    @staticmethod
+    def _match(label: str, client: str) -> bool:
+        """Does connection ``label`` (``"<name>-<cid>"``) belong to fault
+        target ``client`` (the HELLO name)?"""
+        return label == client or label.startswith(f"{client}-")
+
+    def fired(self, fault_type) -> int:
+        """How many logged injections match ``fault_type`` (a fault class
+        or its name — the string form keeps callers import-free)."""
+        with self._lock:
+            if isinstance(fault_type, str):
+                return sum(
+                    1
+                    for f, _ in self.log
+                    if type(f).__name__ == fault_type
+                )
+            return sum(1 for f, _ in self.log if isinstance(f, fault_type))
+
+    # ----------------------------------------------------------------- hooks
+
+    def on_worker_batch(self, worker_id: str, model: str) -> None:
+        """Hook: a worker is about to evaluate a batch of ``model``.
+
+        Raises :class:`InjectedWorkerCrash` (kills the worker thread) or
+        :class:`TransientEvalError` (fails the batch retryably) when a
+        matching fault is due; otherwise a cheap counter increment.
+        """
+        with self._lock:
+            self._worker_batches[worker_id] += 1
+            self._model_batches[model] += 1
+            wb = self._worker_batches[worker_id]
+            mb = self._model_batches[model]
+            crash: Optional[CrashWorker] = None
+            transient: Optional[FailEval] = None
+            for f in self.faults:
+                if id(f) in self._spent:
+                    continue
+                if isinstance(f, CrashWorker):
+                    if f.worker == worker_id and wb == f.at_batch:
+                        self._fire(f, f"{worker_id} batch {wb}")
+                        crash = f
+                elif isinstance(f, FailEval):
+                    if (
+                        f.model == model
+                        and f.at_batch <= mb < f.at_batch + f.times
+                    ):
+                        if mb == f.at_batch + f.times - 1:
+                            self._fire(f, f"{model} batch {mb}")
+                        else:
+                            self.log.append((f, f"{model} batch {mb}"))
+                        transient = f
+        if crash is not None:
+            raise InjectedWorkerCrash(
+                f"injected crash: worker {worker_id!r} at batch "
+                f"{crash.at_batch}"
+            )
+        if transient is not None:
+            raise TransientEvalError(
+                f"injected transient failure: model {model!r} batch "
+                f"(fault {transient})"
+            )
+
+    def on_queue_put(self, request) -> None:
+        """Hook: ``request`` is about to enter the queue.  May sleep (the
+        admission-delay fault) — called *before* the queue lock is taken."""
+        import time
+
+        delay = None
+        with self._lock:
+            self._model_submits[request.model] += 1
+            n = self._model_submits[request.model]
+            for f in self.faults:
+                if (
+                    isinstance(f, DelayAdmission)
+                    and id(f) not in self._spent
+                    and f.model == request.model
+                    and n == f.at_submit
+                ):
+                    self._fire(f, f"{request.model} submit {n}")
+                    delay = self._jitter(f.delay_s)
+                    break
+        if delay is not None:
+            time.sleep(delay)
+
+    def on_conn_frame_in(self, label: str) -> bool:
+        """Hook: one frame arrived on connection ``label``.  ``True`` means
+        the daemon must sever the connection now (no GOODBYE)."""
+        with self._lock:
+            self._frames_in[label] += 1
+            n = self._frames_in[label]
+            for f in self.faults:
+                if (
+                    isinstance(f, SeverConnection)
+                    and id(f) not in self._spent
+                    and self._match(label, f.client)
+                    and n == f.after_frames
+                ):
+                    self._fire(f, f"{label} after frame {n}")
+                    return True
+        return False
+
+    def on_conn_frame_out(self, label: str) -> tuple[Optional[str], float]:
+        """Hook: one frame is about to be written to connection ``label``.
+
+        Returns ``(action, delay_s)`` — action is ``None`` (send normally),
+        ``"delay"``, ``"duplicate"`` or ``"corrupt"``.
+        """
+        with self._lock:
+            self._frames_out[label] += 1
+            n = self._frames_out[label]
+            for f in self.faults:
+                if (
+                    isinstance(f, TamperFrame)
+                    and id(f) not in self._spent
+                    and self._match(label, f.client)
+                    and n == f.at_frame
+                ):
+                    self._fire(f, f"{label} frame {n} {f.action}")
+                    delay = (
+                        self._jitter(f.delay_s) if f.action == "delay" else 0.0
+                    )
+                    return f.action, delay
+        return None, 0.0

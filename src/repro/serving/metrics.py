@@ -65,6 +65,9 @@ class ServerStats:
         self.cache_hits = 0          # requests served from the result cache
         self.cache_misses = 0        # cache lookups that went to the queue
         self.cache_evictions = 0     # FIFO evictions under capacity pressure
+        self.worker_crashes = 0      # worker threads that died mid-batch
+        self.worker_respawns = 0     # workers respawned by the supervisor
+        self.cache_invalidations = 0  # entries dropped on respawn/hot-swap
         self.batches = 0
         self.frames = 0              # sum of batch sizes
         self.max_batch_frames = 0
@@ -119,6 +122,27 @@ class ServerStats:
         with self._lock:
             self.cache_evictions += 1
 
+    def record_worker_crash(self, failed: int) -> None:
+        """A worker thread died mid-batch: its ``failed`` in-flight
+        requests fail with ``WorkerCrashed`` — counted here exactly once
+        (the crashed batch never reached ``record_batch``), so conservation
+        (submitted == completed + failed + cancelled) holds through the
+        crash."""
+        with self._lock:
+            self.worker_crashes += 1
+            self.requests_failed += failed
+
+    def record_worker_respawn(self) -> None:
+        with self._lock:
+            self.worker_respawns += 1
+
+    def record_cache_invalidation(self, n: int) -> None:
+        """``n`` result-cache entries dropped because their model's worker
+        respawned (or the model was hot-swapped) — distinct from capacity
+        evictions."""
+        with self._lock:
+            self.cache_invalidations += n
+
     def record_batch(
         self,
         model: str,
@@ -145,6 +169,34 @@ class ServerStats:
             for w in waits:
                 self.queue_wait_total += w
                 self.queue_wait_max = max(self.queue_wait_max, w)
+
+    # -------------------------------------------------------------- restore
+
+    _RESTORABLE = (
+        "requests_submitted", "requests_completed", "requests_failed",
+        "requests_rejected", "requests_cancelled", "quota_rejections",
+        "cache_hits", "cache_misses", "cache_evictions",
+        "worker_crashes", "worker_respawns", "cache_invalidations",
+        "batches", "frames", "max_batch_frames",
+    )
+
+    def restore(self, snap: dict) -> None:
+        """Seed counters from a prior :meth:`snapshot` (the ``repro serve
+        --checkpoint-dir`` restart path): lifetime totals survive a daemon
+        restart.  Conservation survives too — a cleanly drained snapshot
+        restores submitted == completed + failed + cancelled, and new
+        traffic moves both sides together.  The batch log restarts empty
+        (it is a bounded debugging window, not a lifetime total)."""
+        with self._lock:
+            for name in self._RESTORABLE:
+                setattr(self, name, int(snap.get(name, getattr(self, name))))
+            self.frames_per_model = Counter(snap.get("frames_per_model", {}))
+            self.frames_per_worker = Counter(snap.get("frames_per_worker", {}))
+            self.batches_per_worker = Counter(
+                snap.get("batches_per_worker", {})
+            )
+            self.queue_wait_total = float(snap.get("queue_wait_total", 0.0))
+            self.queue_wait_max = float(snap.get("queue_wait_max", 0.0))
 
     # ------------------------------------------------------------- derived
 
@@ -181,6 +233,9 @@ class ServerStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
+                "worker_crashes": self.worker_crashes,
+                "worker_respawns": self.worker_respawns,
+                "cache_invalidations": self.cache_invalidations,
                 "batches": self.batches,
                 "frames": self.frames,
                 "max_batch_frames": self.max_batch_frames,
@@ -215,6 +270,12 @@ class ServerStats:
             )
         if s["quota_rejections"]:
             lines.append(f"quotas:   {s['quota_rejections']} rejections")
+        if s["worker_crashes"] or s["worker_respawns"]:
+            lines.append(
+                f"faults:   {s['worker_crashes']} worker crashes, "
+                f"{s['worker_respawns']} respawns, "
+                f"{s['cache_invalidations']} cache entries invalidated"
+            )
         if s["frames_per_model"]:
             per = ", ".join(
                 f"{m}: {n}" for m, n in sorted(s["frames_per_model"].items())

@@ -51,11 +51,18 @@ import numpy as np
 
 from repro.serving import protocol as proto
 from repro.serving.protocol import MsgType, ProtocolError
-from repro.serving.queue import QueueFull, QuotaExceeded, ServerClosed
+from repro.serving.queue import (
+    QueueFull,
+    QuotaExceeded,
+    ServerClosed,
+    TransientEvalError,
+    WorkerCrashed,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.md.potential import PotentialResult
     from repro.md.system import System
+    from repro.serving.faults import FaultPlan
     from repro.serving.worker import InferenceServer
 
 
@@ -84,6 +91,9 @@ class _Connection:
         self.pending: dict[int, Future] = {}
         self._lock = threading.Lock()
         self._send_failed = False
+        # Refreshed by every inbound frame (PING heartbeats included); the
+        # daemon's idle sweeper severs connections whose clock goes stale.
+        self.last_active = time.monotonic()
         self.reader = threading.Thread(
             target=self._read_loop, name=f"repro-net-reader-{cid}", daemon=True
         )
@@ -108,6 +118,17 @@ class _Connection:
                         "kind": proto.ERR_PROTOCOL, "message": str(exc),
                     })
                     break
+                self.last_active = time.monotonic()
+                if self.daemon.faults is not None and (
+                    self.daemon.faults.on_conn_frame_in(self.client_id)
+                ):
+                    # Injected sever: drop the socket abruptly, no GOODBYE —
+                    # the client sees a reset, like a network partition.
+                    try:
+                        self.sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    break
                 if mtype == MsgType.GOODBYE:
                     break
                 self._handle(mtype, header, arrays)
@@ -126,6 +147,10 @@ class _Connection:
                 future = self.pending.get(int(header["req"]))
             if future is not None:
                 future.cancel()  # done-callback reports back if it lands
+        elif mtype == MsgType.PING:
+            # The read itself already refreshed last_active; echo so the
+            # client knows the connection is live end to end.
+            self._post(MsgType.PONG, {"req": int(header.get("req", -1))})
         elif mtype == MsgType.STATS:
             self._post(MsgType.STATS_RESULT, {
                 "req": int(header.get("req", -1)),
@@ -244,7 +269,21 @@ class _Connection:
     def _send(self, mtype: MsgType, header: dict, arrays=None) -> None:
         if self._send_failed:
             return
-        self.sock.sendall(proto.encode_frame(mtype, header, arrays))
+        frame = proto.encode_frame(mtype, header, arrays)
+        faults = self.daemon.faults
+        if faults is not None:
+            action, delay = faults.on_conn_frame_out(self.client_id)
+            if action == "delay":
+                time.sleep(delay)
+            elif action == "duplicate":
+                # Receivers are idempotent: a second RESULT for a resolved
+                # request finds no pending future and is dropped.
+                self.sock.sendall(frame)
+            elif action == "corrupt":
+                from repro.serving.faults import corrupt_frame
+
+                frame = corrupt_frame(frame)
+        self.sock.sendall(frame)
 
     def _send_future(self, req_id: int, future: Future) -> None:
         if future.cancelled():
@@ -255,11 +294,14 @@ class _Connection:
             return
         exc = future.exception()
         if exc is not None:
-            kind = (
-                proto.ERR_CLOSED
-                if isinstance(exc, ServerClosed)
-                else proto.ERR_EVAL
-            )
+            if isinstance(exc, ServerClosed):
+                kind = proto.ERR_CLOSED
+            elif isinstance(exc, WorkerCrashed):
+                kind = proto.ERR_CRASH
+            elif isinstance(exc, TransientEvalError):
+                kind = proto.ERR_TRANSIENT
+            else:
+                kind = proto.ERR_EVAL
             self._send(MsgType.ERROR, {
                 "req": req_id, "kind": kind,
                 "message": f"{type(exc).__name__}: {exc}",
@@ -313,14 +355,28 @@ class ServingDaemon:
         server: "InferenceServer",
         host: str = "127.0.0.1",
         port: int = 0,
+        faults: Optional["FaultPlan"] = None,
+        idle_timeout: float = 0.0,
     ):
         self.server = server
         self.draining = False
+        #: fault-injection hooks for this daemon's connections (``None``
+        #: injects nothing); pass the same plan to the server for
+        #: worker-side faults.
+        self.faults = faults
+        #: seconds of inbound silence after which a connection is severed
+        #: (0 = never).  Clients with ``heartbeat`` enabled stay alive
+        #: while idle; a client whose process died frees its quota slots
+        #: once the sweeper reaps it.
+        self.idle_timeout = float(idle_timeout)
+        self.idle_swept = 0  # connections reaped by the idle sweeper
         self._closed = False
         self._conn_lock = threading.Lock()
         self._conns: list[_Connection] = []
         self._next_cid = 0
         self._stopped = threading.Event()
+        self._sweep_stop = threading.Event()
+        self._sweeper: Optional[threading.Thread] = None
         # The listening socket lives for the daemon's whole life; stop()
         # closes it (and __init__ failing after creation cleans it up).
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -346,6 +402,13 @@ class ServingDaemon:
         if not self._started:
             self._started = True
             self._acceptor.start()
+            if self.idle_timeout > 0:
+                self._sweeper = threading.Thread(
+                    target=self._sweep_loop,
+                    name="repro-net-sweeper",
+                    daemon=True,
+                )
+                self._sweeper.start()
         return self
 
     def __enter__(self) -> "ServingDaemon":
@@ -403,6 +466,23 @@ class ServingDaemon:
             conn.sock.close()
             self._forget(conn)
 
+    def _sweep_loop(self) -> None:
+        """Reap connections with no inbound frame for ``idle_timeout``
+        seconds: shut their sockets down, which makes their reader abandon
+        pending work and clean up through the normal disconnect path.
+        Bounded wait on the stop event — never a busy loop."""
+        interval = max(self.idle_timeout / 4.0, 0.05)
+        while not self._sweep_stop.wait(interval):
+            cutoff = time.monotonic() - self.idle_timeout
+            with self._conn_lock:
+                idle = [c for c in self._conns if c.last_active < cutoff]
+            for conn in idle:
+                self.idle_swept += 1
+                try:
+                    conn.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass  # already closing
+
     def _forget(self, conn: _Connection) -> None:
         with self._conn_lock:
             if conn in self._conns:
@@ -433,6 +513,9 @@ class ServingDaemon:
             return
         self._closed = True
         self.draining = True
+        self._sweep_stop.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout)
         # shutdown() (not just close()) is what actually wakes a thread
         # blocked in accept() on Linux; close() alone leaves it parked on
         # the old fd forever.
@@ -470,6 +553,22 @@ def _parse_address(address) -> tuple[str, int]:
     return (str(host), int(port))
 
 
+class _ResendRecord:
+    """Everything needed to resubmit one in-flight SUBMIT after a
+    reconnect: the original header, the original arrays (re-encoded
+    bitwise identical, so the server's content-hash cache recognizes the
+    replay), the remaining retry budget, and the request's absolute
+    deadline (``None`` = none)."""
+
+    __slots__ = ("header", "arrays", "retries_left", "deadline")
+
+    def __init__(self, header, arrays, retries_left, deadline):
+        self.header = header
+        self.arrays = arrays
+        self.retries_left = retries_left
+        self.deadline = deadline
+
+
 class SocketClient:
     """A remote :class:`~repro.serving.client.InferenceClient` speaking the
     wire protocol — same calling surface (``submit``/``evaluate``/
@@ -486,6 +585,24 @@ class SocketClient:
     and the per-call ``deadline`` are honoured server-side by the
     priority/EDF queue order; the server enforces per-client quotas against
     this connection's identity (``client`` name).
+
+    Resilience knobs (all off/minimal by default — a plain client behaves
+    exactly like PR 7's):
+
+    * ``connect_retry`` — the *initial* connect retries connection
+      refusals with capped exponential backoff + jitter for up to this
+      many seconds (a daemon that printed its address may still be a few
+      milliseconds from ``accept()`` — the CI smoke race).
+    * ``retries`` — per-request resubmit budget.  ``> 0`` turns on
+      reconnection: a dropped connection is re-dialed (capped exponential
+      backoff + jitter, at most ``reconnect_attempts`` dials) and every
+      unresolved SUBMIT still inside its budget and its original deadline
+      is resent bitwise identical under the same request id.  Replays are
+      safe: evaluation is deterministic, and the server's content-hash
+      result cache answers a frame whose RESULT was lost without
+      re-queueing it.
+    * ``heartbeat`` — seconds between PING frames (0 = none), keeping an
+      idle connection alive across the daemon's ``idle_timeout`` sweeps.
     """
 
     def __init__(
@@ -495,30 +612,32 @@ class SocketClient:
         priority: int = 0,
         client: Optional[str] = None,
         connect_timeout: float = 30.0,
+        connect_retry: float = 5.0,
+        retries: int = 0,
+        reconnect_attempts: int = 5,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        heartbeat: float = 0.0,
+        jitter_seed: int = 0,
     ):
         self.priority = int(priority)
+        self._address = _parse_address(address)
+        self._client_name = client
+        self._connect_timeout = float(connect_timeout)
+        self.retries = int(retries)
+        self._reconnect_attempts = max(1, int(reconnect_attempts))
+        self._backoff = float(backoff)
+        self._backoff_cap = float(backoff_cap)
+        self._rng = np.random.default_rng(jitter_seed)
         self._req = 0
         self._lock = threading.Lock()
         self._pending: dict[int, Future] = {}
+        self._inflight: dict[int, _ResendRecord] = {}
         self._closed = False
-        sock = socket.create_connection(
-            _parse_address(address), timeout=connect_timeout
-        )
-        try:
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            proto.write_frame(sock, MsgType.HELLO, {"client": client})
-            mtype, header, _ = proto.read_frame(sock)
-            if mtype != MsgType.WELCOME:
-                raise ProtocolError(f"expected WELCOME, got {mtype.name}")
-            if header.get("protocol") != proto.PROTOCOL_VERSION:
-                raise ProtocolError(
-                    f"server speaks protocol {header.get('protocol')}, "
-                    f"client speaks {proto.PROTOCOL_VERSION}"
-                )
-        except BaseException:
-            sock.close()
-            raise
-        sock.settimeout(None)  # reader thread blocks; deadlines live client-side
+        self._closing = False
+        self.reconnects = 0  # successful re-dials after a dropped connection
+        self.resubmits = 0   # SUBMIT frames resent after reconnects
+        sock, header = self._connect_with_backoff(float(connect_retry))
         self.sock = sock
         self.models: dict[str, dict] = header["models"]
         self.limits: dict = header.get("limits", {})
@@ -537,6 +656,66 @@ class SocketClient:
             target=self._read_loop, name="repro-net-client-reader", daemon=True
         )
         self._reader.start()
+        self._heartbeat = float(heartbeat)
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+        if self._heartbeat > 0:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-net-client-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    # ----------------------------------------------------------- connection
+
+    def _connect_once(self) -> tuple[socket.socket, dict]:
+        """One connect + HELLO/WELCOME handshake attempt."""
+        sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            proto.write_frame(
+                sock, MsgType.HELLO, {"client": self._client_name}
+            )
+            mtype, header, _ = proto.read_frame(sock)
+            if mtype != MsgType.WELCOME:
+                raise ProtocolError(f"expected WELCOME, got {mtype.name}")
+            if header.get("protocol") != proto.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {header.get('protocol')}, "
+                    f"client speaks {proto.PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(None)  # reader thread blocks; deadlines live client-side
+        return sock, header
+
+    def _backoff_sleep(self, delay: float, cap: Optional[float] = None) -> float:
+        """Sleep a jittered ``delay`` (seeded generator — deterministic per
+        client) and return the doubled, capped next delay: the canonical
+        capped-exponential-backoff step."""
+        bound = self._backoff_cap if cap is None else cap
+        time.sleep(max(0.0, min(delay * (0.5 + float(self._rng.random())), bound)))
+        return min(delay * 2.0, self._backoff_cap)
+
+    def _connect_with_backoff(self, retry_window: float):
+        """Connect + handshake, retrying refused/reset dials with capped
+        exponential backoff + jitter for up to ``retry_window`` seconds.
+        Protocol errors (version mismatch, bad handshake) never retry —
+        they are permanent, not racy."""
+        deadline = time.perf_counter() + max(0.0, retry_window)
+        delay = self._backoff
+        while True:  # bounded: the deadline check below re-raises
+            try:
+                return self._connect_once()
+            except (ConnectionError, OSError):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise
+                delay = self._backoff_sleep(delay, cap=remaining)
 
     # ------------------------------------------------------------- plumbing
 
@@ -565,26 +744,134 @@ class SocketClient:
             self.sock.sendall(payload)
 
     def _read_loop(self) -> None:
+        while True:
+            try:
+                while True:
+                    mtype, header, arrays = proto.read_frame(self.sock)
+                    if mtype == MsgType.GOODBYE:
+                        # Orderly server-side close (drain): terminal even
+                        # with retries on — the server *chose* to close.
+                        self._fail_pending(ServerClosed("server said goodbye"))
+                        return
+                    self._dispatch(mtype, header, arrays)
+            except BaseException as exc:
+                # Reader death: connection loss, protocol breakage, a bad
+                # frame.  With resilience on, try to reconnect + resubmit;
+                # otherwise (or once recovery gives up) fail the
+                # outstanding futures — a silently dead reader would leave
+                # every waiter hanging until its timeout.
+                if not self._recover(exc):
+                    self._fail_pending(exc)
+                    return
+
+    def _recover(self, exc: BaseException) -> bool:
+        """Reconnect after a dropped connection and resubmit unresolved
+        requests (runs on the reader thread).
+
+        Each pending SUBMIT still inside its retry budget and its original
+        deadline is resent with the SAME request id and bitwise-identical
+        arrays; the server's content-hash result cache answers a replayed
+        frame whose RESULT was lost in flight bitwise identically (and
+        without re-evaluating, on a hit).  Requests out of budget, past
+        deadline, or without a resend record (STATS/CONTROL round trips —
+        not known idempotent) fail with the original error.  Returns False
+        when resilience is off, the client is closing, or every re-dial
+        failed.
+        """
+        if self.retries <= 0 or not isinstance(
+            exc, (ConnectionError, OSError, ProtocolError)
+        ):
+            return False
+        with self._lock:
+            if self._closing or self._closed:
+                return False
+            dead = self.sock
         try:
-            while True:
-                mtype, header, arrays = proto.read_frame(self.sock)
-                if mtype == MsgType.GOODBYE:
-                    break
-                self._dispatch(mtype, header, arrays)
-        except BaseException as exc:
-            # Any reader death (connection loss, protocol breakage, a bad
-            # frame) must fail the outstanding futures — a silently dead
-            # reader would leave every waiter hanging until its timeout.
-            self._fail_pending(exc)
-            return
-        self._fail_pending(ServerClosed("server said goodbye"))
+            dead.close()
+        except OSError:
+            pass
+        sock = header = None
+        delay = self._backoff
+        for attempt in range(self._reconnect_attempts):  # bounded re-dials
+            with self._lock:
+                if self._closing:
+                    return False
+            try:
+                sock, header = self._connect_once()
+                break
+            except (ConnectionError, OSError):
+                if attempt + 1 < self._reconnect_attempts:
+                    delay = self._backoff_sleep(delay)
+        if sock is None:
+            return False
+        now = time.perf_counter()
+        doomed: list[Future] = []
+        resend: list[tuple[int, _ResendRecord]] = []
+        with self._lock:
+            self.sock = sock
+            self.models = header["models"]
+            self.limits = header.get("limits", {})
+            self.reconnects += 1
+            for rid in list(self._pending):
+                future = self._pending[rid]
+                rec = self._inflight.get(rid)
+                if future.cancelled():
+                    self._pending.pop(rid)
+                    self._inflight.pop(rid, None)
+                elif (
+                    rec is None
+                    or rec.retries_left <= 0
+                    or (rec.deadline is not None and rec.deadline <= now)
+                ):
+                    doomed.append(self._pending.pop(rid))
+                    self._inflight.pop(rid, None)
+                else:
+                    rec.retries_left -= 1
+                    resend.append((rid, rec))
+        for f in doomed:
+            if not f.done():
+                f.set_exception(
+                    exc
+                    if isinstance(exc, Exception)
+                    else ConnectionError(str(exc))
+                )
+        for rid, rec in resend:
+            head = dict(rec.header)
+            if rec.deadline is not None:
+                # Honor the ORIGINAL deadline: the server's EDF clock gets
+                # whatever budget is left, not a fresh one.
+                head["deadline"] = max(0.0, rec.deadline - now)
+            try:
+                self._send(MsgType.SUBMIT, head, rec.arrays)
+                self.resubmits += 1
+            except (ServerClosed, ConnectionError, OSError):
+                # The new socket died mid-resubmit: the next read fails and
+                # recovery runs again — budgets were already decremented,
+                # so this converges instead of looping forever.
+                break
+        return True
+
+    def _heartbeat_loop(self) -> None:
+        """PING the daemon every ``heartbeat`` seconds so its idle sweeper
+        sees a live (if quiet) client.  Bounded wait on the stop event."""
+        while not self._hb_stop.wait(self._heartbeat):
+            try:
+                self._send(MsgType.PING, {"req": -1})
+            except (ServerClosed, ConnectionError, OSError):
+                if self.retries <= 0:
+                    return  # no recovery coming; stop pinging
+                # mid-reconnect: skip this beat, keep the clock running
 
     def _dispatch(self, mtype: MsgType, header: dict, arrays: dict) -> None:
         req_id = int(header.get("req", -1))
         with self._lock:
             future = self._pending.pop(req_id, None)
+            self._inflight.pop(req_id, None)
         if future is None:
-            return  # cancelled locally; the server's answer is moot
+            # Cancelled locally, a heartbeat PONG, or a duplicate frame for
+            # an already-resolved request (resubmit race / injected
+            # duplication) — all moot.
+            return
         try:
             if mtype == MsgType.RESULT:
                 # Mirror the in-process future metadata: which queue seq
@@ -621,6 +908,10 @@ class SocketClient:
             exc = ServerClosed(message)
         elif kind == proto.ERR_UNKNOWN_MODEL:
             exc = KeyError(message)
+        elif kind == proto.ERR_CRASH:
+            exc = WorkerCrashed(message)
+        elif kind == proto.ERR_TRANSIENT:
+            exc = TransientEvalError(message)
         elif kind == proto.ERR_PROTOCOL:
             exc = ProtocolError(message)
         else:
@@ -632,6 +923,7 @@ class SocketClient:
             self._closed = True
             pending = list(self._pending.values())
             self._pending.clear()
+            self._inflight.clear()
         for f in pending:
             if not f.cancelled():
                 f.set_exception(
@@ -668,7 +960,7 @@ class SocketClient:
         arrays = proto.system_arrays(system)
         arrays["pair_i"] = pair_i
         arrays["pair_j"] = pair_j
-        self._send(MsgType.SUBMIT, {
+        header = {
             "req": req_id,
             "model": self.model,
             "priority": self.priority,
@@ -677,7 +969,26 @@ class SocketClient:
             "admit_timeout": timeout,
             "nloc": nloc,
             "pbc": pbc,
-        }, arrays)
+        }
+        if self.retries > 0:
+            with self._lock:
+                self._inflight[req_id] = _ResendRecord(
+                    header=dict(header),
+                    arrays=arrays,
+                    retries_left=self.retries,
+                    deadline=(
+                        None
+                        if deadline is None
+                        else time.perf_counter() + deadline
+                    ),
+                )
+        try:
+            self._send(MsgType.SUBMIT, header, arrays)
+        except (ConnectionError, OSError):
+            if self.retries <= 0:
+                raise
+            # Connection mid-failure: the future stays pending; the
+            # reader's recovery resubmits it from the inflight record.
         return future
 
     def evaluate(
@@ -776,10 +1087,14 @@ class SocketClient:
     # ------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Orderly close: GOODBYE, shut the socket, fail leftover futures."""
+        """Orderly close: GOODBYE, shut the socket, fail leftover futures.
+        Sets ``_closing`` first so a concurrent recovery attempt stands
+        down instead of re-dialing a connection the user is tearing down."""
         with self._lock:
             if self._closed:
                 return
+            self._closing = True
+        self._hb_stop.set()
         try:
             self._send(MsgType.GOODBYE, {})
         except (ServerClosed, ConnectionError, OSError):
@@ -791,6 +1106,8 @@ class SocketClient:
             pass
         self.sock.close()
         self._reader.join(5.0)
+        if self._hb_thread is not None:
+            self._hb_thread.join(5.0)
 
     def __enter__(self) -> "SocketClient":
         return self

@@ -34,13 +34,17 @@ RESULT         s->c  ``{req, seq, cached}`` + arrays energy/forces/virial
                      [/atom_energies] (seq = queue admission stamp, -1 when
                      the result cache answered without queueing)
 ERROR          s->c  ``{req, kind, message}`` — per-request failure
-                     (kind in QUEUE_FULL/QUOTA/CLOSED/UNKNOWN_MODEL/EVAL)
+                     (kind in QUEUE_FULL/QUOTA/CLOSED/UNKNOWN_MODEL/EVAL/
+                     CRASH/TRANSIENT — the last two are safe to resubmit)
 CANCEL         c->s  ``{req}`` — abandon a queued request (deadline blown)
 STATS          c->s  ``{}`` — ask for a ServerStats snapshot
 STATS_RESULT   s->c  ``{stats: {...}}``
 CONTROL        c->s  ``{op, model?}`` — ``invalidate_cache`` today
 CONTROL_ACK    s->c  ``{op}``
 GOODBYE        both  ``{}`` — orderly half-close before disconnecting
+PING           c->s  ``{req}`` — heartbeat (refreshes the daemon's
+                     idle-timeout clock for this connection)
+PONG           s->c  ``{req}`` — heartbeat echo
 =============  ====  =======================================================
 
 This module is pure encode/decode — no sockets, no threads — so the framing
@@ -58,7 +62,8 @@ import numpy as np
 
 #: The protocol version byte.  Compatibility rule: both peers must send the
 #: same value; there is no negotiation (bump it on ANY wire change).
-PROTOCOL_VERSION = 1
+#: v2: PING/PONG heartbeats + CRASH/TRANSIENT error kinds (fault tolerance).
+PROTOCOL_VERSION = 2
 
 #: Frames larger than this are refused before allocation — a corrupt length
 #: prefix must not trigger a multi-GB read.
@@ -79,6 +84,8 @@ class MsgType(IntEnum):
     CONTROL = 9
     CONTROL_ACK = 10
     GOODBYE = 11
+    PING = 12
+    PONG = 13
 
 
 #: ``ERROR.kind`` values, mapped back to exceptions client-side
@@ -90,6 +97,8 @@ ERR_UNKNOWN_MODEL = "UNKNOWN_MODEL"
 ERR_EVAL = "EVAL"
 ERR_CANCELLED = "CANCELLED"
 ERR_PROTOCOL = "PROTOCOL"
+ERR_CRASH = "CRASH"          # WorkerCrashed: safe to resubmit
+ERR_TRANSIENT = "TRANSIENT"  # TransientEvalError: safe to resubmit
 
 
 class ProtocolError(RuntimeError):

@@ -87,6 +87,21 @@ class QuotaExceeded(RuntimeError):
     requests while everyone else starves)."""
 
 
+class WorkerCrashed(RuntimeError):
+    """The worker thread executing this request's batch died mid-batch.
+
+    The supervisor failed the in-flight futures (each counted exactly
+    once) and respawned the worker with a fresh engine.  Resubmitting the
+    same frame is always safe: evaluation is deterministic, so a replay is
+    bitwise identical to what the crashed batch would have produced."""
+
+
+class TransientEvalError(RuntimeError):
+    """A transient, retryable evaluation failure — the frame itself is
+    fine; resubmit it (``ServingForceBackend`` does so automatically when
+    given a retry budget)."""
+
+
 @dataclass
 class InferenceRequest:
     """One client frame awaiting evaluation.
@@ -193,11 +208,16 @@ class RequestQueue:
         key: Optional[Callable[[InferenceRequest], object]] = None,
         on_drop: Optional[Callable[[int], None]] = None,
         max_per_client: int = 0,
+        faults=None,
     ):
         self.maxsize = int(maxsize)
         self.max_per_client = int(max_per_client)
         self._key = key if key is not None else (lambda r: r.model)
         self._on_drop = on_drop
+        #: optional :class:`~repro.serving.faults.FaultPlan` whose
+        #: ``on_queue_put`` hook runs before each admission (outside the
+        #: queue lock, so an injected delay never blocks consumers).
+        self.faults = faults
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)  # any-key consumers
         self._not_full = threading.Condition(self._lock)
@@ -298,6 +318,8 @@ class RequestQueue:
         own backlog to clear).  Only the request's key (and the any-key
         condition) is notified.
         """
+        if self.faults is not None:
+            self.faults.on_queue_put(request)
         with self._not_full:
             if self._closed:
                 raise ServerClosed("request queue is closed")

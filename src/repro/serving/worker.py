@@ -69,6 +69,7 @@ from repro.serving.queue import (
     RequestQueue,
     ResultCache,
     ServerClosed,
+    WorkerCrashed,
     frame_content_key,
 )
 from repro.serving.scheduler import MicroBatchScheduler
@@ -78,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.dp.model import DeepPot
     from repro.md.system import System
+    from repro.serving.faults import FaultPlan
 
 
 class _Worker:
@@ -87,15 +89,23 @@ class _Worker:
     shared-pool workers).  ``engines`` holds the evaluators this worker has
     acquired — the structural form of the one-engine-one-thread invariant:
     nothing in here is ever executed by another thread.
+
+    ``inflight`` is the batch currently being evaluated (set before the
+    engine runs, cleared after the futures resolve) — the supervisor reads
+    it when the thread dies mid-batch, so crash-stranded requests can be
+    failed exactly once.  ``respawns`` counts how many predecessors this
+    worker slot has burned (the crash-loop bound).
     """
 
-    __slots__ = ("wid", "only", "thread", "engines")
+    __slots__ = ("wid", "only", "thread", "engines", "inflight", "respawns")
 
     def __init__(self, wid: str, only: Optional[str]):
         self.wid = wid
         self.only = only
         self.thread: Optional[threading.Thread] = None
         self.engines: dict[str, object] = {}
+        self.inflight: Optional[list[InferenceRequest]] = None
+        self.respawns = 0
 
 
 class InferenceServer:
@@ -133,6 +143,15 @@ class InferenceServer:
         idle MD client resubmitting an unchanged step, an active-learning
         screen re-harvesting) are served straight from the cache, bitwise
         identical to a fresh evaluation.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultPlan` — deterministic
+        fault injection for the worker loop (crashes, transient failures)
+        and the admission path.  ``None`` (the default) injects nothing.
+    max_respawns:
+        Crash-loop bound: how many times one worker slot may be respawned
+        after its thread dies mid-batch.  Past the bound the slot stays
+        down (its model's requests wait until shutdown cancels them) —
+        a deterministically poisoned model must not burn CPU forever.
     """
 
     def __init__(
@@ -147,6 +166,8 @@ class InferenceServer:
         backend: str = "optimized",
         max_per_client: int = 0,
         cache_size: int = 0,
+        faults: Optional["FaultPlan"] = None,
+        max_respawns: int = 8,
     ):
         from repro.dp.batch import BatchedEvaluator
 
@@ -165,17 +186,21 @@ class InferenceServer:
         self._models: dict[str, "DeepPot"] = {}
         self._engines: dict[str, object] = {}
         self.backend = backend
+        self.faults = faults
+        self.max_respawns = int(max_respawns)
         self.stats = ServerStats()
         self.queue = RequestQueue(
             maxsize=max_queue,
             on_drop=self.stats.record_cancelled,
             max_per_client=max_per_client,
+            faults=faults,
         )
         self.cache = ResultCache(max_entries=cache_size, stats=self.stats)
         self.scheduler = MicroBatchScheduler(
             self.queue, max_batch=max_batch, max_wait_us=max_wait_us
         )
         self._gate = threading.Event()  # set = workers may take batches
+        self._pool_lock = threading.Lock()  # guards _workers mutation
         self._workers: list[_Worker] = []
         self._started = False  # start() called (even with zero models yet)
         self._engine_lock = threading.Lock()
@@ -251,7 +276,7 @@ class InferenceServer:
                 add(name, engine)
             return out
         claimed: set[int] = set()
-        for w in self._workers:
+        for w in list(self._workers):
             for name, engine in list(w.engines.items()):
                 add(f"{name}@{w.wid}", engine)
                 claimed.add(id(engine))
@@ -410,23 +435,30 @@ class InferenceServer:
     @property
     def running(self) -> bool:
         return any(
-            w.thread is not None and w.thread.is_alive() for w in self._workers
+            w.thread is not None and w.thread.is_alive()
+            for w in list(self._workers)
         )
 
     def worker_ids(self) -> list[str]:
         """Ids of the pool's workers (model names in per-model mode)."""
-        return [w.wid for w in self._workers]
+        return [w.wid for w in list(self._workers)]
 
-    def _spawn_worker(self, wid: str, only: Optional[str]) -> _Worker:
+    def _spawn_worker(
+        self, wid: str, only: Optional[str], respawns: int = 0
+    ) -> _Worker:
         worker = _Worker(wid, only)
+        worker.respawns = respawns
         worker.thread = threading.Thread(
-            target=self._serve_loop,
+            target=self._supervised_loop,
             args=(worker,),
             name=f"repro-serving-{wid}",
             daemon=True,
         )
-        self._workers.append(worker)
-        worker.thread.start()
+        with self._pool_lock:
+            # Append + start are atomic w.r.t. stop()'s snapshot: a worker
+            # visible in the pool always has a started (joinable) thread.
+            self._workers.append(worker)
+            worker.thread.start()
         return worker
 
     def start(self) -> "InferenceServer":
@@ -437,7 +469,9 @@ class InferenceServer:
         self._gate.set()
         self._started = True
         if self.workers == "per-model":
-            spawned = {w.wid for w in self._workers if w.thread.is_alive()}
+            spawned = {
+                w.wid for w in list(self._workers) if w.thread.is_alive()
+            }
             for name in self._models:
                 if name not in spawned:
                     self._spawn_worker(name, only=name)
@@ -489,13 +523,20 @@ class InferenceServer:
         deadline = (
             None if timeout is None else time.perf_counter() + timeout
         )
-        for w in self._workers:
+        # Snapshot under the pool lock: a worker crashing during the drain
+        # removes itself from the pool (no respawn once the queue is
+        # closed), so the live list may shrink under us; joining an
+        # already-removed worker is fine, and the lock guarantees every
+        # snapshotted thread has been started.
+        with self._pool_lock:
+            workers = list(self._workers)
+        for w in workers:
             w.thread.join(
                 None
                 if deadline is None
                 else max(0.0, deadline - time.perf_counter())
             )
-        stuck = [w.wid for w in self._workers if w.thread.is_alive()]
+        stuck = [w.wid for w in workers if w.thread.is_alive()]
         if stuck:  # pragma: no cover - join timeout
             raise RuntimeError(f"serving workers did not stop in time: {stuck}")
 
@@ -507,12 +548,76 @@ class InferenceServer:
 
     # ------------------------------------------------------------ worker loop
 
+    def _supervised_loop(self, worker: _Worker) -> None:
+        """The worker thread's real target: ``_serve_loop`` under
+        supervision.  An unhandled exception anywhere in the loop (an
+        engine bug outside the per-batch guard, a scheduler defect, an
+        injected :class:`~repro.serving.faults.InjectedWorkerCrash`) used
+        to strand the batch's futures forever *and* silently halve the
+        pool; now it lands in :meth:`_on_worker_crash`, which fails the
+        in-flight futures and respawns the slot."""
+        try:
+            self._serve_loop(worker)
+        except BaseException as exc:
+            self._on_worker_crash(worker, exc)
+
     def _serve_loop(self, worker: _Worker) -> None:
         while True:
             batch = self.scheduler.next_batch(gate=self._gate, only=worker.only)
             if batch is None:
                 return
             self._run_batch(batch, worker)
+
+    def _on_worker_crash(self, worker: _Worker, exc: BaseException) -> None:
+        """Contain one worker thread's death (runs on the dying thread).
+
+        1. fail the crashed batch's unresolved futures with
+           :class:`WorkerCrashed` — each counted failed exactly once (the
+           crashed batch never reached ``record_batch``), so conservation
+           holds through the crash;
+        2. drop the model's result-cache entries — the dead engine's state
+           is suspect mid-batch, so nothing it produced may be replayed
+           (counted in ``cache_invalidations``);
+        3. respawn the slot with a **fresh engine** (per-model pools
+           replace the registry engine; shared-pool replacements build
+           their own lazily in :meth:`_engine_for`), unless the server is
+           stopping or the slot hit :attr:`max_respawns`.
+        """
+        live = worker.inflight or []
+        worker.inflight = None
+        crash = WorkerCrashed(
+            f"worker {worker.wid!r} died mid-batch: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        failed = 0
+        for r in live:
+            if not r.future.done():
+                r.future.set_exception(crash)
+                failed += 1
+        self.stats.record_worker_crash(failed)
+        with self._pool_lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+        dropped = 0
+        names = (
+            [worker.only] if worker.only is not None else sorted(worker.engines)
+        )
+        for name in names:
+            dropped += self.cache.invalidate(name)
+        if dropped:
+            self.stats.record_cache_invalidation(dropped)
+        if self.queue.closed or not self._started:
+            return  # shutting down: stop() drains/cancels the rest
+        if worker.respawns >= self.max_respawns:
+            return  # crash loop: leave the slot down
+        if worker.only is not None:
+            # The replacement gets a fresh registry engine — the crashed
+            # one's scratch pool and plan arenas died mid-run.
+            engine = self._engine_cls(self._models[worker.only])
+            engine.plan
+            self._engines[worker.only] = engine
+        self.stats.record_worker_respawn()
+        self._spawn_worker(worker.wid, worker.only, respawns=worker.respawns + 1)
 
     def _engine_for(self, worker: _Worker, name: str):
         """The engine ``worker`` executes ``name``'s batches on.
@@ -553,7 +658,12 @@ class InferenceServer:
         engine = self._engine_for(worker, name)
         seqs = tuple(r.seq for r in live)
         waits = tuple(dispatched_at - r.enqueued_at for r in live)
+        # Published before evaluation so the supervisor can fail exactly
+        # these futures if this thread dies mid-batch.
+        worker.inflight = live
         try:
+            if self.faults is not None:
+                self.faults.on_worker_batch(worker.wid, name)
             if any(r.nloc is not None or not r.pbc for r in live):
                 # Domain-decomposition frames in the batch (explicit ghosts
                 # and/or open boundaries): requests duck-type ForceFrame, so
@@ -567,6 +677,13 @@ class InferenceServer:
                     backend=self.backend,
                 )
         except BaseException as exc:
+            from repro.serving.faults import InjectedWorkerCrash
+
+            if isinstance(exc, InjectedWorkerCrash):
+                # Simulated unhandled bug: escape the per-batch guard so
+                # the thread dies with its futures unresolved — the
+                # supervisor (not this handler) must contain it.
+                raise
             # One poisoned frame fails its whole batch, never the server:
             # the exception lands in each affected future and the loop moves
             # on to the next batch.
@@ -575,9 +692,11 @@ class InferenceServer:
             self.stats.record_batch(
                 name, seqs, waits, failed=True, worker=worker.wid
             )
+            worker.inflight = None
             return
         for r, result in zip(live, results):
             if r.cache_key is not None:
                 self.cache.put(r.cache_key, name, result)
             r.future.set_result(result)
         self.stats.record_batch(name, seqs, waits, worker=worker.wid)
+        worker.inflight = None

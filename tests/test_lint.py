@@ -74,6 +74,14 @@ BAD_SOURCE = textwrap.dedent(
         s = socket.socket()                 # L110: no with/finally/transfer
         s.connect((host, 80))
         return s.recv(1)
+
+
+    def hammer(dial):
+        while True:                         # L111: retry with no sleep
+            try:
+                return dial.connect()
+            except OSError:
+                pass
     '''
 )
 
@@ -145,6 +153,32 @@ GOOD_SOURCE = textwrap.dedent(
     class Owner:
         def __init__(self):
             self.sock = socket.socket() # ownership transferred to self
+
+
+    def bounded_dial(dial):
+        for _ in range(5):              # bounded attempts: no L111
+            try:
+                return dial.connect()
+            except OSError:
+                pass
+
+
+    def backoff_dial(dial, delay=0.05):
+        while True:                     # computed sleep = backoff: no L111
+            try:
+                return dial.connect()
+            except OSError:
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+
+    def event_gated_dial(dial, gate):
+        while True:                     # zero-arg wait blocks, not polls
+            gate.wait()
+            try:
+                return dial.connect()
+            except OSError:
+                pass
     '''
 )
 
@@ -170,8 +204,8 @@ class TestRulesFire:
         path = write_pkg(tmp_path, BAD_SOURCE)
         by_rule = findings_by_rule(lint_paths([str(path)]))
         assert sorted(by_rule) == [
-            "L101", "L102", "L103", "L104", "L105",
-            "L106", "L107", "L108", "L109", "L110",
+            "L101", "L102", "L103", "L104", "L105", "L106",
+            "L107", "L108", "L109", "L110", "L111",
         ]
         assert len(by_rule["L108"]) == 2  # np.random.rand and random.random
         for rule in by_rule:
@@ -212,6 +246,72 @@ class TestRulesFire:
         assert finding.rule == "L000"
 
 
+class TestUnboundedRetry:
+    """L111 in isolation: the hammer patterns fire, real backoff is clean."""
+
+    def test_constant_sleep_still_flagged(self, tmp_path):
+        src = textwrap.dedent(
+            """
+            import time
+
+            def redial(sock, addr):
+                while True:
+                    try:
+                        return sock.connect(addr)
+                    except OSError:
+                        time.sleep(0.5)
+            """
+        )
+        path = write_pkg(tmp_path, src, name="const.py")
+        (finding,) = lint_paths([str(path)])
+        assert finding.rule == "L111"
+        assert "constant sleep" in finding.message
+
+    def test_busy_spin_flagged_with_connect_name_variants(self, tmp_path):
+        src = textwrap.dedent(
+            """
+            def a(x):
+                while True:
+                    x.reconnect()
+
+            def b(x, addr):
+                while True:
+                    x.create_connection(addr)
+
+            def c(x):
+                while True:
+                    x._connect_once()
+            """
+        )
+        path = write_pkg(tmp_path, src, name="spin.py")
+        findings = lint_paths([str(path)])
+        assert [f.rule for f in findings] == ["L111"] * 3
+
+    def test_constructor_named_connection_is_not_a_dial(self, tmp_path):
+        # The regression that shaped the matcher: `_Connection(...)` (a
+        # class) shares the substring but not the word segment "connect".
+        src = textwrap.dedent(
+            """
+            def accept_loop(listener, make_connection):
+                while True:
+                    sock = listener.accept()
+                    conn = make_connection(sock)
+                    conn.start()
+            """
+        )
+        path = write_pkg(tmp_path, src, name="accept.py")
+        assert lint_paths([str(path)]) == []
+
+    def test_disable_escape(self, tmp_path):
+        src = (
+            "def f(x):\n"
+            "    while True:\n"
+            "        x.connect()  # repro-lint: disable=L111\n"
+        )
+        path = write_pkg(tmp_path, src, name="esc111.py")
+        assert lint_paths([str(path)]) == []
+
+
 class TestDisableEscapes:
     def test_disable_on_same_line(self, tmp_path):
         src = "def f():\n    try:\n        pass\n    except:  # repro-lint: disable=L106\n        pass\n"
@@ -250,7 +350,7 @@ class TestReporters:
         assert all({"rule", "path", "line", "col", "message"} <= set(f) for f in payload)
 
     def test_rule_table_complete(self):
-        assert set(RULES) == {f"L1{i:02d}" for i in range(1, 11)}
+        assert set(RULES) == {f"L1{i:02d}" for i in range(1, 12)}
         assert all(RULES[r] for r in RULES)
 
 

@@ -33,6 +33,7 @@ N pre-queued same-model requests then execute in exactly
 """
 
 import threading
+import time
 from concurrent.futures import CancelledError
 from concurrent.futures import TimeoutError as FutureTimeout
 
@@ -43,6 +44,8 @@ from repro.analysis.structures import water_box
 from repro.dp.model import DeepPot, DPConfig
 from repro.md.neighbor import neighbor_pairs
 from repro.serving import (
+    CrashWorker,
+    FaultPlan,
     InferenceClient,
     InferenceRequest,
     InferenceServer,
@@ -51,6 +54,7 @@ from repro.serving import (
     RequestQueue,
     ServerClosed,
     ServerStats,
+    WorkerCrashed,
 )
 
 WAIT = 60.0  # generous future timeouts; the suite never sleeps this long
@@ -962,3 +966,181 @@ class TestResultCache:
         assert snap["cache_hits"] >= 24 - 2 * 4
         assert snap["cache_hits"] + snap["cache_misses"] == 24
         assert snap["requests_completed"] == 24
+
+
+class TestPriorityStarvation:
+    """Priority + EDF dispatch under sustained mixed-priority load.
+
+    The hazard: with ``order_key() = (-priority, deadline, seq)``, a steady
+    stream of priority-1 traffic could in principle starve the priority-0
+    class forever.  The determinism device is the paused-preload round: each
+    round stages its full mixed schedule before the workers run, so the
+    dispatch order recorded in ``batch_log`` is an exact function of the
+    order keys — no wall-clock races.  Across rounds the load is sustained
+    (new high-priority work keeps arriving), yet every round's priority-0
+    requests complete before the next round begins, and their displacement
+    behind their FIFO position is bounded by the number of co-pending
+    high-priority requests.  That bound *is* the no-starvation statement.
+    """
+
+    ROUNDS = 4
+    N_LO = 4  # priority 0, no deadline (the background class)
+    N_HI = 2  # priority 1, deadlines reversed vs submission order
+
+    def test_sustained_mixed_load_edf_and_bounded_displacement(
+        self, model, base
+    ):
+        server = InferenceServer({"water": model}, max_batch=2, max_wait_us=0)
+        completed = 0
+        for r in range(self.ROUNDS):
+            frames = perturbed(base, self.N_LO + self.N_HI, seed0=3000 + 10 * r)
+            log_before = len(server.stats.batch_log)
+            with server.paused():
+                pending = []  # (frame, future) in submission order
+                for k in range(self.N_LO):
+                    fut = server.submit("water", frames[k], priority=0)
+                    pending.append((frames[k], fut))
+                # Reversed deadlines within the high class: the *later*
+                # submission carries the *earlier* deadline, so plain
+                # priority-then-FIFO would dispatch them in the wrong
+                # order — only EDF produces the expected log.
+                fut_late = server.submit(
+                    "water", frames[self.N_LO], priority=1, deadline=90.0
+                )
+                fut_soon = server.submit(
+                    "water", frames[self.N_LO + 1], priority=1, deadline=60.0
+                )
+                pending.append((frames[self.N_LO], fut_late))
+                pending.append((frames[self.N_LO + 1], fut_soon))
+            # no starvation: the whole round drains, priority 0 included,
+            # before the next round's high-priority wave arrives — and
+            # every result is bitwise its own frame's evaluation
+            for f, fut in pending:
+                assert_bitwise(fut.result(WAIT), direct(model, f))
+            completed += len(pending)
+
+            seqs = [fut.request.seq for _, fut in pending]
+            lo_seqs, hi_seqs = seqs[: self.N_LO], seqs[self.N_LO:]
+            batches = server.stats.batch_log[log_before:]
+            assert all(b.model == "water" for b in batches)
+            dispatched = [s for b in batches for s in b.seqs]
+            # EDF within the high class (soon before late despite later
+            # submission), then the background class in FIFO seq order
+            assert dispatched == [hi_seqs[1], hi_seqs[0]] + lo_seqs
+            # batch composition: the high class fills the first batch
+            # alone; priority 0 coalesces in submission order behind it
+            assert [list(b.seqs) for b in batches] == [
+                [hi_seqs[1], hi_seqs[0]],
+                lo_seqs[:2],
+                lo_seqs[2:],
+            ]
+            # bounded displacement: a priority-0 request is pushed back at
+            # most N_HI slots from its FIFO position — never unboundedly
+            for fifo_pos, s in enumerate(lo_seqs):
+                assert dispatched.index(s) - fifo_pos <= self.N_HI
+
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["requests_completed"] == completed
+        assert snap["requests_submitted"] == completed
+        assert snap["requests_failed"] == snap["requests_cancelled"] == 0
+
+
+class TestCacheUnderCrash:
+    """ResultCache x WorkerCrashed: a crash poisons exactly the crashed
+    model's cached entries.  Anything the dead engine produced may not be
+    replayed (its mid-batch state is suspect), so those entries drop and
+    recompute; every *other* model's entries keep serving hits — including
+    during the window where the crashed worker is down."""
+
+    def _wait_respawn(self, server, n=1):
+        """The crash cleanup runs on the dying worker thread *after* it
+        fails the futures; poll (bounded) until invalidation + respawn have
+        been recorded before touching the cache again."""
+        deadline = time.perf_counter() + WAIT
+        while server.stats.snapshot()["worker_respawns"] < n:
+            assert time.perf_counter() < deadline, "respawn never recorded"
+            time.sleep(0.005)
+
+    def test_crash_invalidates_only_the_crashed_models_entries(
+        self, model, model_b, base
+    ):
+        plan = FaultPlan([CrashWorker(worker="a", at_batch=2)])
+        server = InferenceServer(
+            {"a": model, "b": model_b}, cache_size=8, faults=plan
+        )
+        fa, fb, fa2 = perturbed(base, 3, seed0=41)
+        # prime both caches (two misses), then replay both (two hits)
+        ra = server.submit("a", fa).result(WAIT)
+        rb = server.submit("b", fb).result(WAIT)
+        assert_bitwise(server.submit("a", fa).result(WAIT), ra)
+        assert_bitwise(server.submit("b", fb).result(WAIT), rb)
+        # a fresh frame for model a: misses the cache, reaches worker "a"
+        # as its 2nd batch, and dies there
+        with pytest.raises(WorkerCrashed):
+            server.submit("a", fa2).result(WAIT)
+        self._wait_respawn(server)
+        snap = server.stats.snapshot()
+        assert snap["worker_crashes"] == 1
+        assert snap["worker_respawns"] == 1
+        assert snap["cache_invalidations"] == 1  # a's entry, not b's
+        assert plan.fired(CrashWorker) == 1
+        # model a's entry is gone: the same frame recomputes (a miss) on
+        # the respawned worker's fresh engine, bitwise equal to before
+        assert_bitwise(server.submit("a", fa).result(WAIT), ra)
+        # model b's entry survived the crash: still a replay, no new batch
+        assert_bitwise(server.submit("b", fb).result(WAIT), rb)
+        server.stop()
+        snap = server.stats.snapshot()
+        assert snap["cache_hits"] == 3  # a-replay, b-replay, b-after-crash
+        assert snap["cache_misses"] == 4  # a, b, crashed fa2, a-recompute
+        assert snap["requests_submitted"] == 7
+        assert snap["requests_completed"] == 6
+        assert snap["requests_failed"] == 1
+        assert snap["requests_cancelled"] == 0
+
+    def test_cache_hits_serve_while_another_worker_is_down(
+        self, model, model_b, base
+    ):
+        """Replays never touch the queue, so model b's cached frame keeps
+        serving even while model a's only worker slot is dead *for good*
+        (``max_respawns=0`` — the crash-loop stop, not a transient gap)."""
+        plan = FaultPlan([CrashWorker(worker="a", at_batch=1)])
+        server = InferenceServer(
+            {"a": model, "b": model_b},
+            cache_size=8,
+            faults=plan,
+            max_respawns=0,
+        )
+        fa, fb = perturbed(base, 2, seed0=53)
+        warm_b = server.submit("b", fb).result(WAIT)
+        with pytest.raises(WorkerCrashed):
+            server.submit("a", fa).result(WAIT)
+        # a's slot is permanently down (and a had nothing cached, so the
+        # crash dropped zero entries); b's replay path is queue-free and
+        # keeps answering bitwise
+        for _ in range(3):
+            assert_bitwise(server.submit("b", fb).result(WAIT), warm_b)
+        snap = server.stats.snapshot()
+        assert snap["worker_crashes"] == 1
+        assert snap["worker_respawns"] == 0
+        assert snap["cache_invalidations"] == 0
+        assert snap["cache_hits"] == 3
+        server.stop(drain=False)
+
+    def test_crash_with_cache_disabled_counts_no_invalidations(
+        self, model, base
+    ):
+        plan = FaultPlan([CrashWorker(worker="water", at_batch=1)])
+        server = InferenceServer({"water": model}, faults=plan)  # cache off
+        with pytest.raises(WorkerCrashed):
+            server.submit("water", base).result(WAIT)
+        self._wait_respawn(server)
+        # respawned slot serves normally; no cache, so nothing to drop
+        served = server.submit("water", base).result(WAIT)
+        server.stop()
+        assert_bitwise(served, direct(model, base))
+        snap = server.stats.snapshot()
+        assert snap["cache_invalidations"] == 0
+        assert snap["worker_crashes"] == 1
+        assert snap["worker_respawns"] == 1
