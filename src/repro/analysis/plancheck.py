@@ -4,8 +4,11 @@ The compiled tape is the repo's hot path, and its buffer arena is exactly
 the kind of allocator whose bugs are silent: a liveness pass that retires a
 storage group one record too early, an alias union dropped for a view op,
 or a fetch left unpinned produces *plausible numbers* that are wrong only
-for some feed shapes.  Before the ROADMAP's interference-graph-coloring
-allocator lands, this module gives every plan a compile-time proof layer:
+for some feed shapes.  The plan compiler's staged pipeline (tape
+scheduling, interference-coloring allocation, parallel span execution —
+see :mod:`repro.tfmini.plan`) raises the stakes: a scheduler or coloring
+bug corrupts values (or races) silently.  This module is the independent
+compile-time proof layer:
 
 **Structural soundness** (no feed values needed)
 
@@ -14,12 +17,17 @@ P101  undefined-read: a record (or fetch) reads a slot no earlier feed,
       variable, constant or record defines
 P102  use-after-free: a record reads a slot after the liveness pass retired
       its storage group
-P103  arena-overlap: a warm arena hands a buffer to a second record before
-      the first owner's storage group died
+P103  arena-overlap: a warm arena gives a record a buffer whose bytes
+      overlap an earlier record's buffer while that record's storage group
+      is still live (address-interval check, so it sees straight through
+      the coloring allocator's slab views)
 P104  alias-broken: a view record (``reshape``/``item``/...) whose output
       is not in the same storage group as its inputs
 P105  fetch-unpinned: a fetched slot whose storage group is not pinned
       immortal (a later run could recycle the caller's result)
+P109  span-hazard: two records in the same parallel span share a storage
+      group, read each other's outputs, or have byte-overlapping buffers
+      (write-write / read-write) — a data race under ``span_workers > 1``
 ====  ======================================================================
 
 **Symbolic shape & dtype inference** (given a feed spec)
@@ -73,7 +81,7 @@ _SHAPE_ONLY_INPUTS = {
 class PlanFinding:
     """One verifier diagnostic, anchored to a tape record."""
 
-    rule: str  # "P101".."P108"
+    rule: str  # "P101".."P109"
     message: str
     record: Optional[int] = None  # tape index, None for plan-level findings
     op: Optional[str] = None
@@ -195,7 +203,7 @@ class _SlotInfo:
 def verify_plan(plan, spec=None, check_values: bool = False) -> PlanReport:
     """Verify a compiled :class:`~repro.tfmini.plan.ExecutionPlan`.
 
-    Structural soundness (P101–P105) is always checked.  With a ``spec``
+    Structural soundness (P101–P105, P109) is always checked.  With a ``spec``
     (feed node → :class:`FeedSpec`, or node *name* → spec) the symbolic
     shape/dtype walk runs too (P106–P108).  ``check_values=True``
     additionally compares every inferred record shape/dtype against the
@@ -270,23 +278,34 @@ def verify_plan(plan, spec=None, check_values: bool = False) -> PlanReport:
             ))
 
     # --- P103: warm arenas honor the death table ------------------------
+    # Address-interval based: the coloring allocator hands out distinct
+    # ndarray *views* over shared byte slabs, so object identity proves
+    # nothing — two records conflict iff their buffers' byte ranges
+    # overlap while the earlier one's storage group is still live.
     for arena in plan._arenas.values():
-        owner_of: dict[int, int] = {}  # id(buffer) -> record currently holding it
+        live: list = []  # [start, end, owner record, owner death]
         for r_idx, buf in enumerate(arena.buffers):
             if buf is None:
                 continue
-            prev = owner_of.get(id(buf))
-            if prev is not None:
-                d = death.get(find(records[prev].out_slot), -1)
-                if d == _INF or d >= r_idx:
-                    report.findings.append(PlanFinding(
-                        "P103",
-                        f"arena buffer of record {prev} reassigned to record "
-                        f"{r_idx} while its storage group lives until "
-                        f"{'forever' if d == _INF else f'record {d}'}",
-                        record=r_idx, op=records[r_idx].op,
-                    ))
-            owner_of[id(buf)] = r_idx
+            # Retire intervals whose owner's storage group has died; a
+            # dead owner's bytes are legitimately up for reuse.
+            live = [iv for iv in live
+                    if iv[3] == _INF or iv[3] >= r_idx]
+            for start, end in _buffer_intervals(buf):
+                for iv_start, iv_end, prev, d in live:
+                    if start < iv_end and iv_start < end:
+                        report.findings.append(PlanFinding(
+                            "P103",
+                            f"buffer bytes of record {prev} handed to record "
+                            f"{r_idx} while its storage group lives until "
+                            f"{'forever' if d == _INF else f'record {d}'}",
+                            record=r_idx, op=records[r_idx].op,
+                        ))
+                d = death.get(find(records[r_idx].out_slot), -1)
+                live.append([start, end, r_idx, d])
+
+    # --- P109: parallel spans are race-free -----------------------------
+    _check_spans(plan, report, find, death, def_pos)
 
     # --- symbolic shape/dtype walk --------------------------------------
     if spec is not None or check_values:
@@ -300,6 +319,172 @@ def verify_plan(plan, spec=None, check_values: bool = False) -> PlanReport:
                 f"slots {tuple(rec.input_slots)} -> {rec.out_slot}"
             )
     return report
+
+
+def _buffer_intervals(buf) -> list:
+    """Absolute byte ranges ``[start, end)`` covered by an arena buffer.
+
+    Arena entries are ndarray views into color slabs (or tuples of views
+    for multi-output kernels); the absolute addresses are what overlap
+    soundness is actually about — object identity proves nothing once
+    buffers share slabs.
+    """
+    arrays = buf if isinstance(buf, tuple) else (buf,)
+    out = []
+    for a in arrays:
+        if isinstance(a, np.ndarray) and a.nbytes:
+            start = a.__array_interface__["data"][0]
+            out.append((start, start + a.nbytes))
+    return out
+
+
+def _check_spans(plan, report: PlanReport, find, death, def_pos) -> None:
+    """Rule P109: the parallel span partition is race-free.
+
+    Under ``span_workers > 1`` every record of a span may execute
+    concurrently with every other, so the requirements are stronger than
+    sequential liveness: span members must not share a storage group, must
+    not read each other's outputs, and their arena buffers must not
+    byte-overlap each other (write-write) or the buffers of values any
+    member reads (read-write).  A scheduler or allocator bug here would be
+    a data race — flagged at compile time instead.
+    """
+    from repro.tfmini.plan import _MODE_ALIAS
+
+    records = plan._records
+    spans = getattr(plan, "_spans", None)
+    if spans is None:
+        return
+    # The spans must tile the tape exactly — a mis-partition would skip or
+    # double-execute records.
+    pos = 0
+    for start, stop in spans:
+        if start != pos or stop <= start:
+            report.findings.append(PlanFinding(
+                "P109",
+                f"span ({start}, {stop}) breaks the tape tiling "
+                f"(expected start {pos})"))
+        pos = stop
+    if pos != len(records):
+        report.findings.append(PlanFinding(
+            "P109",
+            f"span partition covers {pos} of {len(records)} records"))
+
+    def backing_record(s: int):
+        """The record whose arena buffer actually stores slot ``s``.
+
+        Alias records (views) are walked back to their data input (input 0
+        by the view-op convention), so a read of ``reshape(x)`` resolves to
+        ``x``'s producing record.  ``None``: the slot is a feed, variable
+        or constant — storage outside the arena, unreachable by any arena
+        write.  (The full storage *group* is deliberately not used here:
+        alias unions are conservative over shape-only inputs, and a later
+        group member's buffer is not what this read touches.)
+        """
+        for _ in range(plan._n_slots + 1):
+            j = def_pos[s] if 0 <= s < plan._n_slots else None
+            if j is None or j < 0:
+                return None
+            rec = records[j]
+            if rec.mode != _MODE_ALIAS or not rec.input_slots:
+                return j
+            s = rec.input_slots[0]
+        return None
+
+    for start, stop in spans:
+        if stop - start <= 1:
+            continue
+        members = range(start, stop)
+        # (1) outputs in distinct storage groups.
+        seen_root: dict[int, int] = {}
+        for i in members:
+            root = find(records[i].out_slot)
+            j = seen_root.get(root)
+            if j is not None:
+                report.findings.append(PlanFinding(
+                    "P109",
+                    f"records {j} and {i} in span ({start}, {stop}) share a "
+                    f"storage group — concurrent execution races",
+                    record=i, op=records[i].op,
+                ))
+            else:
+                seen_root[root] = i
+        # (2) no member reads another member's output.
+        for i in members:
+            for s in records[i].input_slots:
+                j = def_pos[s] if 0 <= s < plan._n_slots else None
+                if j is not None and start <= j < stop and j != i:
+                    report.findings.append(PlanFinding(
+                        "P109",
+                        f"record {i} reads slot {s} produced by record {j} "
+                        f"in the same span ({start}, {stop})",
+                        record=i, op=records[i].op,
+                    ))
+        # (3) buffer bytes: writes disjoint from other members' writes and
+        # from the storage every member actually reads.
+        for arena in plan._arenas.values():
+            writes: list = []
+            for i in members:
+                if records[i].mode == _MODE_ALIAS:
+                    continue  # views read; they do not write storage
+                buf = arena.buffers[i]
+                if buf is None:
+                    continue
+                writes.extend(
+                    (s, e, i) for s, e in _buffer_intervals(buf))
+            for a in range(len(writes)):
+                s1, e1, i1 = writes[a]
+                for b in range(a + 1, len(writes)):
+                    s2, e2, i2 = writes[b]
+                    if i1 != i2 and s1 < e2 and s2 < e1:
+                        report.findings.append(PlanFinding(
+                            "P109",
+                            f"records {i1} and {i2} in span ({start}, {stop}) "
+                            f"write overlapping buffer bytes",
+                            record=i2, op=records[i2].op,
+                        ))
+            for i in members:
+                for slot in records[i].input_slots:
+                    j = backing_record(slot)
+                    if j is None or arena.buffers[j] is None:
+                        continue
+                    for s, e in _buffer_intervals(arena.buffers[j]):
+                        for ws, we, w in writes:
+                            if w != i and ws < e and s < we:
+                                report.findings.append(PlanFinding(
+                                    "P109",
+                                    f"record {w} in span ({start}, {stop}) "
+                                    f"writes bytes that record {i} reads "
+                                    f"(slot {slot}, stored by record {j})",
+                                    record=w, op=records[w].op,
+                                ))
+
+
+def plan_metrics(plan) -> dict:
+    """Deterministic per-plan metrics for ``repro plan-report``.
+
+    Arena numbers cover every warmed feed-shape signature; a plan that has
+    never run reports zero arena bytes (compile-time metrics — record
+    count, schedule, span structure — are always present).
+    """
+    widths = plan.span_widths()
+    hist: dict[int, int] = {}
+    for w in widths:
+        hist[w] = hist.get(w, 0) + 1
+    colored = plan.arena_nbytes()
+    fifo = plan.fifo_arena_nbytes()
+    return {
+        "records": plan.n_records,
+        "schedule": plan.schedule,
+        "span_workers": plan.span_workers,
+        "spans": plan.stats.spans,
+        "max_span_width": plan.stats.max_span_width,
+        "span_width_histogram": {str(k): hist[k] for k in sorted(hist)},
+        "arenas": len(plan.arenas),
+        "arena_nbytes_colored": colored,
+        "arena_nbytes_fifo": fifo,
+        "arena_bytes_saved": fifo - colored,
+    }
 
 
 def _spec_lookup(spec: dict, node):
@@ -535,6 +720,7 @@ def check_all_plans(
     precisions=("double", "mixed"),
     include_train: bool = True,
     include_serving: bool = True,
+    report: bool = False,
 ) -> list[dict]:
     """Compile and verify evaluate/train/serving plans across the zoo matrix.
 
@@ -545,6 +731,11 @@ def check_all_plans(
 
     Returns one entry per verified plan:
     ``{"plan": "water/double/evaluate", "report": PlanReport, "records": n}``.
+
+    ``report=True`` adds a ``"metrics"`` entry per plan
+    (:func:`plan_metrics`: schedule, span structure, colored-vs-FIFO arena
+    bytes) and warms the train/serving plans too (one step / one
+    evaluation), so arena footprints are measured, not zero.
     """
     from repro.analysis.structures import fcc_lattice, water_box
     from repro.dp.batch import BatchedEvaluator
@@ -565,10 +756,14 @@ def check_all_plans(
     results: list[dict] = []
 
     def add(label: str, plan, spec, check_values: bool = False) -> None:
-        report = verify_plan(plan, spec=spec, check_values=check_values)
-        results.append(
-            {"plan": label, "report": report, "records": plan.n_records}
-        )
+        entry = {
+            "plan": label,
+            "report": verify_plan(plan, spec=spec, check_values=check_values),
+            "records": plan.n_records,
+        }
+        if report:
+            entry["metrics"] = plan_metrics(plan)
+        results.append(entry)
 
     for name, (config_fn, system_fn, oracle_fn) in species.items():
         system = system_fn()
@@ -586,6 +781,8 @@ def check_all_plans(
                 trainer = Trainer(
                     model, dataset, TrainConfig(n_steps=1, log_every=10)
                 )
+                if report:
+                    trainer.step()  # warm: measured (not zero) arena bytes
                 add(f"{name}/{precision}/train", trainer.plan,
                     train_feed_spec(trainer))
 
@@ -594,6 +791,9 @@ def check_all_plans(
 
                 server = InferenceServer({name: model}, autostart=False)
                 try:
+                    if report:
+                        server._engines[name].evaluate_batch(
+                            [system], [(pi, pj)])  # warm the serving arena
                     add(f"{name}/{precision}/serving",
                         server._engines[name].plan, dp_feed_spec(model))
                 finally:

@@ -28,7 +28,11 @@ lint        — concurrency/invariant linter over the source tree
               (repro.analysis.lint; rules L101-L111)
 check-plans — compile every zoo model's evaluate/train/serving plans and
               run the static plan verifier (repro.analysis.plancheck;
-              rules P101-P108)
+              rules P101-P109); ``--report FILE`` also writes the
+              per-plan metrics JSON
+plan-report — per-plan compiler metrics across the zoo matrix: record
+              count, schedule, span widths, and arena bytes before/after
+              interference coloring (JSON to stdout or ``--out FILE``)
 """
 
 from __future__ import annotations
@@ -58,6 +62,19 @@ def cmd_info(_args) -> int:
         ("repro.analysis", "RDF / MSD+diffusion / CNA / structures / stress"),
     ]:
         print(f"  {name:<18} {what}")
+
+    # Importing the model registers the DP custom ops, so the coverage
+    # count reflects the full registry the compiled plans execute against.
+    import repro.dp.model  # noqa: F401
+    import repro.tfmini.passes  # noqa: F401
+    from repro.tfmini.ops import out_kernel_coverage
+
+    cov = out_kernel_coverage()
+    line = (f"\nout= kernel coverage: {cov['covered']}/{cov['eligible']} "
+            f"eligible ops (view/structural ops exempt)")
+    if cov["missing"]:
+        line += "\n  missing: " + ", ".join(cov["missing"])
+    print(line)
     print(f"\nmodel zoo cache: {DEFAULT_CACHE}")
     if DEFAULT_CACHE.exists():
         for p in sorted(DEFAULT_CACHE.glob("*.npz")):
@@ -849,13 +866,34 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _plan_report_entries(results) -> list:
+    """JSON-ready per-plan entries (verification verdict + metrics)."""
+    out = []
+    for e in results:
+        entry = {
+            "plan": e["plan"],
+            "records": e["records"],
+            "ok": e["report"].ok,
+            "findings": [str(f) for f in e["report"].findings],
+        }
+        if "metrics" in e:
+            entry.update(e["metrics"])
+        out.append(entry)
+    return out
+
+
 def cmd_check_plans(args) -> int:
     import json as _json
 
     from repro.analysis.plancheck import check_all_plans
 
-    results = check_all_plans()
+    results = check_all_plans(report=bool(args.report))
     bad = [e for e in results if not e["report"].ok]
+    if args.report:
+        with open(args.report, "w") as fh:
+            _json.dump(_plan_report_entries(results), fh, indent=2)
+            fh.write("\n")
+        print(f"plan report written to {args.report}")
     if args.json:
         print(_json.dumps(
             [
@@ -882,6 +920,35 @@ def cmd_check_plans(args) -> int:
         verdict = "clean" if not bad else f"{len(bad)} plan(s) with findings"
         print(f"check-plans: {len(results)} plans verified — {verdict}")
     return 1 if bad else 0
+
+
+def cmd_plan_report(args) -> int:
+    import json as _json
+
+    from repro.analysis.plancheck import check_all_plans
+
+    results = check_all_plans(report=True)
+    entries = _plan_report_entries(results)
+    payload = _json.dumps(entries, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"plan report written to {args.out}")
+    else:
+        print(payload)
+    if not args.out:
+        return 1 if any(not e["ok"] for e in entries) else 0
+    for e in entries:
+        saved = e["arena_bytes_saved"]
+        pct = 100.0 * saved / e["arena_nbytes_fifo"] if e["arena_nbytes_fifo"] else 0.0
+        print(
+            f"  {e['plan']:<26} {e['records']:>4} records  "
+            f"schedule={e['schedule']:<8} spans={e['spans']:>4} "
+            f"maxw={e['max_span_width']:>2}  "
+            f"arena {e['arena_nbytes_colored']:>10} B "
+            f"(fifo {e['arena_nbytes_fifo']:>10} B, -{pct:.1f}%)"
+        )
+    return 1 if any(not e["ok"] for e in entries) else 0
 
 
 def main(argv=None) -> int:
@@ -1001,9 +1068,24 @@ def main(argv=None) -> int:
     checkp = sub.add_parser(
         "check-plans",
         help="statically verify every zoo model's compiled plans "
-             "(rules P101-P108)",
+             "(rules P101-P109)",
     )
     checkp.add_argument("--json", action="store_true", help="JSON report")
+    checkp.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write per-plan compiler metrics (records, schedule, "
+             "span widths, colored-vs-FIFO arena bytes) as JSON to FILE",
+    )
+    planrep = sub.add_parser(
+        "plan-report",
+        help="per-plan compiler metrics across the zoo matrix "
+             "(schedule, span widths, arena bytes before/after coloring)",
+    )
+    planrep.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON report to FILE (and print a summary table) "
+             "instead of dumping JSON to stdout",
+    )
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
@@ -1016,6 +1098,7 @@ def main(argv=None) -> int:
         "chaos-smoke": cmd_chaos_smoke,
         "lint": cmd_lint,
         "check-plans": cmd_check_plans,
+        "plan-report": cmd_plan_report,
     }[args.command](args)
 
 

@@ -152,6 +152,12 @@ class InferenceServer:
         after its thread dies mid-batch.  Past the bound the slot stays
         down (its model's requests wait until shutdown cancels them) —
         a deterministically poisoned model must not burn CPU forever.
+    plan_schedule, plan_span_workers:
+        Plan-compiler knobs applied to every engine this server creates
+        (see :class:`~repro.tfmini.plan.ExecutionPlan`): the tape-
+        scheduling pass and the fork/join span thread count.  Bitwise
+        identical for every combination; crash respawns and shared-pool
+        claims inherit the same knobs.
     """
 
     def __init__(
@@ -168,6 +174,8 @@ class InferenceServer:
         cache_size: int = 0,
         faults: Optional["FaultPlan"] = None,
         max_respawns: int = 8,
+        plan_schedule: str = "liveness",
+        plan_span_workers: int = 1,
     ):
         from repro.dp.batch import BatchedEvaluator
 
@@ -183,6 +191,12 @@ class InferenceServer:
                 raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._engine_cls = BatchedEvaluator
+        # Plan-compiler knobs forwarded to every engine this server creates
+        # (registration, shared-pool claims, crash respawns) — the tape
+        # schedule and fork/join span thread count.  Bitwise identical for
+        # every combination; defaults match BatchedEvaluator's.
+        self.plan_schedule = plan_schedule
+        self.plan_span_workers = plan_span_workers
         self._models: dict[str, "DeepPot"] = {}
         self._engines: dict[str, object] = {}
         self.backend = backend
@@ -213,6 +227,19 @@ class InferenceServer:
 
     # ------------------------------------------------------------- registry
 
+    def _new_engine(self, model: "DeepPot"):
+        """Build an engine with this server's plan-compiler knobs applied.
+
+        The single construction seam for all three creation paths
+        (registration, shared-pool claims, crash respawns), so respawned
+        engines never silently fall back to default knobs.
+        """
+        return self._engine_cls(
+            model,
+            plan_schedule=self.plan_schedule,
+            plan_span_workers=self.plan_span_workers,
+        )
+
     def register(self, name: str, model: "DeepPot") -> "InferenceServer":
         """Host ``model`` under ``name`` with its own persistent evaluator.
 
@@ -225,7 +252,7 @@ class InferenceServer:
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
         self._models[name] = model
-        engine = self._engine_cls(model)
+        engine = self._new_engine(model)
         engine.plan  # compile now, off the serving hot path
         self._engines[name] = engine
         if self.workers != "per-model":
@@ -256,8 +283,12 @@ class InferenceServer:
         *acquired* engine, keyed ``model@worker`` (plus any still-unclaimed
         registry engine under its bare model name).  For each engine:
         ``topo_sorts`` (1 per engine lifetime), ``runs``, ``arena_builds``
-        (one per distinct batch shape seen) and ``arena_allocs`` — a steady
-        workload stops growing everything except ``runs``.
+        (one per distinct batch shape seen), ``arena_allocs``, the colored
+        arena footprint (``arena_nbytes``) next to the FIFO baseline it
+        replaced (``arena_nbytes_fifo``), and the scheduled tape's span
+        structure (``spans``, ``max_span_width``, ``span_batches``) — a
+        steady workload stops growing everything except ``runs`` (and
+        ``span_batches`` when ``plan_span_workers > 1``).
         """
         out: dict[str, dict] = {}
 
@@ -269,6 +300,10 @@ class InferenceServer:
                 "arena_builds": plan.stats.arena_builds,
                 "arena_allocs": plan.alloc_count(),
                 "arena_nbytes": plan.arena_nbytes(),
+                "arena_nbytes_fifo": plan.fifo_arena_nbytes(),
+                "spans": plan.stats.spans,
+                "max_span_width": plan.stats.max_span_width,
+                "span_batches": plan.stats.span_batches,
             }
 
         if self.workers == "per-model":
@@ -613,7 +648,7 @@ class InferenceServer:
         if worker.only is not None:
             # The replacement gets a fresh registry engine — the crashed
             # one's scratch pool and plan arenas died mid-run.
-            engine = self._engine_cls(self._models[worker.only])
+            engine = self._new_engine(self._models[worker.only])
             engine.plan
             self._engines[worker.only] = engine
         self.stats.record_worker_respawn()
@@ -636,7 +671,7 @@ class InferenceServer:
             with self._engine_lock:
                 engine = self._claimable.pop(name, None)
             if engine is None:
-                engine = self._engine_cls(self._models[name])
+                engine = self._new_engine(self._models[name])
                 # Compile before publishing: executor_stats() may reach
                 # engine.plan from a monitoring thread the moment this
                 # engine appears in worker.engines, and lazy compilation is

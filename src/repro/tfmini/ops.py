@@ -84,6 +84,43 @@ def op_flops(node: Node, inputs: Sequence[np.ndarray], output) -> int:
     return int(fn(node, inputs, output))
 
 
+# Ops that legitimately never get an ``out=`` kernel.  Alias/view ops run
+# zero-copy under plans (an out= kernel would *add* a copy); structural
+# pseudo-ops never appear as tape records (plans resolve them to slots at
+# compile time).  Everything else without ``forward_out`` is a coverage gap
+# paying the allocate-and-copy fallback — ``out_kernel_coverage()`` makes
+# the gap visible in ``repro info``.
+OUT_KERNEL_EXEMPT = {
+    # alias/view ops (see repro.tfmini.plan.ALIAS_OPS)
+    "reshape", "reshape_like", "item", "reduce_to_shape",
+    # structural: never executed as tape records
+    "constant", "placeholder", "variable",
+}
+
+
+def out_kernel_coverage() -> dict:
+    """Destination-passing kernel coverage of the op registry.
+
+    Returns ``{"covered": n, "eligible": m, "missing": [names...]}`` where
+    *eligible* excludes :data:`OUT_KERNEL_EXEMPT` (view ops and structural
+    pseudo-ops, which by design run without an ``out=`` kernel).
+    """
+    covered = []
+    missing = []
+    for name in sorted(_REGISTRY):
+        if name in OUT_KERNEL_EXEMPT:
+            continue
+        if _REGISTRY[name].forward_out is not None:
+            covered.append(name)
+        else:
+            missing.append(name)
+    return {
+        "covered": len(covered),
+        "eligible": len(covered) + len(missing),
+        "missing": missing,
+    }
+
+
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
@@ -505,13 +542,19 @@ def _out_split_part_grad(inputs, attrs, out):
     out[tuple(sl)] = h
 
 
-# split_part's forward is a zero-cost view; under plans the generic
-# copy-into-slot fallback already materializes it, so no out= kernel.
+def _out_split_part(inputs, attrs, out):
+    # The forward is a zero-cost view; the out= kernel materializes the
+    # same slice straight into the arena slot (what the copy fallback did
+    # in two steps: view, then copy) without the interposed view object.
+    np.copyto(out, _fwd_split_part(inputs, attrs))
+
+
 register_op(
     "split_part",
     _fwd_split_part,
     vjp=_vjp_split_part,
     flops=lambda node, ins, out: 0,
+    forward_out=_out_split_part,
 )
 register_op(
     "split_part_grad",
@@ -657,8 +700,20 @@ def _out_bcast_reduce_grad(inputs, attrs, out):
         out /= denom
 
 
-register_op("reduce_sum", _fwd_reduce_sum, _vjp_reduce_sum, lambda n, i, o: i[0].size)
-register_op("reduce_mean", _fwd_reduce_mean, _vjp_reduce_mean, lambda n, i, o: i[0].size)
+def _out_reduce_sum(inputs, attrs, out):
+    # np.sum's out= path runs the same pairwise reduction as the
+    # allocating form — bitwise identical, required by the plan contract.
+    np.sum(inputs[0], axis=attrs["axis"], out=out)
+
+
+def _out_reduce_mean(inputs, attrs, out):
+    np.mean(inputs[0], axis=attrs["axis"], out=out)
+
+
+register_op("reduce_sum", _fwd_reduce_sum, _vjp_reduce_sum,
+            lambda n, i, o: i[0].size, forward_out=_out_reduce_sum)
+register_op("reduce_mean", _fwd_reduce_mean, _vjp_reduce_mean,
+            lambda n, i, o: i[0].size, forward_out=_out_reduce_mean)
 register_op(
     "bcast_reduce_grad",
     _fwd_bcast_reduce_grad,
@@ -831,11 +886,18 @@ register_op(
     forward_out=lambda inputs, attrs, out: np.maximum(inputs[0], 0.0, out=out),
 )
 
+def _out_step_mask(inputs, attrs, out):
+    # casting="unsafe" only covers the bool -> float cast; the values are
+    # exactly 0.0 / 1.0, bitwise equal to the astype in the allocating form.
+    np.greater(inputs[0], 0, out=out, casting="unsafe")
+
+
 register_op(
     "step_mask",
     lambda inputs, attrs: (inputs[0] > 0).astype(inputs[0].dtype),
     vjp=lambda node, g: [None],
     flops=lambda node, ins, out: out.size,
+    forward_out=_out_step_mask,
 )
 
 

@@ -8,50 +8,85 @@ execution graph (Sec 5.3 fusions, Table 3 custom ops), and in an MD loop
 they are pure waste: the graph never changes and — because MD shapes are
 steady — neither do the tensor shapes.
 
-:func:`compile_plan` pays the graph traversal ONCE, flattening the DAG into
-a dense tape of records ``(forward, input_slots, attrs, out_slot)`` indexed
-by integer *slots* (positions in the topological order).  Executing the plan
-is a single flat loop over the tape — no sorting, no dict-by-id, no
-isinstance dispatch per node.
+:func:`compile_plan` runs a staged, compiler-style pipeline ONCE per graph
+(ngraph's classic memory-planning playbook, applied to our tape):
 
-Because shapes are steady, the plan also owns a :class:`BufferArena` per
+1. **Tape build** — the DAG is topo-sorted and flattened into a dense tape
+   of records ``(forward, input_slots, attrs, out_slot)`` indexed by
+   integer *slots*.  Executing the plan is a flat loop over the tape — no
+   sorting, no dict-by-id, no isinstance dispatch per node.
+2. **Tape scheduling** (``schedule=``) — records are reordered, data
+   dependencies respected, to shrink value liveness ranges before
+   allocation (``"liveness"``, the default: a greedy last-consumer-first
+   list scheduler) or to additionally group same-kernel records into
+   adjacent runs (``"grouped"``).  ``"none"`` keeps the topological order.
+   Every schedule is deterministic, and because tape records are pure
+   (variables are updated *outside* the graph), every schedule produces
+   bitwise identical results.
+3. **Liveness analysis** — last-use indices per storage group on the
+   *scheduled* order.  Aliasing ops (``reshape``, ``item``, ...) whose
+   outputs share their input's storage have their lifetimes unioned so
+   recycling can never clobber a live view.
+4. **Interference coloring** — at arena-build time (shapes are known after
+   one warm run per feed-shape signature) the plan builds the interference
+   graph over buffer-producing records (two interfere when their liveness
+   ranges overlap) and colors it greedily; each color becomes ONE byte slab
+   sized to its largest member, and every record's output buffer is a view
+   into its color's slab.  Unlike the PR 3 FIFO recycler — which reused a
+   buffer only for a later record with the *exact same shape and dtype* —
+   coloring shares storage across shapes, so the arena footprint drops to
+   roughly the peak live set.  The FIFO allocator's footprint is still
+   simulated per arena (``BufferArena.fifo_nbytes``) as the regression
+   baseline; the colored result is re-verified by the static plan checker
+   (P101–P109) whenever ``REPRO_VERIFY_PLANS=1``/``verify=True`` is set.
+5. **Span partition** — the scheduled tape is cut into fork/join *spans*
+   of consecutive records that are pairwise independent (no member reads
+   another member's output, no two members share a storage group).  With
+   ``span_workers > 1`` each multi-record span is executed across a small
+   thread pool (numpy kernels release the GIL); ``span_workers=1`` (the
+   default) keeps the flat sequential loop.  Coloring soundness guarantees
+   span members write disjoint buffers, and verifier rule P109 proves it
+   independently — so results are bitwise identical for every
+   ``span_workers`` value.
+
+Because shapes are steady, the plan owns a :class:`BufferArena` per
 feed-shape signature: persistent per-record output buffers handed to the
 destination-passing (``out=``) kernel variants registered in
-:mod:`repro.tfmini.ops`.  A liveness pass recycles the buffer of a value
-whose last consumer has run for later records with the same shape and dtype,
-so the arena is smaller than the live set of the naive executor.  Ops
-without an ``out=`` kernel fall back to allocate-and-copy-into-slot (the
-slot buffer stays stable; only the op's own temporary churns), and a small
-set of *aliasing* ops (``reshape``, ``item``, ...) whose outputs share their
-input's storage are executed as-is with their storage lifetimes unioned so
-recycling can never clobber a live view.
+:mod:`repro.tfmini.ops`.  Ops without an ``out=`` kernel fall back to
+allocate-and-copy-into-slot (the slot buffer stays stable; only the op's
+own temporary churns).
 
 When a feed arrives with a new shape signature the plan re-plans
 automatically: one extra "warm" run executes through the plain kernels,
-records every output's shape/dtype, and builds a fresh arena for that
-signature.  Previously-seen signatures keep their warm arenas, so drivers
-alternating between batch shapes (R=1 MD steps interleaved with R=8 serving
-batches) stop allocating once each shape has been seen — the same policy as
-:class:`repro.dp.batch.ScratchPool`, now applied inside the executor.
+records every output's shape/dtype, and builds a fresh colored arena for
+that signature.  Previously-seen signatures keep their warm arenas, so
+drivers alternating between batch shapes (R=1 MD steps interleaved with
+R=8 serving batches) stop allocating once each shape has been seen — the
+same policy as :class:`repro.dp.batch.ScratchPool`, now applied inside the
+executor.
 
 Numerical contract: a plan run is **bitwise identical** to ``Session.run``
 on the same fetches and feeds — every ``out=`` kernel reproduces its
-allocating twin bit-for-bit, and the tape preserves ``Session.run``'s
-execution order.  ``Session.run`` remains the reference oracle
-(``tests/test_tfmini_plan.py`` asserts the correspondence across the model
-zoo, fused and unfused graphs, batched evaluation, and a training step).
+allocating twin bit-for-bit, and because records are pure, the result is
+independent of the schedule and of ``span_workers``.  ``Session.run``
+remains the reference oracle (``tests/test_tfmini_plan.py`` and
+``tests/test_plan_pipeline.py`` assert the correspondence across the model
+zoo, fused and unfused graphs, batched evaluation, a training step, and
+every schedule × span_workers combination).
 
 Profiling: pass the owning :class:`~repro.tfmini.executor.Session` to
 :meth:`ExecutionPlan.run`; when ``session.profile`` is set the plan records
 per-operator wall time, FLOPs and bytes into ``session.stats`` exactly like
 ``Session.run`` — the Fig-3 operator breakdown works unchanged on planned
-execution.
+execution.  Profiled runs always execute sequentially (``session.stats`` is
+not a concurrent structure); the per-op totals are order-independent.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Optional, Sequence
@@ -68,6 +103,13 @@ _INF = 1 << 62
 _MODE_OUT = 0  # destination-passing kernel into an arena buffer
 _MODE_COPY = 1  # allocating kernel, result copied into a stable arena buffer
 _MODE_ALIAS = 2  # output shares the input's storage; run as-is, union lifetimes
+
+# Valid tape-scheduling knob values (stage 2 of the pipeline).
+SCHEDULES = ("none", "liveness", "grouped")
+
+# Byte alignment for views carved out of a color's slab (covers every numpy
+# dtype and keeps tuple parts cache-line separated).
+_ALIGN = 64
 
 # Ops whose forward may return a view of (or exactly) one of its inputs.
 # They keep their zero-copy behavior under plans; the liveness pass unions
@@ -98,6 +140,9 @@ class PlanStats:
     feed_allocs: int = 0  # plan-owned feed staging buffers allocated
     feed_evictions: int = 0  # feed buffers dropped by the store cap
     in_place_feeds: int = 0  # run feeds already staged in plan feed buffers
+    spans: int = 0  # fork/join spans in the scheduled tape (set at compile)
+    max_span_width: int = 0  # widest span in the scheduled tape
+    span_batches: int = 0  # multi-record spans dispatched to the thread pool
 
 
 class _Record:
@@ -126,28 +171,125 @@ class _Record:
 
 
 class BufferArena:
-    """Persistent per-record output buffers for one feed-shape signature.
+    """Colored per-record output buffers for one feed-shape signature.
 
-    ``buffers[i]`` is the destination for tape record ``i``: an ndarray, a
-    tuple of ndarrays (multi-output kernels like ``tanh_fused``), or ``None``
-    for alias records and exotic outputs.  ``alloc_count``/``alloc_bytes``
-    only ever grow at build time — a warmed plan performs zero arena
-    allocations, which the benchmarks assert deterministically.
+    ``buffers[i]`` is the destination for tape record ``i``: an ndarray
+    view into one of the arena's color slabs, a tuple of views
+    (multi-output kernels like ``tanh_fused``), or ``None`` for alias
+    records and exotic outputs.  ``alloc_count`` counts color slabs and
+    ``alloc_bytes`` their total footprint; both only ever grow at build
+    time — a warmed plan performs zero arena allocations, which the
+    benchmarks assert deterministically.  ``fifo_nbytes`` is the footprint
+    the PR 3 FIFO shape-keyed recycler would have needed for the same tape
+    and shapes — the baseline the coloring allocator is regression-tested
+    against.
     """
 
-    __slots__ = ("signature", "buffers", "alloc_count", "alloc_bytes")
+    __slots__ = ("signature", "buffers", "alloc_count", "alloc_bytes",
+                 "fifo_nbytes")
 
     def __init__(self, signature):
         self.signature = signature
         self.buffers: list = []
         self.alloc_count = 0
         self.alloc_bytes = 0
+        self.fifo_nbytes = 0
 
     def _new(self, shape, dtype):
         buf = np.empty(shape, dtype)
         self.alloc_count += 1
         self.alloc_bytes += buf.nbytes
         return buf
+
+
+def _schedule_tape(records: list, fetch_slots: Sequence[int], mode: str) -> list:
+    """Stage 2: reorder tape records (data deps respected) before liveness.
+
+    ``"liveness"`` runs a greedy list scheduler that, among ready records,
+    picks the one retiring the most inputs (last-consumer-first), shrinking
+    liveness ranges so the coloring allocator can overlap more buffers.
+    ``"grouped"`` additionally prefers records whose kernel matches the
+    previously scheduled one, producing adjacent same-kernel runs that the
+    span partitioner can fork across threads.  Ties break on the original
+    tape index, so both schedules are deterministic.
+    """
+    n = len(records)
+    if mode == "none" or n <= 1:
+        return records
+    producer: dict[int, int] = {}
+    for i, rec in enumerate(records):
+        producer[rec.out_slot] = i
+    deps: list[list[int]] = []
+    users: list[list[int]] = [[] for _ in range(n)]
+    for i, rec in enumerate(records):
+        ds = sorted({producer[s] for s in rec.input_slots if s in producer})
+        deps.append(ds)
+        for d in ds:
+            users[d].append(i)
+    indeg = [len(ds) for ds in deps]
+    pending_users = [len(users[i]) for i in range(n)]
+    fetch_set = set(fetch_slots)
+    ready = [i for i in range(n) if indeg[i] == 0]
+    order: list[int] = []
+    last_op: Optional[str] = None
+    grouped = mode == "grouped"
+    while ready:
+        best = ready[0]
+        best_key = None
+        for i in ready:
+            kills = 0
+            for d in deps[i]:
+                if pending_users[d] == 1 and records[d].out_slot not in fetch_set:
+                    kills += 1
+            if grouped:
+                key = (records[i].op == last_op, kills, -i)
+            else:
+                key = (kills, -i)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = i
+        ready.remove(best)
+        order.append(best)
+        last_op = records[best].op
+        for d in deps[best]:
+            pending_users[d] -= 1
+        for u in users[best]:
+            indeg[u] -= 1
+            if indeg[u] == 0:
+                ready.append(u)
+    if len(order) != n:  # cycles cannot happen on a topo-sorted tape
+        raise RuntimeError("tape scheduler failed to order all records")
+    return [records[i] for i in order]
+
+
+def _partition_spans(records: list, find) -> list[tuple[int, int]]:
+    """Stage 5: cut the scheduled tape into fork/join spans.
+
+    A span is a maximal run of consecutive records that are pairwise
+    independent: no member reads a slot another member writes, and no two
+    members share a storage group (the alias-union structure).  Buffer
+    disjointness inside a span follows from coloring soundness (two groups
+    live at the same tape point always get different colors) and is proved
+    independently by verifier rule P109.
+    """
+    spans: list[tuple[int, int]] = []
+    n = len(records)
+    start = 0
+    produced: set[int] = set()
+    roots: set[int] = set()
+    for i, rec in enumerate(records):
+        root = find(rec.out_slot)
+        conflict = root in roots or any(s in produced for s in rec.input_slots)
+        if i > start and conflict:
+            spans.append((start, i))
+            start = i
+            produced = set()
+            roots = set()
+        produced.add(rec.out_slot)
+        roots.add(root)
+    if n:
+        spans.append((start, n))
+    return spans
 
 
 class ExecutionPlan:
@@ -173,24 +315,38 @@ class ExecutionPlan:
         (FIFO) and re-warms it on revisit — bounding resident memory for
         servers whose micro-batch occupancy varies freely.  Steady
         workloads never hit the cap.
+    schedule:
+        Tape-scheduling pass: ``"liveness"`` (default — shrink liveness
+        ranges before coloring), ``"grouped"`` (liveness + adjacent
+        same-kernel runs), or ``"none"`` (keep the topological order).
+        Deterministic; results are bitwise identical for every value.
+    span_workers:
+        Thread count for parallel span execution (default 1 = sequential).
+        Multi-record spans are forked across ``span_workers`` threads and
+        joined before the next span; numpy kernels release the GIL, so
+        independent records of ONE batch overlap on real cores.  Results
+        are bitwise identical for every value (span members write disjoint
+        buffers — rule P109).
     verify:
         Run the static plan verifier (:mod:`repro.analysis.plancheck`)
-        structural checks at compile time and raise
-        ``PlanVerificationError`` on any finding.  ``None`` (default)
-        defers to the ``REPRO_VERIFY_PLANS`` environment variable, so a
-        whole test run or CI job can be hardened without touching call
-        sites.
+        structural checks (P101–P105, P109) at compile time — and again on
+        every freshly colored arena — raising ``PlanVerificationError`` on
+        any finding.  ``None`` (default) defers to the
+        ``REPRO_VERIFY_PLANS`` environment variable, so a whole test run or
+        CI job can be hardened without touching call sites.
 
     A plan owns mutable run state (the slot value table and the arenas), so
     a single plan must not be run from two threads at once — one plan per
-    driver, like the batched engine's scratch pool.  The serving pool
-    satisfies this by construction: every worker thread owns its engines
-    (and therefore their plans) exclusively, and ``BatchedEvaluator``
-    raises on concurrent entry.  *Different* plans may run on different
-    threads concurrently — the tape's kernels spend most of their time in
-    GIL-releasing BLAS/ufunc calls, which is exactly what the multi-worker
-    serving pool overlaps.  The counter accessors below (``alloc_count``,
-    ``arena_nbytes``) stay safe to call from a monitoring thread.
+    driver, like the batched engine's scratch pool.  (The plan's own span
+    pool is run state too: it is only ever driven from inside ``run``.)
+    The serving pool satisfies this by construction: every worker thread
+    owns its engines (and therefore their plans) exclusively, and
+    ``BatchedEvaluator`` raises on concurrent entry.  *Different* plans may
+    run on different threads concurrently — the tape's kernels spend most
+    of their time in GIL-releasing BLAS/ufunc calls, which is exactly what
+    the multi-worker serving pool overlaps.  The counter accessors below
+    (``alloc_count``, ``arena_nbytes``) stay safe to call from a
+    monitoring thread.
     """
 
     def __init__(
@@ -199,14 +355,23 @@ class ExecutionPlan:
         feed_nodes: Sequence[Node],
         copy_fetches: bool = True,
         max_arenas: int = 32,
+        schedule: str = "liveness",
+        span_workers: int = 1,
         verify: Optional[bool] = None,
     ):
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+            )
         self._single = isinstance(fetches, Node)
         fetch_list: list[Node] = [fetches] if self._single else list(fetches)
         self._copy_fetches = copy_fetches
         self.max_arenas = max(int(max_arenas), 1)
+        self.schedule = schedule
+        self.span_workers = max(int(span_workers), 1)
         self.stats = PlanStats()
 
+        # --- stage 1: tape build -----------------------------------------
         order = topo_sort(fetch_list)
         self.stats.topo_sorts += 1
         n_slots = len(order)
@@ -255,9 +420,12 @@ class ExecutionPlan:
                     mode,
                 )
             )
+
+        # --- stage 2: tape scheduling ------------------------------------
+        records = _schedule_tape(records, self._fetch_slots, schedule)
         self._records = records
 
-        # --- liveness: last tape position reading each slot ---------------
+        # --- stage 3: liveness on the scheduled order --------------------
         last_use = [-1] * n_slots
         for r_idx, rec in enumerate(records):
             for s in rec.input_slots:
@@ -289,6 +457,30 @@ class ExecutionPlan:
         self._find = find
         self._death = death
 
+        # --- stage 5: span partition (stage 4, coloring, happens per
+        # arena once shapes are known) ------------------------------------
+        self._spans = _partition_spans(records, find)
+        widths = [stop - start for start, stop in self._spans]
+        self.stats.spans = len(self._spans)
+        self.stats.max_span_width = max(widths, default=0)
+        # Span-aware liveness for the coloring pass: inside a span, every
+        # member's reads and writes happen CONCURRENTLY under
+        # ``span_workers > 1``, so for interference purposes a record's
+        # output is born at its span's *start* and a value read at tape
+        # index d stays live to the *end* of d's span.  Without this, a
+        # value whose last read is early in a span could share a color with
+        # a later span member's output — safe sequentially, a
+        # write-after-read race in parallel.
+        n_recs = len(records)
+        self._span_start = [0] * n_recs
+        self._span_end = [0] * n_recs
+        for start, stop in self._spans:
+            for i in range(start, stop):
+                self._span_start[i] = start
+                self._span_end[i] = stop - 1
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+
         self._arenas: dict[tuple, BufferArena] = {}
         # Plan-owned feed staging buffers (the "arena-aware batched engine"
         # seam): callers stage feed values directly into these persistent
@@ -302,6 +494,7 @@ class ExecutionPlan:
 
         if verify is None:
             verify = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+        self._verify_arenas = bool(verify)
         if verify:
             self.verify(raise_on_findings=True)
 
@@ -311,9 +504,10 @@ class ExecutionPlan:
                raise_on_findings: bool = False):
         """Statically verify this plan; returns a ``PlanReport``.
 
-        Structural soundness (liveness, alias groups, arena reuse, fetch
-        pinning — rules P101–P105) is always checked.  Pass a feed ``spec``
-        (``{feed node or name: FeedSpec}``, see
+        Structural soundness (liveness, alias groups, arena buffer
+        disjointness, fetch pinning, span independence — rules P101–P105
+        and P109) is always checked.  Pass a feed ``spec`` (``{feed node or
+        name: FeedSpec}``, see
         :func:`repro.analysis.plancheck.dp_feed_spec`) to also run symbolic
         shape/dtype inference over the tape (P106–P108);
         ``check_values=True`` additionally compares inferred shapes/dtypes
@@ -343,8 +537,17 @@ class ExecutionPlan:
     def arenas(self) -> dict[tuple, BufferArena]:
         return self._arenas
 
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """The fork/join span partition of the scheduled tape."""
+        return list(self._spans)
+
+    def span_widths(self) -> list[int]:
+        """Width (record count) of each span, in tape order."""
+        return [stop - start for start, stop in self._spans]
+
     def alloc_count(self) -> int:
-        """Total arena buffer allocations across all shape signatures.
+        """Total arena slab allocations across all shape signatures.
 
         Safe to call from a monitoring thread while the owning thread runs
         the plan: the arena table is snapshotted (atomic under the GIL)
@@ -353,7 +556,14 @@ class ExecutionPlan:
         return sum(a.alloc_count for a in list(self._arenas.values()))
 
     def arena_nbytes(self) -> int:
+        """Bytes held by the colored arenas (all shape signatures)."""
         return sum(a.alloc_bytes for a in list(self._arenas.values()))
+
+    def fifo_arena_nbytes(self) -> int:
+        """Bytes the PR 3 FIFO shape-keyed recycler would have needed for
+        the same tapes and shapes — the coloring allocator's regression
+        baseline (simulated at arena-build time, never allocated)."""
+        return sum(a.fifo_nbytes for a in list(self._arenas.values()))
 
     def feed_buffer(self, key, shape: tuple, dtype=np.float64) -> np.ndarray:
         """Persistent plan-owned staging destination for a feed value.
@@ -394,8 +604,8 @@ class ExecutionPlan:
         return buf
 
     def release_arenas(self) -> None:
-        """Drop every buffer arena and feed staging buffer (the compiled
-        tape is kept).
+        """Drop every buffer arena, feed staging buffer, and the span
+        thread pool (the compiled tape is kept).
 
         The arena holds roughly the graph's peak live set *persistently*;
         long-lived processes that are done with a shape regime (or want to
@@ -411,6 +621,10 @@ class ExecutionPlan:
         self._values = [None] * self._n_slots
         for slot, value in self._const_slots:
             self._values[slot] = value
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
 
     # ------------------------------------------------------------------ run
 
@@ -482,8 +696,15 @@ class ExecutionPlan:
                 self.stats.arena_evictions += 1
             self._arenas[signature] = self._build_arena(signature)
             self.stats.arena_builds += 1
+            if self._verify_arenas:
+                # The soundness gate on the colored result: P103 re-checks
+                # buffer-address disjointness of live storage groups, P109
+                # re-checks span independence, on the arena just built.
+                self.verify(raise_on_findings=True)
         elif profile:
             self._steady_run_profiled(arena, session)
+        elif self.span_workers > 1:
+            self._steady_run_spans(arena)
         else:
             self._steady_run(arena)
         self.stats.runs += 1
@@ -517,41 +738,129 @@ class ExecutionPlan:
             values[rec.out_slot] = out
 
     def _build_arena(self, signature) -> BufferArena:
-        """Assign (and recycle) persistent buffers from the warm run's shapes."""
+        """Stage 4: interference-color the warm run's shapes into slabs.
+
+        Each buffer-producing record is an allocation unit with liveness
+        range ``[tape index, storage-group death]``.  Units whose ranges
+        overlap *interfere* and must not share storage; non-interfering
+        units may.  Greedy coloring (two candidate orders — decreasing size
+        and tape order — keeping whichever yields fewer bytes) assigns each
+        unit a color; the arena allocates ONE byte slab per color, sized to
+        the color's largest member, and every unit's buffer is a
+        shape/dtype view into its slab.  The FIFO recycler's footprint is
+        simulated alongside as ``fifo_nbytes`` (never allocated).
+        """
         values = self._values
+        records = self._records
+        find, death = self._find, self._death
+        span_start, span_end = self._span_start, self._span_end
         arena = BufferArena(signature)
         buffers = arena.buffers
-        pool: dict[tuple, list] = {}
-        heap: list = []  # (death, r_idx, key, buffer)
-        find, death = self._find, self._death
-        for r_idx, rec in enumerate(self._records):
-            while heap and heap[0][0] < r_idx:
-                _, _, key, buf = heappop(heap)
-                pool.setdefault(key, []).append(buf)
+        buffers.extend([None] * len(records))
+
+        # --- allocation units: (birth, death, padded, raw, parts, key) ---
+        # Interference uses span-aware ranges (born at span start, dead at
+        # the end of the last reader's span) so coloring soundness covers
+        # concurrent span execution, not just the sequential order.
+        units: list[list] = []
+        unit_recs: list[int] = []
+        for r_idx, rec in enumerate(records):
             if rec.mode == _MODE_ALIAS:
-                buffers.append(None)
                 continue
             val = values[rec.out_slot]
             if isinstance(val, np.ndarray):
+                parts = None
+                padded = raw = val.nbytes
                 key = (val.shape, val.dtype)
             elif isinstance(val, tuple) and all(
                 isinstance(e, np.ndarray) for e in val
             ):
+                off = 0
+                parts = []
+                for e in val:
+                    parts.append((e.shape, e.dtype, off))
+                    off = (off + e.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+                padded = parts[-1][2] + val[-1].nbytes if val else 0
+                raw = sum(e.nbytes for e in val)
                 key = ("tuple",) + tuple((e.shape, e.dtype) for e in val)
             else:  # exotic output — leave unmanaged
-                buffers.append(None)
                 continue
-            free = pool.get(key)
-            if free:
-                buf = free.pop()
-            elif key[0] == "tuple":
-                buf = tuple(arena._new(s, d) for s, d in key[1:])
+            dth = death[find(rec.out_slot)]
+            dth_eff = span_end[dth] if 0 <= dth < _INF else dth
+            units.append([span_start[r_idx], dth_eff, padded, raw,
+                          parts, key, r_idx, dth])
+            unit_recs.append(r_idx)
+
+        # --- interference coloring (first-fit, best of two orders) -------
+        def color_in(order):
+            colors: list[list] = []  # [capacity, [unit indices]]
+            assign = [0] * len(units)
+            for ui in order:
+                birth, dth = units[ui][0], units[ui][1]
+                chosen = -1
+                for ci, (_cap, members) in enumerate(colors):
+                    ok = True
+                    for mi in members:
+                        mb, md = units[mi][0], units[mi][1]
+                        if birth <= md and mb <= dth:
+                            ok = False
+                            break
+                    if ok:
+                        chosen = ci
+                        break
+                if chosen < 0:
+                    colors.append([units[ui][2], [ui]])
+                    assign[ui] = len(colors) - 1
+                else:
+                    colors[chosen][0] = max(colors[chosen][0], units[ui][2])
+                    colors[chosen][1].append(ui)
+                    assign[ui] = chosen
+            return sum(c[0] for c in colors), colors, assign
+
+        by_size = sorted(range(len(units)),
+                         key=lambda u: (-units[u][2], units[u][0]))
+        best = color_in(by_size)
+        in_tape_order = color_in(range(len(units)))
+        if in_tape_order[0] < best[0]:
+            best = in_tape_order
+        _total, colors, assign = best
+
+        slabs = [arena._new((cap,), np.uint8) for cap, _members in colors]
+        for ui, unit in enumerate(units):
+            r_idx, parts, key = unit[6], unit[4], unit[5]
+            slab = slabs[assign[ui]]
+            if parts is None:
+                shape, dtype = key
+                buffers[r_idx] = np.ndarray(shape, dtype=dtype, buffer=slab)
             else:
-                buf = arena._new(*key)
-            buffers.append(buf)
-            d = death[find(rec.out_slot)]
-            if d < _INF:
-                heappush(heap, (d, r_idx, key, buf))
+                buffers[r_idx] = tuple(
+                    np.ndarray(shape, dtype=dtype, buffer=slab, offset=off)
+                    for shape, dtype, off in parts
+                )
+
+        # --- FIFO baseline simulation (what PR 3's recycler would use) ---
+        # Uses the RAW sequential ranges (tape index, unextended death):
+        # the baseline allocator predates spans and recycled a dead buffer
+        # only for a later record with the exact same shape and dtype.
+        unit_at = {u[6]: u for u in units}
+        pool: dict[tuple, int] = {}
+        heap: list = []
+        fifo = 0
+        for r_idx in range(len(records)):
+            while heap and heap[0][0] < r_idx:
+                _, _, key = heappop(heap)
+                pool[key] = pool.get(key, 0) + 1
+            u = unit_at.get(r_idx)
+            if u is None:
+                continue
+            key = u[5]
+            if pool.get(key, 0) > 0:
+                pool[key] -= 1
+            else:
+                fifo += u[3]
+            if u[7] < _INF:
+                heappush(heap, (u[7], r_idx, key))
+        arena.fifo_nbytes = fifo
         return arena
 
     def _steady_run(self, arena: BufferArena) -> None:
@@ -572,6 +881,73 @@ class ExecutionPlan:
                 else:
                     np.copyto(buf, out)
                 values[rec.out_slot] = buf
+
+    def _exec_range(self, records, buffers, lo: int, hi: int) -> None:
+        """Execute tape records [lo, hi) — the span worker body.
+
+        Span members write disjoint slot entries and disjoint (colored)
+        buffers, so concurrent ``_exec_range`` calls over disjoint ranges
+        of one span never race (rule P109 proves the partition).
+        """
+        values = self._values
+        for i in range(lo, hi):
+            rec = records[i]
+            buf = buffers[i]
+            ins = [values[s] for s in rec.input_slots]
+            if buf is None:
+                values[rec.out_slot] = rec.forward(ins, rec.attrs)
+            elif rec.mode == _MODE_OUT:
+                rec.forward_out(ins, rec.attrs, buf)
+                values[rec.out_slot] = buf
+            else:  # _MODE_COPY
+                out = rec.forward(ins, rec.attrs)
+                if type(buf) is tuple:
+                    for b, o in zip(buf, out):
+                        np.copyto(b, o)
+                else:
+                    np.copyto(buf, out)
+                values[rec.out_slot] = buf
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        want = self.span_workers - 1
+        if self._pool is None or self._pool_size != want:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(
+                max_workers=want, thread_name_prefix="plan-span"
+            )
+            self._pool_size = want
+        return self._pool
+
+    def _steady_run_spans(self, arena: BufferArena) -> None:
+        """Fork/join steady-state execution (``span_workers > 1``).
+
+        Single-record spans run inline; a multi-record span is chunked
+        across the pool plus the calling thread and joined before the next
+        span starts.  Record order *within* a chunk is tape order, and
+        every record writes its own slot and buffer, so results are bitwise
+        identical to the sequential loop.
+        """
+        records = self._records
+        buffers = arena.buffers
+        pool = self._ensure_pool()
+        w_max = self.span_workers
+        for start, stop in self._spans:
+            width = stop - start
+            if width == 1:
+                self._exec_range(records, buffers, start, stop)
+                continue
+            w = min(w_max, width)
+            bounds = [start + (width * k) // w for k in range(w + 1)]
+            futures = [
+                pool.submit(self._exec_range, records, buffers,
+                            bounds[k], bounds[k + 1])
+                for k in range(1, w)
+            ]
+            self._exec_range(records, buffers, bounds[0], bounds[1])
+            for f in futures:
+                f.result()
+            self.stats.span_batches += 1
 
     def _steady_run_profiled(self, arena: BufferArena, session) -> None:
         values = self._values
@@ -602,21 +978,28 @@ def compile_plan(
     feed_nodes: Sequence[Node],
     copy_fetches: bool = True,
     max_arenas: int = 32,
+    schedule: str = "liveness",
+    span_workers: int = 1,
     verify: Optional[bool] = None,
 ) -> ExecutionPlan:
     """Compile ``fetches`` into an :class:`ExecutionPlan`.
 
-    Topo-sorts the DAG exactly once; every subsequent :meth:`ExecutionPlan.
-    run` is a flat tape walk with persistent, liveness-recycled output
-    buffers.  Results are bitwise identical to ``Session.run`` on the same
-    fetches and feeds.  ``verify=True`` (or ``REPRO_VERIFY_PLANS=1``) runs
-    the static plan verifier's structural checks before the plan is
-    returned.
+    Runs the staged pipeline (tape build → ``schedule`` → liveness →
+    span partition; interference coloring happens per feed-shape signature
+    at warm time) exactly once; every subsequent :meth:`ExecutionPlan.run`
+    is a flat tape walk into colored, persistent output buffers — forked
+    across ``span_workers`` threads when > 1.  Results are bitwise
+    identical to ``Session.run`` on the same fetches and feeds for every
+    schedule/span_workers combination.  ``verify=True`` (or
+    ``REPRO_VERIFY_PLANS=1``) runs the static plan verifier's structural
+    checks at compile time and on every freshly colored arena.
     """
     return ExecutionPlan(
         fetches,
         feed_nodes,
         copy_fetches=copy_fetches,
         max_arenas=max_arenas,
+        schedule=schedule,
+        span_workers=span_workers,
         verify=verify,
     )

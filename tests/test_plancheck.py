@@ -44,6 +44,16 @@ def chain_plan():
     return plan
 
 
+def fanout_plan():
+    """x -> {tanh, square} -> add: records 0 and 1 form a width-2 span."""
+    x = tf.placeholder("x", dtype=np.float64)
+    a = tf.tanh(x)
+    b = tf.square(x)
+    plan = compile_plan([tf.add(a, b)], [x])
+    plan.run({x: np.ones((4, 3))})
+    return plan
+
+
 def perturbed(base, n, scale=0.02):
     out = []
     for k in range(n):
@@ -168,6 +178,70 @@ class TestStructuralSoundness:
         assert payload["ok"] is False
         assert payload["findings"][0]["rule"] == "P101"
         assert payload["findings"][0]["record"] == 1
+
+
+class TestSpanHazards:
+    """P109 mutation tests: corrupt exactly one span invariant each."""
+
+    def test_clean_fanout_plan_has_width_2_span(self):
+        plan = fanout_plan()
+        assert plan.stats.max_span_width == 2
+        assert sum(plan.span_widths()) == plan.n_records
+        report = verify_plan(plan)
+        assert report.ok, report.summary()
+
+    def _span_members(self, plan):
+        (start, stop), = [s for s in plan.spans if s[1] - s[0] > 1]
+        return start, stop
+
+    def test_p109_shared_storage_group(self, monkeypatch):
+        plan = fanout_plan()
+        start, stop = self._span_members(plan)
+        ra, rb = plan._records[start], plan._records[start + 1]
+        root_a = plan._find(ra.out_slot)
+        slot_b = rb.out_slot
+        orig_find = plan._find
+        monkeypatch.setattr(
+            plan, "_find",
+            lambda s: root_a if orig_find(s) == orig_find(slot_b)
+            else orig_find(s),
+        )
+        report = verify_plan(plan)
+        found = report.by_rule("P109")
+        assert found and any("share a storage group" in f.message
+                             for f in found)
+
+    def test_p109_read_write_hazard(self):
+        plan = fanout_plan()
+        start, stop = self._span_members(plan)
+        ra, rb = plan._records[start], plan._records[start + 1]
+        # Span member b now reads span member a's output — the scheduler
+        # must never have put them in one span.
+        rb.input_slots = (ra.out_slot,)
+        report = verify_plan(plan)
+        found = report.by_rule("P109")
+        assert any("in the same span" in f.message for f in found)
+        # The address-level pass sees it too: a's buffer bytes are read by
+        # b while a (a span sibling) writes them.
+        assert any("writes bytes" in f.message for f in found)
+
+    def test_p109_write_write_overlap(self):
+        plan = fanout_plan()
+        start, stop = self._span_members(plan)
+        arena = next(iter(plan._arenas.values()))
+        # Both span members now write the same bytes.
+        arena.buffers[start + 1] = arena.buffers[start]
+        report = verify_plan(plan)
+        assert any("write overlapping buffer bytes" in f.message
+                   for f in report.by_rule("P109"))
+
+    def test_p109_broken_tiling(self):
+        plan = fanout_plan()
+        plan._spans = plan._spans[1:]  # first span vanished
+        report = verify_plan(plan)
+        found = report.by_rule("P109")
+        assert found and any("tiling" in f.message or "covers" in f.message
+                             for f in found)
 
 
 class TestSymbolicInference:
