@@ -152,12 +152,14 @@ class InferenceServer:
         after its thread dies mid-batch.  Past the bound the slot stays
         down (its model's requests wait until shutdown cancels them) —
         a deterministically poisoned model must not burn CPU forever.
-    plan_schedule, plan_span_workers:
+    plan_schedule, plan_span_workers, plan_backend:
         Plan-compiler knobs applied to every engine this server creates
         (see :class:`~repro.tfmini.plan.ExecutionPlan`): the tape-
-        scheduling pass and the fork/join span thread count.  Bitwise
-        identical for every combination; crash respawns and shared-pool
-        claims inherit the same knobs.
+        scheduling pass, the fork/join span thread count, and the kernel
+        backend (``None`` defers to ``REPRO_PLAN_BACKEND``, then
+        ``"numpy"``).  Schedules, span counts, and the bitwise backends
+        are all bitwise identical; crash respawns and shared-pool claims
+        inherit the same knobs.
     """
 
     def __init__(
@@ -176,6 +178,7 @@ class InferenceServer:
         max_respawns: int = 8,
         plan_schedule: str = "liveness",
         plan_span_workers: int = 1,
+        plan_backend: Optional[str] = None,
     ):
         from repro.dp.batch import BatchedEvaluator
 
@@ -193,10 +196,12 @@ class InferenceServer:
         self._engine_cls = BatchedEvaluator
         # Plan-compiler knobs forwarded to every engine this server creates
         # (registration, shared-pool claims, crash respawns) — the tape
-        # schedule and fork/join span thread count.  Bitwise identical for
-        # every combination; defaults match BatchedEvaluator's.
+        # schedule, fork/join span thread count, and kernel backend.
+        # Bitwise identical for every combination of schedule/span/bitwise
+        # backend; defaults match BatchedEvaluator's.
         self.plan_schedule = plan_schedule
         self.plan_span_workers = plan_span_workers
+        self.plan_backend = plan_backend
         self._models: dict[str, "DeepPot"] = {}
         self._engines: dict[str, object] = {}
         self.backend = backend
@@ -238,6 +243,7 @@ class InferenceServer:
             model,
             plan_schedule=self.plan_schedule,
             plan_span_workers=self.plan_span_workers,
+            plan_backend=self.plan_backend,
         )
 
     def register(self, name: str, model: "DeepPot") -> "InferenceServer":
@@ -285,10 +291,13 @@ class InferenceServer:
         ``topo_sorts`` (1 per engine lifetime), ``runs``, ``arena_builds``
         (one per distinct batch shape seen), ``arena_allocs``, the colored
         arena footprint (``arena_nbytes``) next to the FIFO baseline it
-        replaced (``arena_nbytes_fifo``), and the scheduled tape's span
-        structure (``spans``, ``max_span_width``, ``span_batches``) — a
-        steady workload stops growing everything except ``runs`` (and
-        ``span_batches`` when ``plan_span_workers > 1``).
+        replaced (``arena_nbytes_fifo``), the scheduled tape's span
+        structure (``spans``, ``max_span_width``, ``span_batches``), and
+        the kernel-backend fusion counters (``backend``, ``records_fused``,
+        ``fused_tiles_run`` — zero on the per-record numpy backend) — a
+        steady workload stops growing everything except ``runs``,
+        ``fused_tiles_run`` (and ``span_batches`` when
+        ``plan_span_workers > 1``).
         """
         out: dict[str, dict] = {}
 
@@ -304,6 +313,9 @@ class InferenceServer:
                 "spans": plan.stats.spans,
                 "max_span_width": plan.stats.max_span_width,
                 "span_batches": plan.stats.span_batches,
+                "backend": plan.backend,
+                "records_fused": plan.records_fused(),
+                "fused_tiles_run": plan.fused_tiles_run(),
             }
 
         if self.workers == "per-model":

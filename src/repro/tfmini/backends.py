@@ -1,0 +1,139 @@
+"""Pluggable kernel backends for the plan compiler.
+
+The ROADMAP's "multi-backend executor" seam: a plan's tape is
+backend-neutral (records are op name + slots + attrs), and a
+:class:`KernelBackend` decides how that tape executes.  Today's backends:
+
+``numpy``
+    One registered kernel per record — the PR 3–9 executor, and the
+    bitwise reference alongside ``Session.run``.
+
+``fused``
+    The elementwise fusion pass (:mod:`repro.tfmini.fusion`): maximal
+    elementwise chains collapse into single records executed by the
+    blocked (cache-tiled) interpreter.  **Bitwise identical** to ``numpy``
+    — fused ops are pointwise, so tiling cannot change any element.
+
+``numexpr``
+    Registered only when the ``numexpr`` package is importable (it is an
+    optional dependency and is never installed by this repo).  Fuses like
+    ``fused`` but evaluates expressible chains through numexpr's own
+    blocked VM.  **Not** bitwise (numexpr reassociates and substitutes
+    kernels); verification policy is tolerance-tiered, per the README
+    backend table.
+
+Selection: ``compile_plan(..., backend=...)`` > the ``REPRO_PLAN_BACKEND``
+environment variable > ``"numpy"``.  Engines (``BatchedEvaluator``,
+``Trainer``, ``InferenceServer``) plumb a ``plan_backend`` knob down to
+this resolution, so a whole process — or a whole CI job — can switch
+backends without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+ENV_BACKEND = "REPRO_PLAN_BACKEND"
+
+
+class KernelBackend:
+    """How a compiled tape executes; see module docstring.
+
+    ``prepare(records, fetch_slots)`` runs after tape scheduling and before
+    liveness, returning ``(records, fused_groups)`` — the identity for
+    per-record backends, the fusion pass for fusing ones.  ``bitwise``
+    declares the verification policy: bitwise backends are asserted
+    bit-for-bit against ``Session.run``; the rest get tolerance tiers.
+    """
+
+    name = "abstract"
+    bitwise = True
+
+    def prepare(self, records: list, fetch_slots: Sequence[int]):
+        return records, []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name}>"
+
+
+class NumpyBackend(KernelBackend):
+    """One registered numpy kernel per tape record (the reference)."""
+
+    name = "numpy"
+    bitwise = True
+
+
+class FusedBackend(KernelBackend):
+    """Elementwise fusion + blocked interpreter (bitwise)."""
+
+    name = "fused"
+    bitwise = True
+
+    def __init__(self, tile_bytes: Optional[int] = None):
+        self.tile_bytes = tile_bytes
+
+    def prepare(self, records: list, fetch_slots: Sequence[int]):
+        from repro.tfmini.fusion import fuse_tape
+
+        return fuse_tape(records, fetch_slots, tile_bytes=self.tile_bytes)
+
+
+class NumexprBackend(FusedBackend):
+    """Fusion pass + numexpr evaluation for expressible chains.
+
+    Falls back to the blocked interpreter member-kernel path for groups
+    containing ops numexpr cannot express.  Tolerance-tiered (not
+    bitwise): numexpr's VM may reassociate and uses its own transcendental
+    implementations.
+    """
+
+    name = "numexpr"
+    bitwise = False
+
+    def prepare(self, records: list, fetch_slots: Sequence[int]):
+        from repro.tfmini.fusion import fuse_tape
+        from repro.tfmini.numexpr_group import NumexprGroup
+
+        return fuse_tape(
+            records, fetch_slots, tile_bytes=self.tile_bytes,
+            group_cls=NumexprGroup,
+        )
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Register (or replace) a backend under ``backend.name``."""
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend: explicit name > ``REPRO_PLAN_BACKEND`` > numpy."""
+    if name is None:
+        name = os.environ.get(ENV_BACKEND, "") or "numpy"
+    if isinstance(name, KernelBackend):
+        return name
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown plan backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+register_backend(NumpyBackend())
+register_backend(FusedBackend())
+try:  # optional accelerator — never installed by this repo, only detected
+    import numexpr as _numexpr  # noqa: F401
+
+    register_backend(NumexprBackend())
+except ImportError:  # pragma: no cover - numexpr absent in CI
+    pass

@@ -1,0 +1,420 @@
+"""Elementwise fusion — fused tape records and the blocked interpreter.
+
+The SC20 paper's biggest single-node win is fusing the elementwise family
+around the GEMMs (Sec 5.3): one kernel launch and one memory pass where the
+stock graph paid one per operator.  Our equivalent at the numpy level is
+**loop blocking**: a maximal chain/tree of purely elementwise tape records
+is collapsed into a single :class:`FusedRecord` whose kernel walks the
+output in cache-sized row tiles, evaluating the whole member chain per tile
+into small per-member scratch buffers.  Intermediates then live in L1/L2
+for the duration of the tile instead of round-tripping DRAM once per
+member — the unfused executor streams every intermediate through main
+memory twice (write, then read back).
+
+Bitwise contract
+----------------
+Every fusable op is *pointwise*: output element ``i`` depends only on
+element ``i`` (after broadcasting) of each input, so partitioning the rows
+into tiles cannot change any element's value — numpy's ufunc inner loops
+(including the SIMD transcendentals) are per-element deterministic under
+any partition.  The blocked interpreter therefore produces **bitwise
+identical** results to the unfused tape:
+
+- each member executes through the *same* registered ``forward_out``
+  kernel as the unfused plan, on row slices instead of full arrays;
+- member outputs keep their warm-run dtype, so NEP-50 promotion is decided
+  once (by the allocating warm kernels) exactly as in the unfused plan;
+- inputs that broadcast along the tile axis (leading extent 1, lower rank,
+  scalars) are passed whole, preserving the oracle's broadcast semantics;
+- reductions are never fused — they terminate chains by construction.
+
+Grouping rules (verified statically by plancheck rule P110):
+
+- members are elementwise ops from :data:`FUSABLE_OPS` executing in
+  destination-passing mode;
+- exactly one member output — the *escape* — is visible outside the group;
+- every internal member output is read only by members of the same group
+  (fetch-pinned intermediates escape instead of fusing);
+- shared subexpressions and diamonds fuse only while all consumers sit in
+  one group; a value read by two groups escapes.
+
+The fused record is an ordinary ``_MODE_OUT`` tape record (its ``forward``
+is the allocating warm-path interpreter, its ``forward_out`` the blocked
+steady-path interpreter), so scheduling, liveness, coloring, spans and the
+run loops in :mod:`repro.tfmini.plan` need no special cases — and the
+internal member slots vanish from the liveness problem entirely, which is
+why fused plans color into *smaller* arenas than unfused ones.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tfmini.graph import Node
+from repro.tfmini.ops import TANH_FLOPS_PER_ELEM
+from repro.tfmini.plan import _MODE_OUT, _Record
+
+# Fusable elementwise ops -> per-element FLOP weight (mirrors the registry's
+# ``flops`` lambdas; used for the fused record's profiled-FLOP attribution).
+# Every entry is pointwise with a registered destination-passing kernel;
+# reductions, GEMMs, slices and tuple-output ops (``tanh_fused``) never
+# appear here, so they terminate chains.
+FUSABLE_OPS: dict[str, int] = {
+    "add": 1,
+    "sub": 1,
+    "mul": 1,
+    "neg": 1,
+    "square": 1,
+    "scale": 1,
+    "div": 1,
+    "one_minus": 1,
+    "relu": 1,
+    "step_mask": 1,
+    "tanh": TANH_FLOPS_PER_ELEM,
+    "exp": TANH_FLOPS_PER_ELEM,
+    "log": TANH_FLOPS_PER_ELEM,
+    "sigmoid": TANH_FLOPS_PER_ELEM,
+    "tanh_grad": 3,
+    "sqrt": 4,
+    "pow_scalar": 4,
+    "cast": 0,
+    "cast_like": 0,
+}
+
+# Default tile size for the blocked interpreter: comfortably inside L2 on
+# anything current, large enough that per-tile python overhead stays noise
+# at fig3 scale.  Overridable per process (REPRO_FUSED_TILE_BYTES) and per
+# backend instance.
+DEFAULT_TILE_BYTES = 1 << 20
+
+
+def default_tile_bytes() -> int:
+    """Tile size in bytes: ``REPRO_FUSED_TILE_BYTES`` or 1 MiB."""
+    raw = os.environ.get("REPRO_FUSED_TILE_BYTES", "")
+    try:
+        v = int(raw)
+    except ValueError:
+        v = 0
+    return v if v > 0 else DEFAULT_TILE_BYTES
+
+
+def _sig(a) -> tuple:
+    """(shape, dtype) of an array-ish value (np scalars included)."""
+    if isinstance(a, np.ndarray):
+        return (a.shape, a.dtype)
+    a = np.asarray(a)
+    return (a.shape, a.dtype)
+
+
+# Input-source kinds for the interpreter's resolution tables.
+_EXT = 0  # external value: ins[idx]
+_MEM = 1  # another member's output: scratch of member idx
+
+
+class _GroupPlan:
+    """Shapes-resolved execution recipe for one feed-shape signature.
+
+    Built once per signature from the warm run's recorded member metadata;
+    executing is then a flat loop with zero per-run allocation.  Members
+    whose output spans the full tile axis (rank == escape rank, leading
+    extent == escape leading extent) are *tiled*; the rest (broadcast
+    sources: leading extent 1, lower rank, scalars) are *whole* — their
+    inputs are provably also whole, so they are computed once before the
+    tile loop and passed to tiled consumers for broadcasting, exactly as
+    the unfused kernels would see them.
+    """
+
+    __slots__ = ("n_tiles", "tile_rows", "rows", "n_members", "whole_steps",
+                 "tiled_steps", "scratch_nbytes")
+
+    def __init__(self, group: "FusedGroup", ins: Sequence, out: np.ndarray,
+                 meta: list[tuple]):
+        members = group.members
+        esc_shape, esc_dtype = meta[-1]
+        if tuple(out.shape) != tuple(esc_shape) or out.dtype != esc_dtype:
+            raise RuntimeError(
+                f"fused group destination {out.shape}/{out.dtype} does not "
+                f"match warm metadata {esc_shape}/{esc_dtype}"
+            )
+        rank = len(esc_shape)
+        rows = esc_shape[0] if rank else 0
+        self.rows = rows
+        self.n_members = len(members)
+
+        def tileable(shape) -> bool:
+            return rank >= 1 and rows >= 1 and len(shape) == rank \
+                and shape[0] == rows
+
+        esc_tiled = tileable(esc_shape) and out.nbytes > 0
+        if esc_tiled:
+            self.n_tiles = min(rows, -(-out.nbytes // group.tile_bytes))
+        else:
+            self.n_tiles = 1
+        self.tile_rows = -(-rows // self.n_tiles) if rows else 0
+
+        slot_member = {m.out_slot: k for k, m in enumerate(members)}
+        esc_idx = len(members) - 1
+        # Steps: (member, member_index, dest, inputs); dest is None for the
+        # escape (the caller's arena buffer, or row slices of it) and a
+        # scratch array otherwise; inputs is a tuple of (kind, idx, sliced).
+        self.whole_steps: list[tuple] = []
+        self.tiled_steps: list[tuple] = []
+        scratch_bytes = 0
+        for k, m in enumerate(members):
+            shape, dtype = meta[k]
+            is_tiled = esc_tiled and tileable(shape)
+            inputs = []
+            for s in m.input_slots:
+                if s in slot_member:
+                    src = slot_member[s]
+                    inputs.append(
+                        (_MEM, src, is_tiled and tileable(meta[src][0]))
+                    )
+                else:
+                    idx = group.ext_index[s]
+                    inputs.append(
+                        (_EXT, idx, is_tiled and tileable(_sig(ins[idx])[0]))
+                    )
+            if k == esc_idx:
+                dest = None
+            elif is_tiled:
+                dest = np.empty((self.tile_rows,) + tuple(shape[1:]), dtype)
+                scratch_bytes += dest.nbytes
+            else:
+                dest = np.empty(shape, dtype)
+                scratch_bytes += dest.nbytes
+            step = (m, k, dest, tuple(inputs))
+            (self.tiled_steps if is_tiled else self.whole_steps).append(step)
+        self.scratch_nbytes = scratch_bytes
+
+    def execute(self, ins: Sequence, out: np.ndarray) -> None:
+        # vals[k] is member k's current value: a full scratch array for
+        # whole members (computed once, broadcast by tiled consumers exactly
+        # as the unfused kernels would) and the current tile's rows for
+        # tiled members (rewritten every tile).
+        vals: list = [None] * self.n_members
+        for m, k, dest, inputs in self.whole_steps:
+            src = [ins[idx] if kind == _EXT else vals[idx]
+                   for kind, idx, _sl in inputs]
+            if dest is None:  # degenerate group: the escape itself is whole
+                m.forward_out(src, m.attrs, out)
+                vals[k] = out
+            else:
+                m.forward_out(src, m.attrs, dest)
+                vals[k] = dest
+        if not self.tiled_steps:
+            return
+        n_tiles, rows = self.n_tiles, self.rows
+        for t in range(n_tiles):
+            lo = rows * t // n_tiles
+            hi = rows * (t + 1) // n_tiles
+            nrows = hi - lo
+            for m, k, dest, inputs in self.tiled_steps:
+                src = []
+                for kind, idx, sliced in inputs:
+                    if kind == _EXT:
+                        v = ins[idx]
+                        src.append(v[lo:hi] if sliced else v)
+                    else:
+                        src.append(vals[idx])
+                d = out[lo:hi] if dest is None else dest[:nrows]
+                m.forward_out(src, m.attrs, d)
+                vals[k] = d
+
+
+class FusedGroup:
+    """One fused chain/tree of elementwise tape records.
+
+    Owns the member records, the warm-path interpreter
+    (:meth:`run_unfused` — allocating kernels, records per-member
+    shape/dtype metadata) and the steady-path blocked interpreter
+    (:meth:`run_blocked` — tiled ``forward_out`` kernels into per-member
+    scratch).  Per-signature recipes and metadata are FIFO-bounded like the
+    plan's arenas, so signature churn cannot grow scratch without bound.
+    """
+
+    __slots__ = ("members", "out_slot", "ext_slots", "ext_index",
+                 "tile_bytes", "tiles_run", "blocked_runs", "unfused_runs",
+                 "last_meta", "_plans", "_meta", "max_cached")
+
+    def __init__(self, members: list, tile_bytes: Optional[int] = None):
+        self.members = members
+        self.out_slot = members[-1].out_slot
+        produced = {m.out_slot for m in members}
+        ext: list[int] = []
+        for m in members:
+            for s in m.input_slots:
+                if s not in produced and s not in ext:
+                    ext.append(s)
+        self.ext_slots = tuple(ext)
+        self.ext_index = {s: i for i, s in enumerate(ext)}
+        self.tile_bytes = tile_bytes or default_tile_bytes()
+        self.tiles_run = 0       # blocked-interpreter tiles executed
+        self.blocked_runs = 0    # steady runs through the tile loop
+        self.unfused_runs = 0    # warm/fallback runs through plain kernels
+        self.last_meta: Optional[list] = None
+        self._plans: dict = {}
+        self._meta: dict = {}
+        self.max_cached = 32
+
+    # ----------------------------------------------------------- interpreters
+
+    def run_unfused(self, ins: Sequence, attrs=None):
+        """Warm path: allocating member kernels, metadata recorded.
+
+        Bitwise identical to the pre-fusion tape by construction — the same
+        ``forward`` callables run on the same values in the same order.
+        """
+        local: dict[int, object] = dict(zip(self.ext_slots, ins))
+        meta: list[tuple] = []
+        out = None
+        for m in self.members:
+            out = m.forward([local[s] for s in m.input_slots], m.attrs)
+            local[m.out_slot] = out
+            meta.append(_sig(out))
+        key = tuple(_sig(a) for a in ins)
+        self._remember(self._meta, key, meta)
+        self.last_meta = meta
+        self.unfused_runs += 1
+        return out
+
+    def run_blocked(self, ins: Sequence, attrs, out: np.ndarray) -> None:
+        """Steady path: the blocked (tiled) interpreter, ``out=`` semantics."""
+        key = tuple(_sig(a) for a in ins)
+        plan = self._plans.get(key)
+        if plan is None:
+            meta = self._meta.get(key)
+            if meta is None:
+                # Metadata evicted (signature churn beyond the cache cap):
+                # fall back to the allocating interpreter for this run —
+                # still bitwise — and re-record so the next run tiles.
+                np.copyto(out, self.run_unfused(ins))
+                return
+            plan = _GroupPlan(self, ins, out, meta)
+            self._remember(self._plans, key, plan)
+        plan.execute(ins, out)
+        self.tiles_run += plan.n_tiles
+        self.blocked_runs += 1
+
+    # ----------------------------------------------------------------- admin
+
+    def _remember(self, cache: dict, key, val) -> None:
+        cache[key] = val
+        while len(cache) > self.max_cached:
+            cache.pop(next(iter(cache)))
+
+    def scratch_nbytes(self) -> int:
+        """Bytes held by per-signature member scratch buffers."""
+        return sum(p.scratch_nbytes for p in list(self._plans.values()))
+
+    def release(self) -> None:
+        """Drop cached recipes/metadata and their scratch (counters kept)."""
+        self._plans.clear()
+        self._meta.clear()
+        self.last_meta = None
+
+    @property
+    def ops(self) -> tuple:
+        return tuple(m.op for m in self.members)
+
+
+class FusedRecord(_Record):
+    """A fused group as an ordinary destination-passing tape record."""
+
+    __slots__ = ("group",)
+
+    def __init__(self, group: FusedGroup):
+        node = Node(
+            "fused_elementwise",
+            (),
+            {
+                "ops": group.ops,
+                "n_members": len(group.members),
+                "flops_per_elem": sum(
+                    FUSABLE_OPS.get(op, 1) for op in group.ops
+                ),
+            },
+            name="fused[" + "+".join(group.ops) + "]",
+        )
+        super().__init__(
+            node,
+            group.run_unfused,
+            group.run_blocked,
+            group.ext_slots,
+            node.attrs,
+            group.out_slot,
+            _MODE_OUT,
+        )
+        self.group = group
+
+
+def fuse_tape(
+    records: list,
+    fetch_slots: Sequence[int],
+    tile_bytes: Optional[int] = None,
+    group_cls=FusedGroup,
+) -> tuple[list, list]:
+    """Collapse maximal elementwise chains/trees into fused records.
+
+    Runs one reverse pass over the scheduled tape.  A fusable record joins
+    its consumers' group when *all* of its consumers are members of one
+    group and its output is not fetched; otherwise it seeds a new group as
+    that group's escape.  Single-member groups are discarded (nothing to
+    fuse).  Each surviving group is replaced by one :class:`FusedRecord`
+    at the escape's tape position — every member is a dataflow ancestor of
+    its escape, so the position is schedule-valid, and no record outside
+    the group reads an internal slot (rule P110 re-proves this statically).
+
+    Returns ``(new_records, groups)``.
+    """
+    n = len(records)
+    fetch_set = set(fetch_slots)
+    consumers: dict[int, list[int]] = {}
+    for i, rec in enumerate(records):
+        for s in rec.input_slots:
+            consumers.setdefault(s, []).append(i)
+
+    group_of = [-1] * n
+    member_lists: list[list[int]] = []
+    for i in range(n - 1, -1, -1):
+        rec = records[i]
+        if rec.op not in FUSABLE_OPS or rec.mode != _MODE_OUT:
+            continue
+        gid = -1
+        cons = consumers.get(rec.out_slot, ())
+        if cons and rec.out_slot not in fetch_set:
+            gids = {group_of[j] for j in cons}
+            if len(gids) == 1:
+                g = gids.pop()
+                if g >= 0:
+                    gid = g  # every consumer sits in one group: fuse into it
+        if gid < 0:
+            gid = len(member_lists)
+            member_lists.append([])
+        group_of[i] = gid
+        member_lists[gid].append(i)
+
+    fused_at: dict[int, FusedGroup] = {}
+    dropped: set[int] = set()
+    groups: list[FusedGroup] = []
+    for members in member_lists:
+        if len(members) < 2:
+            continue
+        members.sort()
+        group = group_cls([records[k] for k in members], tile_bytes=tile_bytes)
+        groups.append(group)
+        fused_at[members[-1]] = group
+        dropped.update(members[:-1])
+
+    if not groups:
+        return records, []
+    new_records: list = []
+    for i, rec in enumerate(records):
+        if i in dropped:
+            continue
+        g = fused_at.get(i)
+        new_records.append(FusedRecord(g) if g is not None else rec)
+    return new_records, groups

@@ -1,0 +1,92 @@
+"""numexpr evaluation of fused elementwise groups (optional backend).
+
+Imported only by :class:`repro.tfmini.backends.NumexprBackend`, which is
+registered only when the optional ``numexpr`` package is importable — this
+module must never be imported unconditionally.  Groups whose members all
+map onto numexpr syntax evaluate the whole chain in one ``ne.evaluate``
+call (numexpr runs its own blocked VM over the inputs); anything else
+falls back to the blocked member-kernel interpreter, which is always
+available.  numexpr results are tolerance-tiered, not bitwise: its VM may
+reassociate and substitutes its own transcendental kernels.
+"""
+
+from __future__ import annotations
+
+try:
+    import numexpr as ne
+except ImportError as _exc:  # pragma: no cover - numexpr absent in CI
+    raise ImportError(
+        "repro.tfmini.numexpr_group requires the optional 'numexpr' package; "
+        "the numexpr backend is only registered when it is importable"
+    ) from _exc
+import numpy as np
+
+from repro.tfmini.fusion import FusedGroup, _sig
+
+# op -> expression template; {0}/{1} are input subexpressions, attrs
+# interpolate as repr'd python floats (deterministic for a fixed graph).
+_TEMPLATES = {
+    "add": "({0} + {1})",
+    "sub": "({0} - {1})",
+    "mul": "({0} * {1})",
+    "div": "({0} / {1})",
+    "neg": "(-{0})",
+    "square": "({0} * {0})",
+    "one_minus": "(1.0 - {0})",
+    "tanh": "tanh({0})",
+    "exp": "exp({0})",
+    "log": "log({0})",
+    "sqrt": "sqrt({0})",
+    "sigmoid": "(1.0 / (1.0 + exp(-{0})))",
+    "tanh_grad": "({1} * (1.0 - {0} * {0}))",
+}
+
+
+class NumexprGroup(FusedGroup):
+    """A fused group evaluated through numexpr when expressible."""
+
+    __slots__ = ("_expr", "_expr_names")
+
+    def __init__(self, members, tile_bytes=None):
+        super().__init__(members, tile_bytes=tile_bytes)
+        self._expr = None
+        self._expr_names = None
+        self._compile_expr()
+
+    def _compile_expr(self) -> None:
+        names = [f"i{k}" for k in range(len(self.ext_slots))]
+        by_slot = dict(zip(self.ext_slots, names))
+        exprs: dict[int, str] = {}
+        for m in self.members:
+            args = [
+                exprs.get(s) or by_slot.get(s) for s in m.input_slots
+            ]
+            if any(a is None for a in args):
+                return  # unexpected wiring — keep the blocked fallback
+            op = m.op
+            if op == "scale":
+                expr = f"({args[0]} * {m.attrs['s']!r})"
+            elif op == "pow_scalar":
+                expr = f"({args[0]} ** {m.attrs['p']!r})"
+            elif op in _TEMPLATES:
+                expr = _TEMPLATES[op].format(*args)
+            else:
+                return  # cast/relu/step_mask etc.: not expressible
+            exprs[m.out_slot] = expr
+        self._expr = exprs[self.out_slot]
+        self._expr_names = names
+
+    def run_blocked(self, ins, attrs, out: np.ndarray) -> None:
+        if self._expr is None:
+            super().run_blocked(ins, attrs, out)
+            return
+        local = {
+            name: v if isinstance(v, np.ndarray) else np.asarray(v)
+            for name, v in zip(self._expr_names, ins)
+        }
+        ne.evaluate(self._expr, local_dict=local, out=out, casting="unsafe")
+        key = tuple(_sig(a) for a in ins)
+        if key not in self._meta:
+            # Keep metadata warm for consumers (plancheck, reporting).
+            self._remember(self._meta, key, self.last_meta or [])
+        self.blocked_runs += 1

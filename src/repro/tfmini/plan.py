@@ -23,6 +23,16 @@ steady — neither do the tensor shapes.
    Every schedule is deterministic, and because tape records are pure
    (variables are updated *outside* the graph), every schedule produces
    bitwise identical results.
+2b. **Elementwise fusion** (``backend=``) — the kernel backend
+   (:mod:`repro.tfmini.backends`) prepares the scheduled tape.  The
+   ``"fused"`` backend collapses maximal chains/trees of purely
+   elementwise records into single :class:`~repro.tfmini.fusion.
+   FusedRecord`\\ s executed by a blocked (cache-tiled) interpreter —
+   bitwise identical to the per-record kernels, with the fused
+   intermediates gone from the liveness problem (smaller arenas) and
+   from DRAM traffic (fewer full-array passes).  ``"numpy"`` (default)
+   keeps one kernel per record.  Verifier rule P110 proves fused-record
+   soundness.
 3. **Liveness analysis** — last-use indices per storage group on the
    *scheduled* order.  Aliasing ops (``reshape``, ``item``, ...) whose
    outputs share their input's storage have their lifetimes unioned so
@@ -143,6 +153,7 @@ class PlanStats:
     spans: int = 0  # fork/join spans in the scheduled tape (set at compile)
     max_span_width: int = 0  # widest span in the scheduled tape
     span_batches: int = 0  # multi-record spans dispatched to the thread pool
+    spans_inlined: int = 0  # multi-record spans run inline (< span_min_bytes)
 
 
 class _Record:
@@ -182,11 +193,19 @@ class BufferArena:
     benchmarks assert deterministically.  ``fifo_nbytes`` is the footprint
     the PR 3 FIFO shape-keyed recycler would have needed for the same tape
     and shapes — the baseline the coloring allocator is regression-tested
-    against.
+    against.  ``prefusion_nbytes`` is the colored footprint the *pre-fusion*
+    tape would have needed (simulated, never allocated) — the fusion pass's
+    own regression baseline; it equals ``alloc_bytes`` on the numpy
+    backend.  ``color_candidates`` records the byte total of every coloring
+    candidate order tried (first-fit by size, first-fit in tape order,
+    best-fit by size); ``alloc_bytes`` is their minimum.  ``span_bytes[i]``
+    estimates span ``i``'s work (sum of member output bytes) for the
+    ``span_min_bytes`` fork threshold.
     """
 
     __slots__ = ("signature", "buffers", "alloc_count", "alloc_bytes",
-                 "fifo_nbytes")
+                 "fifo_nbytes", "prefusion_nbytes", "span_bytes",
+                 "color_candidates")
 
     def __init__(self, signature):
         self.signature = signature
@@ -194,6 +213,9 @@ class BufferArena:
         self.alloc_count = 0
         self.alloc_bytes = 0
         self.fifo_nbytes = 0
+        self.prefusion_nbytes = 0
+        self.span_bytes: list[int] = []
+        self.color_candidates: dict[str, int] = {}
 
     def _new(self, shape, dtype):
         buf = np.empty(shape, dtype)
@@ -292,6 +314,172 @@ def _partition_spans(records: list, find) -> list[tuple[int, int]]:
     return spans
 
 
+def _analyze(records: list, fetch_slots: Sequence[int], n_slots: int):
+    """Stages 3+5 for an arbitrary tape: liveness, alias groups, spans.
+
+    Returns ``(find, death, spans, span_start, span_end)``.  Factored out
+    of ``ExecutionPlan.__init__`` so the arena builder can run the same
+    analysis on the *pre-fusion* tape when simulating the fusion pass's
+    memory baseline.
+    """
+    last_use = [-1] * n_slots
+    for r_idx, rec in enumerate(records):
+        for s in rec.input_slots:
+            last_use[s] = r_idx  # records iterate in ascending order
+    for s in fetch_slots:
+        last_use[s] = _INF
+
+    # Storage groups: alias outputs share their inputs' storage, so a
+    # group dies only when its *last* member does.
+    parent = list(range(n_slots))
+
+    def find(s: int) -> int:
+        while parent[s] != s:
+            parent[s] = parent[parent[s]]
+            s = parent[s]
+        return s
+
+    for rec in records:
+        if rec.mode == _MODE_ALIAS:
+            root = find(rec.out_slot)
+            for s in rec.input_slots:
+                parent[find(s)] = root
+    death: dict[int, int] = {}
+    for s in range(n_slots):
+        r = find(s)
+        d = last_use[s]
+        if d > death.get(r, -1):
+            death[r] = d
+
+    spans = _partition_spans(records, find)
+    n_recs = len(records)
+    span_start = [0] * n_recs
+    span_end = [0] * n_recs
+    for start, stop in spans:
+        for i in range(start, stop):
+            span_start[i] = start
+            span_end[i] = stop - 1
+    return find, death, spans, span_start, span_end
+
+
+def _color_units(units: list):
+    """Greedy interference coloring, best of three candidate orders.
+
+    ``units`` rows are ``[birth, death, padded, ...]`` (span-aware ranges).
+    Candidates: first-fit over decreasing size, first-fit in tape order,
+    and best-fit (tightest compatible color) over decreasing size — the
+    size-aware order that closes the PR 9 ROADMAP thread.  Returns
+    ``(total_bytes, colors, assign, candidates)`` for the byte-minimal
+    candidate; ``candidates`` maps candidate name -> total bytes, so the
+    arena can prove the winner never regresses any single strategy.
+    """
+
+    def color_in(order, best_fit: bool):
+        colors: list[list] = []  # [capacity, [unit indices]]
+        assign = [0] * len(units)
+        for ui in order:
+            birth, dth, padded = units[ui][0], units[ui][1], units[ui][2]
+            chosen = -1
+            chosen_key = None
+            for ci, (cap, members) in enumerate(colors):
+                ok = True
+                for mi in members:
+                    mb, md = units[mi][0], units[mi][1]
+                    if birth <= md and mb <= dth:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if not best_fit:
+                    chosen = ci
+                    break
+                # Best fit: tightest color that already holds the unit,
+                # else the one needing the least growth; ties on index.
+                key = (0, cap - padded) if cap >= padded else (1, padded - cap)
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = ci
+            if chosen < 0:
+                colors.append([padded, [ui]])
+                assign[ui] = len(colors) - 1
+            else:
+                colors[chosen][0] = max(colors[chosen][0], padded)
+                colors[chosen][1].append(ui)
+                assign[ui] = chosen
+        return sum(c[0] for c in colors), colors, assign
+
+    by_size = sorted(range(len(units)),
+                     key=lambda u: (-units[u][2], units[u][0]))
+    results = {
+        "first_fit_size": color_in(by_size, best_fit=False),
+        "first_fit_tape": color_in(range(len(units)), best_fit=False),
+        "best_fit_size": color_in(by_size, best_fit=True),
+    }
+    candidates = {name: r[0] for name, r in results.items()}
+    best_name = min(results, key=lambda nm: (results[nm][0],))
+    total, colors, assign = results[best_name]
+    return total, colors, assign, candidates
+
+
+def _make_units(records: list, shape_of, find, death, span_start, span_end):
+    """Allocation units for coloring: one per buffer-producing record.
+
+    ``shape_of(r_idx, rec)`` returns the record's output description —
+    an ndarray-like ``(shape, dtype)`` tuple, a list of such tuples for
+    tuple outputs, or ``None`` for unmanaged/alias outputs.  Unit rows are
+    ``[birth, death_eff, padded, raw, parts, key, r_idx, dth]`` (span-aware
+    interference ranges; raw/dth feed the FIFO baseline simulation).
+    """
+    units: list[list] = []
+    for r_idx, rec in enumerate(records):
+        if rec.mode == _MODE_ALIAS:
+            continue
+        desc = shape_of(r_idx, rec)
+        if desc is None:
+            continue
+        if isinstance(desc, list):  # tuple output: padded multi-part layout
+            off = 0
+            parts = []
+            raw = 0
+            for shape, dtype in desc:
+                nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                parts.append((shape, dtype, off))
+                off = (off + nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+                raw += nbytes
+            last_shape, last_dtype = desc[-1]
+            last_nbytes = (
+                int(np.prod(last_shape, dtype=np.int64)) * last_dtype.itemsize
+            )
+            padded = parts[-1][2] + last_nbytes if desc else 0
+            key = ("tuple",) + tuple((shape, dtype) for shape, dtype in desc)
+        else:
+            shape, dtype = desc
+            parts = None
+            padded = raw = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            key = (shape, dtype)
+        dth = death[find(rec.out_slot)]
+        dth_eff = span_end[dth] if 0 <= dth < _INF else dth
+        units.append([span_start[r_idx], dth_eff, padded, raw,
+                      parts, key, r_idx, dth])
+    return units
+
+
+def _simulate_colored_nbytes(records: list, fetch_slots: Sequence[int],
+                             n_slots: int, shape_of) -> int:
+    """Colored arena footprint of ``records`` — simulated, never allocated.
+
+    Used by the arena builder to price the *pre-fusion* tape with the same
+    span-aware analysis and candidate coloring as the real arena, giving
+    the fusion pass its before/after memory figures on identical terms.
+    """
+    find, death, _spans, span_start, span_end = _analyze(
+        records, fetch_slots, n_slots
+    )
+    units = _make_units(records, shape_of, find, death, span_start, span_end)
+    total, _colors, _assign, _candidates = _color_units(units)
+    return total
+
+
 class ExecutionPlan:
     """A compiled, slot-indexed execution tape for fixed (fetches, feeds).
 
@@ -327,6 +515,20 @@ class ExecutionPlan:
         independent records of ONE batch overlap on real cores.  Results
         are bitwise identical for every value (span members write disjoint
         buffers — rule P109).
+    backend:
+        Kernel backend (:mod:`repro.tfmini.backends`): ``"numpy"`` (one
+        registered kernel per record), ``"fused"`` (elementwise fusion +
+        blocked interpreter — bitwise, smaller arenas, fewer memory
+        passes), or ``"numexpr"`` when that optional package is installed
+        (tolerance-tiered).  ``None`` (default) defers to the
+        ``REPRO_PLAN_BACKEND`` environment variable, falling back to
+        ``"numpy"``.
+    span_min_bytes:
+        Fork threshold for parallel span execution: a multi-record span
+        whose estimated work (member output bytes) is below this runs
+        inline even when ``span_workers > 1`` (counted in
+        ``stats.spans_inlined``) — thread handoff costs more than tiny
+        kernels recover.  0 (default) forks every multi-record span.
     verify:
         Run the static plan verifier (:mod:`repro.analysis.plancheck`)
         structural checks (P101–P105, P109) at compile time — and again on
@@ -357,18 +559,24 @@ class ExecutionPlan:
         max_arenas: int = 32,
         schedule: str = "liveness",
         span_workers: int = 1,
+        backend: Optional[str] = None,
+        span_min_bytes: int = 0,
         verify: Optional[bool] = None,
     ):
         if schedule not in SCHEDULES:
             raise ValueError(
                 f"schedule must be one of {SCHEDULES}, got {schedule!r}"
             )
+        from repro.tfmini.backends import get_backend  # lazy: avoids a cycle
+
         self._single = isinstance(fetches, Node)
         fetch_list: list[Node] = [fetches] if self._single else list(fetches)
         self._copy_fetches = copy_fetches
         self.max_arenas = max(int(max_arenas), 1)
         self.schedule = schedule
         self.span_workers = max(int(span_workers), 1)
+        self.span_min_bytes = max(int(span_min_bytes), 0)
+        self._backend = get_backend(backend)
         self.stats = PlanStats()
 
         # --- stage 1: tape build -----------------------------------------
@@ -423,61 +631,39 @@ class ExecutionPlan:
 
         # --- stage 2: tape scheduling ------------------------------------
         records = _schedule_tape(records, self._fetch_slots, schedule)
+        # The scheduled pre-fusion tape is retained so the arena builder
+        # can simulate its colored footprint — the fusion pass's memory
+        # baseline (``prefusion_arena_nbytes``).
+        self._records_prefusion = records
+
+        # --- stage 2b: backend preparation (elementwise fusion) ----------
+        # Fusing backends collapse maximal elementwise chains into single
+        # blocked-interpreter records; internal member slots vanish from
+        # the tape, and therefore from the liveness problem and the arena.
+        records, groups = self._backend.prepare(records, self._fetch_slots)
+        self._fused_groups = groups
         self._records = records
 
-        # --- stage 3: liveness on the scheduled order --------------------
-        last_use = [-1] * n_slots
-        for r_idx, rec in enumerate(records):
-            for s in rec.input_slots:
-                last_use[s] = r_idx  # records iterate in ascending order
-        for s in self._fetch_slots:
-            last_use[s] = _INF
-
-        # Storage groups: alias outputs share their inputs' storage, so a
-        # group dies only when its *last* member does.
-        parent = list(range(n_slots))
-
-        def find(s: int) -> int:
-            while parent[s] != s:
-                parent[s] = parent[parent[s]]
-                s = parent[s]
-            return s
-
-        for rec in records:
-            if rec.mode == _MODE_ALIAS:
-                root = find(rec.out_slot)
-                for s in rec.input_slots:
-                    parent[find(s)] = root
-        death: dict[int, int] = {}
-        for s in range(n_slots):
-            r = find(s)
-            d = last_use[s]
-            if d > death.get(r, -1):
-                death[r] = d
+        # --- stages 3+5: liveness, alias groups, span partition on the
+        # scheduled (post-fusion) order; stage 4, coloring, happens per
+        # arena once shapes are known.  Span-aware liveness: inside a span
+        # every member's reads and writes happen CONCURRENTLY under
+        # ``span_workers > 1``, so a record's output is born at its span's
+        # *start* and a value read at tape index d stays live to the *end*
+        # of d's span — without this, a value whose last read is early in a
+        # span could share a color with a later span member's output (safe
+        # sequentially, a write-after-read race in parallel).
+        find, death, spans, span_start, span_end = _analyze(
+            records, self._fetch_slots, n_slots
+        )
         self._find = find
         self._death = death
-
-        # --- stage 5: span partition (stage 4, coloring, happens per
-        # arena once shapes are known) ------------------------------------
-        self._spans = _partition_spans(records, find)
+        self._spans = spans
+        self._span_start = span_start
+        self._span_end = span_end
         widths = [stop - start for start, stop in self._spans]
         self.stats.spans = len(self._spans)
         self.stats.max_span_width = max(widths, default=0)
-        # Span-aware liveness for the coloring pass: inside a span, every
-        # member's reads and writes happen CONCURRENTLY under
-        # ``span_workers > 1``, so for interference purposes a record's
-        # output is born at its span's *start* and a value read at tape
-        # index d stays live to the *end* of d's span.  Without this, a
-        # value whose last read is early in a span could share a color with
-        # a later span member's output — safe sequentially, a
-        # write-after-read race in parallel.
-        n_recs = len(records)
-        self._span_start = [0] * n_recs
-        self._span_end = [0] * n_recs
-        for start, stop in self._spans:
-            for i in range(start, stop):
-                self._span_start[i] = start
-                self._span_end[i] = stop - 1
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
 
@@ -565,6 +751,50 @@ class ExecutionPlan:
         baseline (simulated at arena-build time, never allocated)."""
         return sum(a.fifo_nbytes for a in list(self._arenas.values()))
 
+    def prefusion_arena_nbytes(self) -> int:
+        """Colored bytes the *pre-fusion* tape would have needed (all
+        signatures) — the fusion pass's memory baseline, simulated with the
+        same span-aware analysis and candidate coloring as the real arena.
+        Equals :meth:`arena_nbytes` on the numpy backend."""
+        return sum(a.prefusion_nbytes for a in list(self._arenas.values()))
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend this plan compiled against."""
+        return self._backend.name
+
+    @property
+    def backend_bitwise(self) -> bool:
+        """Whether the backend holds the bitwise verification contract."""
+        return self._backend.bitwise
+
+    @property
+    def fused_groups(self) -> list:
+        """The backend's fused elementwise groups (empty on ``numpy``)."""
+        return list(self._fused_groups)
+
+    def records_fused(self) -> int:
+        """Pre-fusion records folded into fused records."""
+        return sum(len(g.members) for g in self._fused_groups)
+
+    def fused_chains(self) -> int:
+        """Number of fused elementwise chains/trees on the tape."""
+        return len(self._fused_groups)
+
+    def fused_passes_saved(self) -> int:
+        """Full-array memory passes eliminated by fusion: every member but
+        each group's escape no longer round-trips DRAM per run."""
+        return sum(len(g.members) - 1 for g in self._fused_groups)
+
+    def fused_tiles_run(self) -> int:
+        """Blocked-interpreter tiles executed across all fused groups."""
+        return sum(g.tiles_run for g in self._fused_groups)
+
+    def fused_scratch_nbytes(self) -> int:
+        """Bytes of blocked-interpreter tile/broadcast scratch currently
+        held by the fused groups (all cached signatures)."""
+        return sum(g.scratch_nbytes() for g in self._fused_groups)
+
     def feed_buffer(self, key, shape: tuple, dtype=np.float64) -> np.ndarray:
         """Persistent plan-owned staging destination for a feed value.
 
@@ -618,6 +848,8 @@ class ExecutionPlan:
         self._feed_store.clear()
         self._feed_ids.clear()
         self.feed_nbytes = 0
+        for g in self._fused_groups:
+            g.release()
         self._values = [None] * self._n_slots
         for slot, value in self._const_slots:
             self._values[slot] = value
@@ -743,12 +975,18 @@ class ExecutionPlan:
         Each buffer-producing record is an allocation unit with liveness
         range ``[tape index, storage-group death]``.  Units whose ranges
         overlap *interfere* and must not share storage; non-interfering
-        units may.  Greedy coloring (two candidate orders — decreasing size
-        and tape order — keeping whichever yields fewer bytes) assigns each
-        unit a color; the arena allocates ONE byte slab per color, sized to
-        the color's largest member, and every unit's buffer is a
-        shape/dtype view into its slab.  The FIFO recycler's footprint is
-        simulated alongside as ``fifo_nbytes`` (never allocated).
+        units may.  Greedy coloring (three candidate orders — first-fit by
+        decreasing size, first-fit in tape order, best-fit by decreasing
+        size — keeping whichever yields fewest bytes) assigns each unit a
+        color; the arena allocates ONE byte slab per color, sized to the
+        color's largest member, and every unit's buffer is a shape/dtype
+        view into its slab.  Fused-internal member slots never appear as
+        units (the fused record owns one escape buffer; intermediates live
+        in the blocked interpreter's tile scratch), so fused arenas color
+        strictly tighter than the pre-fusion tape, whose colored footprint
+        is simulated alongside as ``prefusion_nbytes``.  The FIFO
+        recycler's footprint is simulated as ``fifo_nbytes`` (never
+        allocated).
         """
         values = self._values
         records = self._records
@@ -758,72 +996,26 @@ class ExecutionPlan:
         buffers = arena.buffers
         buffers.extend([None] * len(records))
 
-        # --- allocation units: (birth, death, padded, raw, parts, key) ---
+        # --- allocation units --------------------------------------------
         # Interference uses span-aware ranges (born at span start, dead at
         # the end of the last reader's span) so coloring soundness covers
         # concurrent span execution, not just the sequential order.
-        units: list[list] = []
-        unit_recs: list[int] = []
-        for r_idx, rec in enumerate(records):
-            if rec.mode == _MODE_ALIAS:
-                continue
+        def shape_of(r_idx, rec):
             val = values[rec.out_slot]
             if isinstance(val, np.ndarray):
-                parts = None
-                padded = raw = val.nbytes
-                key = (val.shape, val.dtype)
-            elif isinstance(val, tuple) and all(
+                return (val.shape, val.dtype)
+            if isinstance(val, tuple) and all(
                 isinstance(e, np.ndarray) for e in val
             ):
-                off = 0
-                parts = []
-                for e in val:
-                    parts.append((e.shape, e.dtype, off))
-                    off = (off + e.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
-                padded = parts[-1][2] + val[-1].nbytes if val else 0
-                raw = sum(e.nbytes for e in val)
-                key = ("tuple",) + tuple((e.shape, e.dtype) for e in val)
-            else:  # exotic output — leave unmanaged
-                continue
-            dth = death[find(rec.out_slot)]
-            dth_eff = span_end[dth] if 0 <= dth < _INF else dth
-            units.append([span_start[r_idx], dth_eff, padded, raw,
-                          parts, key, r_idx, dth])
-            unit_recs.append(r_idx)
+                return [(e.shape, e.dtype) for e in val]
+            return None  # exotic output — leave unmanaged
 
-        # --- interference coloring (first-fit, best of two orders) -------
-        def color_in(order):
-            colors: list[list] = []  # [capacity, [unit indices]]
-            assign = [0] * len(units)
-            for ui in order:
-                birth, dth = units[ui][0], units[ui][1]
-                chosen = -1
-                for ci, (_cap, members) in enumerate(colors):
-                    ok = True
-                    for mi in members:
-                        mb, md = units[mi][0], units[mi][1]
-                        if birth <= md and mb <= dth:
-                            ok = False
-                            break
-                    if ok:
-                        chosen = ci
-                        break
-                if chosen < 0:
-                    colors.append([units[ui][2], [ui]])
-                    assign[ui] = len(colors) - 1
-                else:
-                    colors[chosen][0] = max(colors[chosen][0], units[ui][2])
-                    colors[chosen][1].append(ui)
-                    assign[ui] = chosen
-            return sum(c[0] for c in colors), colors, assign
+        units = _make_units(records, shape_of, find, death,
+                            span_start, span_end)
 
-        by_size = sorted(range(len(units)),
-                         key=lambda u: (-units[u][2], units[u][0]))
-        best = color_in(by_size)
-        in_tape_order = color_in(range(len(units)))
-        if in_tape_order[0] < best[0]:
-            best = in_tape_order
-        _total, colors, assign = best
+        # --- interference coloring (best of three candidate orders) ------
+        _total, colors, assign, candidates = _color_units(units)
+        arena.color_candidates = candidates
 
         slabs = [arena._new((cap,), np.uint8) for cap, _members in colors]
         for ui, unit in enumerate(units):
@@ -861,6 +1053,38 @@ class ExecutionPlan:
             if u[7] < _INF:
                 heappush(heap, (u[7], r_idx, key))
         arena.fifo_nbytes = fifo
+
+        # --- per-span work estimate (for the span_min_bytes threshold) ---
+        span_index = {start: si for si, (start, _stop) in
+                      enumerate(self._spans)}
+        span_bytes = [0] * len(self._spans)
+        for u in units:
+            span_bytes[span_index[span_start[u[6]]]] += u[3]
+        arena.span_bytes = span_bytes
+
+        # --- pre-fusion colored footprint (simulated, never allocated) ---
+        # Shapes for surviving records come from the warm values; shapes
+        # for fused-internal members from the group's warm-run metadata
+        # (recorded by run_unfused immediately before this build).
+        if self._fused_groups:
+            internal_meta: dict[int, tuple] = {}
+            for g in self._fused_groups:
+                meta = g.last_meta or []
+                for m, desc in zip(g.members, meta):
+                    internal_meta[m.out_slot] = desc
+
+            def pre_shape_of(r_idx, rec):
+                desc = internal_meta.get(rec.out_slot)
+                if desc is not None:
+                    return desc
+                return shape_of(r_idx, rec)
+
+            arena.prefusion_nbytes = _simulate_colored_nbytes(
+                self._records_prefusion, self._fetch_slots, self._n_slots,
+                pre_shape_of,
+            )
+        else:
+            arena.prefusion_nbytes = arena.alloc_bytes
         return arena
 
     def _steady_run(self, arena: BufferArena) -> None:
@@ -927,15 +1151,28 @@ class ExecutionPlan:
         span starts.  Record order *within* a chunk is tape order, and
         every record writes its own slot and buffer, so results are bitwise
         identical to the sequential loop.
+
+        Spans whose estimated work (member output bytes, measured per
+        arena at build time) falls under ``span_min_bytes`` also run
+        inline (``stats.spans_inlined``): forking a handful of microsecond
+        kernels costs more in thread handoff than it recovers in overlap.
+        Inlining only changes *where* a record executes, never its buffer
+        or order class, so the bitwise contract is unaffected.
         """
         records = self._records
         buffers = arena.buffers
         pool = self._ensure_pool()
         w_max = self.span_workers
-        for start, stop in self._spans:
+        span_bytes = arena.span_bytes
+        min_bytes = self.span_min_bytes
+        for si, (start, stop) in enumerate(self._spans):
             width = stop - start
             if width == 1:
                 self._exec_range(records, buffers, start, stop)
+                continue
+            if min_bytes and span_bytes[si] < min_bytes:
+                self._exec_range(records, buffers, start, stop)
+                self.stats.spans_inlined += 1
                 continue
             w = min(w_max, width)
             bounds = [start + (width * k) // w for k in range(w + 1)]
@@ -980,19 +1217,23 @@ def compile_plan(
     max_arenas: int = 32,
     schedule: str = "liveness",
     span_workers: int = 1,
+    backend: Optional[str] = None,
+    span_min_bytes: int = 0,
     verify: Optional[bool] = None,
 ) -> ExecutionPlan:
     """Compile ``fetches`` into an :class:`ExecutionPlan`.
 
-    Runs the staged pipeline (tape build → ``schedule`` → liveness →
-    span partition; interference coloring happens per feed-shape signature
-    at warm time) exactly once; every subsequent :meth:`ExecutionPlan.run`
-    is a flat tape walk into colored, persistent output buffers — forked
-    across ``span_workers`` threads when > 1.  Results are bitwise
+    Runs the staged pipeline (tape build → ``schedule`` → ``backend``
+    fusion → liveness → span partition; interference coloring happens per
+    feed-shape signature at warm time) exactly once; every subsequent
+    :meth:`ExecutionPlan.run` is a flat tape walk into colored, persistent
+    output buffers — forked across ``span_workers`` threads when > 1.
+    Results on the bitwise backends (``"numpy"``, ``"fused"``) are bitwise
     identical to ``Session.run`` on the same fetches and feeds for every
-    schedule/span_workers combination.  ``verify=True`` (or
+    backend/schedule/span_workers combination.  ``verify=True`` (or
     ``REPRO_VERIFY_PLANS=1``) runs the static plan verifier's structural
-    checks at compile time and on every freshly colored arena.
+    checks (including fused-record soundness, rule P110) at compile time
+    and on every freshly colored arena.
     """
     return ExecutionPlan(
         fetches,
@@ -1001,5 +1242,7 @@ def compile_plan(
         max_arenas=max_arenas,
         schedule=schedule,
         span_workers=span_workers,
+        backend=backend,
+        span_min_bytes=span_min_bytes,
         verify=verify,
     )

@@ -1,0 +1,383 @@
+"""Elementwise fusion: fuzzer, counters, backend registry, P110 mutations.
+
+Four layers of confidence in the fused backend's bitwise contract:
+
+- a **randomized fuzzer** builds elementwise DAGs with mixed dtypes (cast
+  points), broadcasts (leading extent 1, lower rank, scalars), shared
+  subexpressions and fetch-pinned intermediates, then asserts the fused
+  plan matches ``Session.run`` bit for bit (warm and steady) and verifies
+  P110-clean with the symbolic walk;
+- **deterministic counter tests** pin the blocked interpreter's exact tile
+  count, the fusion counters' identities, and the fetch-escape topology;
+- **registry tests** pin backend resolution order (explicit >
+  ``REPRO_PLAN_BACKEND`` > numpy) and the instance-passthrough seam;
+- **mutation tests** corrupt each P110 invariant on a compiled fused plan
+  and assert the verifier names the corruption — the rule is only worth
+  its CI seat if it actually catches broken fusions.
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro import tfmini as tf
+from repro.analysis.plancheck import FeedSpec, verify_plan
+from repro.tfmini.backends import (
+    FusedBackend,
+    KernelBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+)
+from repro.tfmini.fusion import DEFAULT_TILE_BYTES, default_tile_bytes
+from repro.tfmini.ops import (
+    add,
+    cast,
+    mul,
+    neg,
+    relu,
+    reduce_sum,
+    scale,
+    sigmoid,
+    square,
+    sub,
+    tanh,
+)
+from repro.tfmini.plan import _MODE_OUT, compile_plan
+
+
+def _assert_bitwise(a, b, msg=""):
+    """True bitwise equality — NaN-safe, unlike ``np.array_equal``."""
+    a, b = np.asarray(a), np.asarray(b)
+    assert a.shape == b.shape, f"{msg} shape {a.shape} != {b.shape}"
+    assert a.dtype == b.dtype, f"{msg} dtype {a.dtype} != {b.dtype}"
+    assert a.tobytes() == b.tobytes(), f"{msg} bytes differ"
+
+
+# --------------------------------------------------------------------------
+# Randomized fuzzer
+# --------------------------------------------------------------------------
+
+_UNARY = (tanh, sigmoid, neg, relu, square, lambda n: scale(n, 0.5))
+_BINARY = (add, sub, mul)
+
+
+def _random_case(rng):
+    """One random elementwise DAG: (fetches, feed_nodes, feeds, spec)."""
+    rows = int(rng.choice([33, 64, 257]))
+    cols = int(rng.choice([5, 16]))
+    # Full-rank, broadcast-row, lower-rank and scalar feed shapes — the
+    # blocked interpreter must route each through tiled vs whole correctly.
+    shapes = [(rows, cols), (1, cols), (cols,), ()]
+    nodes = []  # (node, dtype) with dtype tracked for explicit cast points
+    feeds = {}
+    for i in range(int(rng.integers(2, 5))):
+        shape = shapes[0] if i == 0 else shapes[int(rng.integers(len(shapes)))]
+        dtype = np.dtype(np.float64 if rng.random() < 0.5 else np.float32)
+        p = tf.placeholder(f"x{i}", dtype=dtype)
+        feeds[p] = rng.uniform(-1.0, 1.0, size=shape).astype(dtype)
+        nodes.append((p, dtype))
+    n_feeds = len(nodes)
+
+    def pick():
+        return nodes[int(rng.integers(len(nodes)))]  # reuse => shared subexpr
+
+    for _ in range(int(rng.integers(4, 12))):
+        r = rng.random()
+        if r < 0.15:
+            a, dt = pick()
+            dt = np.dtype(np.float32 if dt == np.float64 else np.float64)
+            node = cast(a, dt)
+        elif r < 0.55:
+            a, dt = pick()
+            node = _UNARY[int(rng.integers(len(_UNARY)))](a)
+        else:
+            (a, da), (b, db) = pick(), pick()
+            if da != db:
+                b = cast(b, da)  # declared cast point: no float-width mixing
+            node = _BINARY[int(rng.integers(len(_BINARY)))](a, b)
+            dt = da
+        nodes.append((node, dt))
+
+    inter = nodes[n_feeds:]
+    fetches = [inter[-1][0]]
+    for node, _dt in inter[:-1]:  # fetch-pin a few intermediates
+        if rng.random() < 0.2 and node not in fetches:
+            fetches.append(node)
+    feed_nodes = list(feeds)
+    spec = {p: FeedSpec(shape=np.asarray(v).shape, dtype=np.asarray(v).dtype)
+            for p, v in feeds.items()}
+    return fetches, feed_nodes, feeds, spec
+
+
+def test_fuzz_fused_bitwise_vs_session_and_p110_clean():
+    """25 random DAGs: fused plan == Session.run bitwise (warm + steady),
+    P110-clean under the symbolic walk, and fusion actually fires on most
+    cases (fetch-pinning every intermediate can legitimately disable it)."""
+    rng = np.random.default_rng(2020)
+    n_fused_cases = 0
+    for case in range(25):
+        fetches, feed_nodes, feeds, spec = _random_case(rng)
+        oracle = tf.Session().run(fetches, feeds)
+        plan = compile_plan(fetches, feed_nodes, backend="fused")
+        with np.errstate(all="ignore"):
+            warm = plan.run(feeds)
+            steady = plan.run(feeds)
+        for f_idx in range(len(fetches)):
+            _assert_bitwise(oracle[f_idx], warm[f_idx], f"case {case} warm")
+            _assert_bitwise(oracle[f_idx], steady[f_idx], f"case {case} steady")
+        report = plan.verify(spec=spec, check_values=True)
+        assert report.ok, f"case {case}:\n{report.summary()}"
+        if plan.records_fused():
+            n_fused_cases += 1
+            assert plan.fused_passes_saved() == (
+                plan.records_fused() - plan.fused_chains()
+            )
+    assert n_fused_cases >= 15, f"fusion fired on only {n_fused_cases}/25"
+
+
+def test_fuzz_meta_eviction_falls_back_bitwise():
+    """Signature churn beyond the group's cache cap evicts warm metadata;
+    the blocked path must fall back to the allocating interpreter (still
+    bitwise) and re-record so the signature tiles again next run."""
+    x = tf.placeholder("x", dtype=np.float64)
+    h = tanh(x)
+    y = mul(h, square(h))
+    plan = compile_plan([y], [x], backend="fused")
+    (group,) = plan.fused_groups
+    rng = np.random.default_rng(7)
+    first = rng.uniform(-1, 1, size=(8, 3))
+    plan.run({x: first})  # warm: meta for the first signature recorded
+    for i in range(group.max_cached + 4):  # churn: evict the first signature
+        plan.run({x: rng.uniform(-1, 1, size=(9 + i, 3))})
+    assert len(group._meta) <= group.max_cached
+    blocked_before = group.blocked_runs
+    out = plan.run({x: first})  # steady at plan level, meta evicted: fallback
+    _assert_bitwise(tf.Session().run(y, {x: first}), out[0], "fallback")
+    assert group.blocked_runs == blocked_before
+    out = plan.run({x: first})  # fallback re-recorded: this run tiles
+    _assert_bitwise(tf.Session().run(y, {x: first}), out[0], "re-tiled")
+    assert group.blocked_runs == blocked_before + 1
+
+
+# --------------------------------------------------------------------------
+# Deterministic counters
+# --------------------------------------------------------------------------
+
+def test_blocked_tile_count_exact():
+    """tiles_run advances by exactly min(rows, ceil(nbytes / tile_bytes))
+    per steady run, and the warm run never touches the tile loop."""
+    rows, cols = 1000, 13
+    x = tf.placeholder("x", dtype=np.float64)
+    h = tanh(x)
+    y = neg(add(h, square(h)))
+    backend = FusedBackend(tile_bytes=4096)
+    plan = compile_plan([y], [x], backend=backend)
+    (group,) = plan.fused_groups
+    assert group.tile_bytes == 4096
+    rng = np.random.default_rng(1)
+    feeds = {x: rng.uniform(-1, 1, size=(rows, cols))}
+    oracle = tf.Session().run(y, feeds)
+
+    _assert_bitwise(oracle, plan.run(feeds)[0], "warm")
+    assert group.unfused_runs == 1 and group.tiles_run == 0
+    _assert_bitwise(oracle, plan.run(feeds)[0], "steady")
+    expect = min(rows, -(-(rows * cols * 8) // 4096))
+    assert group.tiles_run == expect
+    assert group.blocked_runs == 1
+    assert group.scratch_nbytes() > 0
+    group.release()
+    assert group.scratch_nbytes() == 0
+    assert group.tiles_run == expect  # counters survive release
+
+
+def test_fetch_pinned_intermediate_escapes_and_splits_chains():
+    """A fetched mid-chain value must escape: the chain splits into two
+    groups with the fetch as the first group's escape, both bitwise."""
+    x = tf.placeholder("x", dtype=np.float64)
+    t = tanh(x)
+    mid = add(t, x)
+    y = neg(square(mid))
+    plan = compile_plan([y, mid], [x], backend="fused")
+    assert plan.fused_chains() == 2  # [tanh, add] and [square, neg]
+    assert plan.records_fused() == 4
+    rng = np.random.default_rng(3)
+    feeds = {x: rng.uniform(-1, 1, size=(40, 6))}
+    oracle = tf.Session().run([y, mid], feeds)
+    for run in (plan.run(feeds), plan.run(feeds)):
+        _assert_bitwise(oracle[0], run[0], "y")
+        _assert_bitwise(oracle[1], run[1], "mid")
+    report = plan.verify(check_values=True)
+    assert report.ok, report.summary()
+
+
+def test_diamond_fuses_into_one_group():
+    """Shared subexpressions fuse while every consumer sits in one group."""
+    x = tf.placeholder("x", dtype=np.float64)
+    a = tanh(x)
+    y = add(square(a), neg(a))  # diamond on ``a``
+    plan = compile_plan([y], [x], backend="fused")
+    assert plan.fused_chains() == 1
+    assert plan.records_fused() == 4
+    rng = np.random.default_rng(4)
+    feeds = {x: rng.uniform(-1, 1, size=(17, 5))}
+    plan.run(feeds)
+    _assert_bitwise(tf.Session().run(y, feeds), plan.run(feeds)[0], "diamond")
+
+
+def test_default_tile_bytes_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FUSED_TILE_BYTES", "2048")
+    assert default_tile_bytes() == 2048
+    monkeypatch.setenv("REPRO_FUSED_TILE_BYTES", "not-a-number")
+    assert default_tile_bytes() == DEFAULT_TILE_BYTES
+    monkeypatch.delenv("REPRO_FUSED_TILE_BYTES")
+    assert default_tile_bytes() == DEFAULT_TILE_BYTES
+
+
+# --------------------------------------------------------------------------
+# Backend registry
+# --------------------------------------------------------------------------
+
+def test_backend_resolution_order(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_BACKEND", raising=False)
+    assert get_backend(None).name == "numpy"  # default
+    monkeypatch.setenv("REPRO_PLAN_BACKEND", "fused")
+    assert get_backend(None).name == "fused"  # env
+    assert get_backend("numpy").name == "numpy"  # explicit beats env
+
+
+def test_backend_unknown_name_lists_available():
+    with pytest.raises(ValueError, match="available"):
+        get_backend("no-such-backend")
+
+
+def test_backend_instance_passthrough():
+    b = FusedBackend(tile_bytes=123)
+    assert get_backend(b) is b
+    assert isinstance(get_backend("numpy"), NumpyBackend)
+    assert set(available_backends()) >= {"numpy", "fused"}
+    assert issubclass(FusedBackend, KernelBackend)
+
+
+# --------------------------------------------------------------------------
+# P110 mutation tests
+# --------------------------------------------------------------------------
+
+def _fused_chain_plan():
+    """A warmed single-group fused plan plus its spec, fresh per mutation."""
+    x = tf.placeholder("x", dtype=np.float64)
+    h = tanh(x)
+    h = add(h, square(h))
+    y = reduce_sum(mul(h, neg(h)))  # the reduce stays outside the group
+    plan = compile_plan([y], [x], backend="fused")
+    rng = np.random.default_rng(11)
+    feeds = {x: rng.uniform(-1, 1, size=(32, 4))}
+    plan.run(feeds)
+    r_idx, rec = next(
+        (i, r) for i, r in enumerate(plan._records)
+        if r.op == "fused_elementwise"
+    )
+    spec = {x: FeedSpec(shape=(32, 4), dtype=np.float64)}
+    return plan, r_idx, rec, spec
+
+
+def _p110_messages(plan, spec=None):
+    report = verify_plan(plan, spec=spec)
+    return [f.message for f in report.by_rule("P110")]
+
+
+def test_p110_clean_before_mutation():
+    plan, _r_idx, _rec, spec = _fused_chain_plan()
+    report = verify_plan(plan, spec=spec, check_values=True)
+    assert report.ok, report.summary()
+
+
+def test_p110_non_elementwise_member():
+    plan, _r_idx, rec, _spec = _fused_chain_plan()
+    m0 = rec.group.members[0]
+    rec.group.members[0] = types.SimpleNamespace(
+        op="matmul", mode=_MODE_OUT,
+        input_slots=m0.input_slots, out_slot=m0.out_slot, attrs={},
+    )
+    msgs = _p110_messages(plan)
+    assert any("is not a fusable" in m for m in msgs), msgs
+
+
+def test_p110_member_reads_undefined_slot():
+    plan, _r_idx, rec, _spec = _fused_chain_plan()
+    m1 = rec.group.members[1]
+    m1.input_slots = tuple(m1.input_slots) + (10_000,)
+    msgs = _p110_messages(plan)
+    assert any("no group input or earlier member defines" in m for m in msgs), msgs
+
+
+def test_p110_outside_read_of_internal_slot():
+    plan, r_idx, rec, _spec = _fused_chain_plan()
+    internal = rec.group.members[0].out_slot
+    other = next(
+        r for i, r in enumerate(plan._records)
+        if i != r_idx and r.op != "fused_elementwise"
+    )
+    other.input_slots = tuple(other.input_slots) + (internal,)
+    msgs = _p110_messages(plan)
+    assert any("reads fused-internal slot" in m for m in msgs), msgs
+
+
+def test_p110_fetch_pins_internal_slot():
+    plan, _r_idx, rec, _spec = _fused_chain_plan()
+    internal = rec.group.members[0].out_slot
+    plan._fetch_slots = list(plan._fetch_slots) + [internal]
+    msgs = _p110_messages(plan)
+    assert any("fetch pins fused-internal slot" in m for m in msgs), msgs
+
+
+def test_p110_record_inputs_mismatch_ext_slots():
+    plan, _r_idx, rec, _spec = _fused_chain_plan()
+    rec.input_slots = tuple(rec.input_slots) + (rec.input_slots[0],)
+    msgs = _p110_messages(plan)
+    assert any("do not match" in m for m in msgs), msgs
+
+
+def test_p110_escape_is_not_last_member():
+    plan, _r_idx, rec, _spec = _fused_chain_plan()
+    rec.group.members.pop()
+    msgs = _p110_messages(plan)
+    assert any("is not the last member's output" in m for m in msgs), msgs
+
+
+def test_p110_dtype_chain_corruption():
+    plan, _r_idx, rec, spec = _fused_chain_plan()
+    shape, _dtype = rec.group.last_meta[1]
+    rec.group.last_meta[1] = (shape, np.dtype(np.float32))
+    msgs = _p110_messages(plan, spec=spec)
+    assert any("warm run recorded" in m for m in msgs), msgs
+
+
+def test_p110_record_without_group():
+    plan, _r_idx, rec, spec = _fused_chain_plan()
+    rec.group = None
+    msgs = _p110_messages(plan, spec=spec)
+    assert any("carries no group" in m for m in msgs), msgs
+
+
+def test_p110_float_width_mix_without_cast_point():
+    """A group member combining f32 and f64 without a declared cast point
+    is flagged — NEP-50 would silently promote, breaking the bitwise
+    contract's premise that the warm run decides dtypes once."""
+    x32 = tf.placeholder("x32", dtype=np.float32)
+    x64 = tf.placeholder("x64", dtype=np.float64)
+    y = tanh(add(x32, x64))  # no cast point: add mixes widths
+    plan = compile_plan([y], [x32, x64], backend="fused")
+    assert plan.records_fused() == 2
+    spec = {
+        x32: FeedSpec(shape=(8, 3), dtype=np.float32),
+        x64: FeedSpec(shape=(8, 3), dtype=np.float64),
+    }
+    msgs = _p110_messages(plan, spec=spec)
+    assert any("mixes float widths" in m for m in msgs), msgs
+    # With the cast declared, the same chain verifies clean.
+    y2 = tanh(add(cast(x32, np.float64), x64))
+    plan2 = compile_plan([y2], [x32, x64], backend="fused")
+    report = verify_plan(plan2, spec=spec)
+    assert report.ok, report.summary()

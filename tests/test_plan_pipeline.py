@@ -9,7 +9,11 @@ Covers the compiler-grade pipeline in :mod:`repro.tfmini.plan`:
   verifying clean under P101–P109;
 - parallel span execution (``span_workers``) is bitwise identical to the
   sequential loop and to the ``Session.run`` oracle for every
-  schedule × worker combination, with deterministic span counters.
+  schedule × worker combination, with deterministic span counters;
+- the fused kernel backend (``backend="fused"``) stays bitwise across the
+  same matrix and the whole zoo, with its fusion counters firing and P110
+  verifying clean (the fusion pass itself is tested in
+  ``tests/test_fusion.py``).
 """
 
 import itertools
@@ -45,11 +49,16 @@ def water_oracle(water):
 
 
 def fan_plan(k=8, schedule="liveness", span_workers=1):
-    """K independent tanh branches of one feed — one span of width K."""
+    """K independent tanh branches of one feed — one span of width K.
+
+    numpy backend pinned: the span-structure assertions below count the
+    unfused records (fusion would collapse each tanh+scale branch).
+    """
     x = tf.placeholder("x", dtype=np.float64)
     branches = [scale(tf.tanh(x), 1.0 + i) for i in range(k)]
     plan = compile_plan(
-        branches, [x], schedule=schedule, span_workers=span_workers
+        branches, [x], schedule=schedule, span_workers=span_workers,
+        backend="numpy",
     )
     return plan, x
 
@@ -66,8 +75,10 @@ class TestScheduler:
                  + [model.ph_em_deriv, model.ph_rij, model.ph_nlist,
                     model.ph_atom_idx, model.ph_natoms])
         fetches = [model._f_forces]
-        base = compile_plan(fetches, feeds, schedule="none")
-        again = compile_plan(fetches, feeds, schedule="none")
+        # numpy backend: fused records carry fresh synthetic nodes, so the
+        # id()-based identity below only holds per-record.
+        base = compile_plan(fetches, feeds, schedule="none", backend="numpy")
+        again = compile_plan(fetches, feeds, schedule="none", backend="numpy")
         assert [id(r.node) for r in base._records] == \
             [id(r.node) for r in again._records]
 
@@ -78,8 +89,8 @@ class TestScheduler:
                  + [model.ph_em_deriv, model.ph_rij, model.ph_nlist,
                     model.ph_atom_idx, model.ph_natoms])
         fetches = [model._f_forces, model._f_net_deriv] + list(model._f_e_atoms)
-        p1 = compile_plan(fetches, feeds, schedule=schedule)
-        p2 = compile_plan(fetches, feeds, schedule=schedule)
+        p1 = compile_plan(fetches, feeds, schedule=schedule, backend="numpy")
+        p2 = compile_plan(fetches, feeds, schedule=schedule, backend="numpy")
         assert [id(r.node) for r in p1._records] == \
             [id(r.node) for r in p2._records]
         assert p1.spans == p2.spans
@@ -110,8 +121,9 @@ class TestScheduler:
             ops = [r.op for r in plan._records]
             return sum(a == b for a, b in zip(ops, ops[1:]))
 
-        none = compile_plan(fetches, feeds, schedule="none")
-        grouped = compile_plan(fetches, feeds, schedule="grouped")
+        none = compile_plan(fetches, feeds, schedule="none", backend="numpy")
+        grouped = compile_plan(
+            fetches, feeds, schedule="grouped", backend="numpy")
         assert adjacencies(grouped) >= adjacencies(none)
 
 
@@ -158,6 +170,37 @@ class TestSpans:
         assert par_plan.stats.span_batches == batches_after_warm + multi
         for a, b, c in zip(ref, out1, out2):
             assert np.array_equal(a, b) and np.array_equal(b, c)
+
+    def test_span_min_bytes_inlines_tiny_spans(self):
+        """The per-span cost model: multi-record spans whose arena bytes
+        fall under ``span_min_bytes`` run inline instead of forking to the
+        pool — counted by ``spans_inlined``, bitwise unchanged."""
+        x = tf.placeholder("x", dtype=np.float64)
+        branches = [scale(tf.tanh(x), 1.0 + i) for i in range(4)]
+        feeds = {x: np.linspace(-1.0, 1.0, 6).reshape(2, 3)}
+        ref = compile_plan(branches, [x], backend="numpy").run(feeds)
+
+        plan = compile_plan(
+            branches, [x], span_workers=2, span_min_bytes=1 << 30,
+            backend="numpy",
+        )
+        plan.run(feeds)  # warm
+        inlined0 = plan.stats.spans_inlined
+        out = plan.run(feeds)  # steady: every span under the threshold
+        multi = sum(1 for w in plan.span_widths() if w > 1)
+        assert multi >= 1
+        assert plan.stats.spans_inlined == inlined0 + multi
+        assert plan.stats.span_batches == 0  # nothing ever hit the pool
+        for a, b in zip(ref, out):
+            assert np.array_equal(a, b)
+
+        # Threshold zero (the default) disables the cost model entirely.
+        free = compile_plan(
+            branches, [x], span_workers=2, backend="numpy")
+        free.run(feeds)
+        free.run(feeds)
+        assert free.stats.spans_inlined == 0
+        assert free.stats.span_batches > 0
 
     def test_release_arenas_shuts_span_pool(self):
         plan, x = fan_plan(k=4, span_workers=2)
@@ -223,6 +266,84 @@ class TestBitwiseOracle:
             assert np.array_equal(va.value, vb.value)
 
 
+class TestFusedBackendMatrix:
+    """The fused backend across the schedule × span_workers matrix and the
+    zoo: bitwise identical to the ``Session.run`` oracle, fusion counters
+    firing unconditionally, P110 clean on every plan."""
+
+    @pytest.mark.parametrize(
+        "schedule,workers", list(itertools.product(SCHEDULES, (1, 2)))
+    )
+    def test_engine_fused_all_configs_vs_session_oracle(
+        self, water, water_oracle, schedule, workers
+    ):
+        model, system, pairs = water
+        engine = BatchedEvaluator(
+            model, plan_schedule=schedule, plan_span_workers=workers,
+            plan_backend="fused",
+        )
+        for _ in range(2):  # warm + steady (blocked-interpreter) paths
+            out = engine.evaluate_batch([system], [pairs])[0]
+            assert np.array_equal(
+                np.asarray(water_oracle.energy), np.asarray(out.energy))
+            assert np.array_equal(water_oracle.forces, out.forces)
+            assert np.array_equal(
+                np.asarray(water_oracle.virial), np.asarray(out.virial))
+        plan = engine.plan
+        assert plan.backend == "fused"
+        assert plan.records_fused() > 0
+        assert plan.fused_tiles_run() > 0
+        report = plan.verify(check_values=True)
+        assert report.ok, report.summary()
+
+    def test_trainer_fused_bitwise_vs_session_oracle(self):
+        from repro.dp.data import label_frames
+        from repro.dp.train import TrainConfig, Trainer
+        from repro.oracles import FlexibleWater
+
+        def run(use_plan, **knobs):
+            model = DeepPot(water_config("double"))
+            base = water_box((3, 3, 3), seed=0)
+            dataset = label_frames([base], FlexibleWater(cutoff=4.0))
+            dataset.apply_stats(model)
+            trainer = Trainer(
+                model, dataset, TrainConfig(n_steps=2, log_every=10),
+                use_plan=use_plan, **knobs,
+            )
+            trainer.train()
+            return trainer
+
+        ref = run(False)
+        got = run(True, plan_backend="fused")
+        assert [r.loss for r in ref.history] == [r.loss for r in got.history]
+        for va, vb in zip(ref.model.trainable_variables(),
+                          got.model.trainable_variables()):
+            assert np.array_equal(va.value, vb.value)
+        assert got.plan.records_fused() > 0
+
+    def test_zoo_fused_clean_with_counters(self):
+        """Every zoo plan fuses at least one elementwise chain, verifies
+        clean under P101–P110, and its colored arena shrinks at least to
+        (and in practice below) the unfused colored footprint."""
+        results = check_all_plans(report=True, plan_backend="fused")
+        assert len(results) == 10
+        for entry in results:
+            assert entry["report"].ok, (
+                entry["plan"] + "\n" + entry["report"].summary())
+            m = entry["metrics"]
+            assert m["backend"] == "fused", entry["plan"]
+            assert m["records_fused"] > 0, entry["plan"]
+            assert m["fused_chains"] > 0, entry["plan"]
+            assert m["fused_passes_saved"] == (
+                m["records_fused"] - m["fused_chains"])
+            # fused intermediates own no colored-arena bytes: the fused
+            # footprint never exceeds the simulated unfused footprint.
+            assert m["arena_nbytes_colored"] <= m["arena_nbytes_prefusion"], (
+                entry["plan"], m)
+            assert m["arena_fusion_saved"] == (
+                m["arena_nbytes_prefusion"] - m["arena_nbytes_colored"])
+
+
 class TestColoringAllocator:
     def test_zoo_colored_strictly_below_fifo(self):
         """The acceptance bar: coloring beats the FIFO recycler on every
@@ -238,6 +359,26 @@ class TestColoringAllocator:
                 entry["plan"], m)
             assert m["arena_bytes_saved"] == (
                 m["arena_nbytes_fifo"] - m["arena_nbytes_colored"])
+
+    def test_best_fit_is_third_candidate_and_min_wins(self, water):
+        """Size-aware coloring: every warmed arena records byte totals for
+        all three candidate orders (first-fit by size, first-fit in tape
+        order, best-fit by size) and realizes the minimum — so adding
+        best-fit can never regress the footprint."""
+        model, system, pairs = water
+        engine = BatchedEvaluator(model)
+        engine.evaluate_batch([system], [pairs])
+        trainer_checked = 0
+        for arena in engine.plan.arenas.values():
+            cand = arena.color_candidates
+            assert set(cand) == {
+                "first_fit_size", "first_fit_tape", "best_fit_size"}
+            assert min(cand.values()) <= cand["first_fit_size"]
+            trainer_checked += 1
+        assert trainer_checked >= 1
+        assert engine.plan.arena_nbytes() == sum(
+            min(a.color_candidates.values())
+            for a in engine.plan.arenas.values())
 
     def test_footprint_independent_of_span_workers(self, water):
         model, system, pairs = water

@@ -34,22 +34,32 @@ from repro.zoo import water_config
 
 
 def chain_plan():
-    """x -> tanh -> tanh -> tanh, fetch the last: 3 records, no aliases."""
+    """x -> tanh -> tanh -> tanh, fetch the last: 3 records, no aliases.
+
+    Pinned to the per-record numpy backend — the mutation tests below poke
+    records by index, and the fused backend would collapse the chain into
+    one record (fused-plan verification has its own tests in
+    ``tests/test_fusion.py``).
+    """
     x = tf.placeholder("x", dtype=np.float64)
     a = tf.tanh(x)
     b = tf.tanh(a)
     c = tf.tanh(b)
-    plan = compile_plan([c], [x])
+    plan = compile_plan([c], [x], backend="numpy")
     plan.run({x: np.ones((4, 3))})
     return plan
 
 
 def fanout_plan():
-    """x -> {tanh, square} -> add: records 0 and 1 form a width-2 span."""
+    """x -> {tanh, square} -> add: records 0 and 1 form a width-2 span.
+
+    numpy backend pinned, like :func:`chain_plan` — the span-hazard
+    mutations need the unfused record/span structure.
+    """
     x = tf.placeholder("x", dtype=np.float64)
     a = tf.tanh(x)
     b = tf.square(x)
-    plan = compile_plan([tf.add(a, b)], [x])
+    plan = compile_plan([tf.add(a, b)], [x], backend="numpy")
     plan.run({x: np.ones((4, 3))})
     return plan
 
@@ -270,7 +280,9 @@ class TestSymbolicInference:
 
     def test_p108_mistyped_cast_flags_downstream(self):
         model = DeepPot(water_config("mixed"))
-        engine = BatchedEvaluator(model)
+        # numpy backend pinned: the mutation searches the tape for a
+        # top-level cast record, which fusion would swallow into a group.
+        engine = BatchedEvaluator(model, plan_backend="numpy")
         s = water_box((3, 3, 3), seed=0)
         engine.evaluate_batch([s], [neighbor_pairs(s, model.config.rcut)])
         plan = engine.plan
